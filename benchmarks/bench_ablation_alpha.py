@@ -1,0 +1,28 @@
+"""Ablation A1 — smoothing factor α (Eqs. 10–11) under the flash crowd.
+
+Surfaces the stability/responsiveness trade-off behind Table I's
+α = 0.2: heavier smoothing (small α) reacts slower but churns less;
+lighter smoothing chases Poisson noise.
+"""
+
+from repro.experiments.ablations import alpha_sweep
+
+from conftest import run_once
+
+
+def test_ablation_alpha(benchmark, paper_config):
+    results = run_once(
+        benchmark, alpha_sweep, paper_config, alphas=(0.05, 0.2, 0.8), epochs=400
+    )
+    print("\n=== ablation A1: alpha sweep (flash crowd) ===")
+    print(f"{'alpha':>6} {'util':>7} {'replicas':>9} {'churn':>7} {'unserved':>9}")
+    for alpha, row in results.items():
+        print(
+            f"{alpha:>6.2f} {row['utilization']:>7.3f} {row['total_replicas']:>9.0f} "
+            f"{row['churn']:>7.0f} {row['unserved']:>9.2f}"
+        )
+    # Lighter smoothing (larger alpha) must not *reduce* total churn.
+    assert results[0.8]["churn"] >= results[0.05]["churn"] * 0.8
+    # Every setting still serves the workload.
+    for row in results.values():
+        assert row["utilization"] > 0.2

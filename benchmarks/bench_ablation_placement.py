@@ -1,0 +1,25 @@
+"""Ablation A3 — Eq. 18 lowest-blocking placement vs blind random in-DC.
+
+Isolates the contribution of the blocking-probability server choice to
+RFH's Fig. 8 load-balance win: same decision tree, same thresholds,
+only the within-datacenter server pick differs.
+"""
+
+from repro.experiments.ablations import placement_ablation
+
+from conftest import run_once
+
+
+def test_ablation_placement(benchmark, paper_config):
+    results = run_once(benchmark, placement_ablation, paper_config, epochs=300)
+    print("\n=== ablation A3: placement rule (random query) ===")
+    for name, row in results.items():
+        print(
+            f"  {name:>16}: imbalance={row['load_imbalance']:.3f} "
+            f"util={row['utilization']:.3f} replicas={row['total_replicas']:.0f}"
+        )
+    # The Eq. 18 choice must not balance worse than blind placement.
+    assert (
+        results["lowest-blocking"]["load_imbalance"]
+        <= results["random-in-dc"]["load_imbalance"] * 1.10
+    )

@@ -1,0 +1,30 @@
+"""Ablation A2 — overload (β) and suicide (δ) thresholds, random query.
+
+A lazier overload bar (larger β) tolerates more holder traffic and ends
+with fewer replicas; an eager suicide bar (larger δ) reclaims harder.
+"""
+
+from repro.experiments.ablations import threshold_sweep
+
+from conftest import run_once
+
+
+def test_ablation_thresholds(benchmark, paper_config):
+    results = run_once(
+        benchmark,
+        threshold_sweep,
+        paper_config,
+        betas=(1.5, 3.0),
+        deltas=(0.1, 0.4),
+        epochs=250,
+    )
+    print("\n=== ablation A2: beta/delta sweep (random query) ===")
+    print(f"{'beta':>5} {'delta':>6} {'util':>7} {'replicas':>9} {'unserved':>9}")
+    for (beta, delta), row in results.items():
+        print(
+            f"{beta:>5.1f} {delta:>6.1f} {row['utilization']:>7.3f} "
+            f"{row['total_replicas']:>9.0f} {row['unserved']:>9.2f}"
+        )
+    # The blocked-queries trigger keeps service viable at every setting.
+    for row in results.values():
+        assert row["unserved"] < 25.0

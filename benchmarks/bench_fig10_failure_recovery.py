@@ -1,0 +1,16 @@
+"""Fig. 10 — node failure and recovery (RFH resilience).
+
+"30 servers are randomly removed at epoch 290, resulting in a sharp
+decrease of replicas number ... The replica number increases as time
+passes by, and reaches the same level as initial."
+"""
+
+from repro.experiments import fig10_failure_recovery
+
+from conftest import assert_shape, report, run_once
+
+
+def test_fig10_failure_recovery(benchmark, paper_config):
+    result = run_once(benchmark, fig10_failure_recovery, paper_config)
+    report(result)
+    assert_shape(result)

@@ -1,0 +1,17 @@
+"""Fig. 3 — replica utilization rate (random query + flash crowd).
+
+Regenerates both panels with all four algorithms on identical traces and
+checks the paper's claims: RFH highest / random lowest under random
+query; request-oriented collapse and RFH single-dip-and-recover under
+flash crowd.
+"""
+
+from repro.experiments import fig3_utilization
+
+from conftest import assert_shape, report, run_once
+
+
+def test_fig3_utilization(benchmark, paper_config):
+    result = run_once(benchmark, fig3_utilization, paper_config)
+    report(result)
+    assert_shape(result)

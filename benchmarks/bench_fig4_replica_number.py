@@ -1,0 +1,15 @@
+"""Fig. 4 — total and per-partition replica number.
+
+Paper shape: random ~2x owner ~> RFH, request fewest; RFH count stays
+near its random-query level under flash crowd while the others inflate.
+"""
+
+from repro.experiments import fig4_replica_number
+
+from conftest import assert_shape, report, run_once
+
+
+def test_fig4_replica_number(benchmark, paper_config):
+    result = run_once(benchmark, fig4_replica_number, paper_config)
+    report(result)
+    assert_shape(result)

@@ -1,0 +1,16 @@
+"""Fig. 5 — cumulative replication cost (total and per replica).
+
+Paper shape: random pays by far the most in both settings; RFH stays
+below random, and request's per-replica cost inflates under flash crowd
+(long-distance replication toward moving requesters).
+"""
+
+from repro.experiments import fig5_replication_cost
+
+from conftest import assert_shape, report, run_once
+
+
+def test_fig5_replication_cost(benchmark, paper_config):
+    result = run_once(benchmark, fig5_replication_cost, paper_config)
+    report(result)
+    assert_shape(result)

@@ -1,0 +1,16 @@
+"""Fig. 6 — cumulative migration times.
+
+Paper shape: request-oriented migrates by far the most (its replicas
+chase the requesters), random never migrates, owner's condition never
+fires without membership churn, RFH stays well below request.
+"""
+
+from repro.experiments import fig6_migration_times
+
+from conftest import assert_shape, report, run_once
+
+
+def test_fig6_migration_times(benchmark, paper_config):
+    result = run_once(benchmark, fig6_migration_times, paper_config)
+    report(result)
+    assert_shape(result)

@@ -1,0 +1,16 @@
+"""Fig. 7 — cumulative migration cost (Eq. 1 with migration bandwidth).
+
+Paper shape: mirrors Fig. 6 — request highest, random and owner zero,
+RFH low; the flash crowd forces more (and costlier) migrations than the
+random query setting.
+"""
+
+from repro.experiments import fig7_migration_cost
+
+from conftest import assert_shape, report, run_once
+
+
+def test_fig7_migration_cost(benchmark, paper_config):
+    result = run_once(benchmark, fig7_migration_cost, paper_config)
+    report(result)
+    assert_shape(result)

@@ -1,0 +1,16 @@
+"""Fig. 8 — load imbalance (normalised Eq. 26 over replicas).
+
+Paper shape: RFH's lowest-blocking-probability placement gives the best
+balance in both settings; the blind random placement the worst.  See
+EXPERIMENTS.md for the normalisation note.
+"""
+
+from repro.experiments import fig8_load_imbalance
+
+from conftest import assert_shape, report, run_once
+
+
+def test_fig8_load_imbalance(benchmark, paper_config):
+    result = run_once(benchmark, fig8_load_imbalance, paper_config)
+    report(result)
+    assert_shape(result)

@@ -1,0 +1,16 @@
+"""Fig. 9 — lookup path length.
+
+Paper shape: every curve drops sharply once replicas appear;
+owner-oriented stays the longest (replicas hug the holder); RFH ends
+shorter than owner in both settings.
+"""
+
+from repro.experiments import fig9_path_length
+
+from conftest import assert_shape, report, run_once
+
+
+def test_fig9_path_length(benchmark, paper_config):
+    result = run_once(benchmark, fig9_path_length, paper_config)
+    report(result)
+    assert_shape(result)

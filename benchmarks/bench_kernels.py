@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the hot kernels (guide: measure before tuning).
+
+These are the only benchmarks with multiple timing rounds — they exist
+to catch performance regressions in the inner loops that every
+experiment epoch exercises: the Eq. 2–8 service walk, Erlang-B, ring
+lookups and one full engine epoch.
+"""
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.core.blocking import erlang_b
+from repro.core.traffic import serve_epoch
+from repro.net import Router, build_default_wan
+from repro.ring import FingerTable, HashRing, stable_hash
+from repro.sim import Simulation
+from repro.workload import QueryBatch
+
+
+def test_serve_epoch_kernel(benchmark):
+    """One epoch of the Eq. 2–8 walk at Table I scale."""
+    _, wan = build_default_wan()
+    router = Router(wan)
+    rng = np.random.default_rng(3)
+    counts = rng.poisson(0.5, size=(64, 10))
+    batch = QueryBatch(0, counts)
+    holders = [int(h) for h in rng.integers(0, 10, size=64)]
+    layouts = []
+    for p in range(64):
+        layout = {}
+        for dc in rng.choice(10, size=4, replace=False):
+            layout[int(dc)] = [(int(dc) * 10 + k, 2.0) for k in range(2)]
+        layouts.append(layout)
+    result = benchmark(
+        serve_epoch, batch, holders, layouts, router, 100, holder_sid=None
+    )
+    assert result.total_served > 0
+
+
+def test_erlang_b_kernel(benchmark):
+    def run():
+        total = 0.0
+        for a in range(1, 200):
+            total += erlang_b(a * 0.25, 8)
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_ring_lookup_kernel(benchmark):
+    ring = HashRing()
+    for sid in range(100):
+        ring.add_server(sid)
+    ft = FingerTable(ring)
+    keys = [stable_hash(f"k:{i}") for i in range(500)]
+
+    def run():
+        return sum(ft.lookup(k)[1] for k in keys)
+
+    hops = benchmark(run)
+    assert hops > 0
+
+
+def test_full_epoch_step(benchmark):
+    """One complete engine epoch (workload -> route -> decide -> apply)."""
+    sim = Simulation(SimulationConfig(seed=7), policy="rfh")
+    sim.run(50)  # warm state: replicas placed, signals warm
+
+    def step():
+        return sim.step()
+
+    result = benchmark.pedantic(step, rounds=20, iterations=1)
+    assert result.query_count >= 0

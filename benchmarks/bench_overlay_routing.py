@@ -1,0 +1,40 @@
+"""Overlay lookup lengths on live replica layouts (Section II-B).
+
+"The cost of routing is O(log n)" — measured on the ring the engine
+actually runs, before and after RFH populates it with replicas: copies
+on the greedy route intercept lookups and shorten them.
+"""
+
+import math
+
+from repro.ring import OverlayAnalyzer
+from repro.sim import Simulation
+
+from conftest import run_once
+
+
+def _measure(config):
+    sim = Simulation(config, policy="rfh")
+    analyzer = OverlayAnalyzer(sim.ring, sim.mapper)
+    gateways = tuple(
+        sim.cluster.alive_in_dc(dc)[0].sid for dc in range(sim.cluster.num_datacenters)
+    )
+    fresh = analyzer.survey(sim.replicas, gateways)
+    sim.run(150)
+    populated = analyzer.survey(sim.replicas, gateways)
+    return fresh, populated, sim.ring.num_tokens
+
+
+def test_overlay_lookup_lengths(benchmark, paper_config):
+    fresh, populated, tokens = run_once(benchmark, _measure, paper_config)
+    print("\n=== overlay lookups (O(log n) claim) ===")
+    print(f"  tokens on ring        : {tokens}")
+    print(f"  fresh layout          : mean {fresh.mean_hops:.2f}, max {fresh.max_hops}")
+    print(
+        f"  after 150 RFH epochs  : mean {populated.mean_hops:.2f}, "
+        f"max {populated.max_hops}, intercepted {populated.intercepted_fraction:.0%}"
+    )
+    bound = 2 * math.log2(tokens) + 2
+    assert fresh.max_hops <= bound
+    assert populated.mean_hops <= fresh.mean_hops  # replicas only shorten
+    assert populated.intercepted_fraction > fresh.intercepted_fraction

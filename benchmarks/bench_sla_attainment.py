@@ -1,0 +1,23 @@
+"""SLA attainment (the introduction's 300 ms / 99.9 % motivation).
+
+Not a numbered figure — this bench quantifies the paper's Section I
+argument: request-oriented placement serves "just the majority", while
+RFH reaches full-service SLA attainment with the smallest replica
+footprint of the algorithms that do.
+"""
+
+from repro.experiments.sla import sla_comparison
+
+from conftest import run_once
+
+
+def test_sla_attainment(benchmark, paper_config):
+    result = run_once(benchmark, sla_comparison, paper_config, epochs=250)
+    print("\n=== SLA attainment (300 ms bound, random query) ===")
+    print(f"{'policy':>9} {'attainment':>11} {'latency ms':>11} {'replicas':>9}")
+    for policy in result.attainment:
+        print(
+            f"{policy:>9} {result.attainment[policy]:>11.4f} "
+            f"{result.latency_ms[policy]:>11.1f} {result.replicas[policy]:>9.0f}"
+        )
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,27 @@
+"""Section II-F's two query-surge types, quantified.
+
+The paper argues (but does not plot) how each algorithm copes with a
+location shift (Tokyo -> Beijing) and a popularity shift (hot partition
+cools, cold one heats).  These benches regenerate both and assert the
+claims.
+"""
+
+from repro.experiments.surges import location_shift_surge, popularity_shift_surge
+
+from conftest import run_once
+
+
+def test_location_shift_surge(benchmark, paper_config):
+    result = run_once(benchmark, location_shift_surge, paper_config)
+    print("\n=== surge: location shift (Tokyo -> Beijing) ===")
+    for name, value in result.notes.items():
+        print(f"  {name}: {value:.3f}")
+    assert result.passed, result.failed_checks()
+
+
+def test_popularity_shift_surge(benchmark, paper_config):
+    result = run_once(benchmark, popularity_shift_surge, paper_config)
+    print("\n=== surge: popularity shift (hot partition rotates) ===")
+    for name, value in result.notes.items():
+        print(f"  {name}: {value:.3f}")
+    assert result.passed, result.failed_checks()

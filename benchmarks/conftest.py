@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's figures through
+:mod:`repro.experiments.figures` at full evaluation scale (Table I
+parameters, paper epoch counts), times the regeneration once
+(``benchmark.pedantic`` — the workload is deterministic, repeated rounds
+would measure the same thing), prints the series the paper reports, and
+asserts the figure's qualitative shape checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> SimulationConfig:
+    """Table I parameters with the benchmark seed."""
+    return SimulationConfig(seed=7)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time ``func`` exactly once and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(result) -> None:
+    """Print a figure result the way the paper tabulates it."""
+    print(f"\n=== {result.figure} ===")
+    for name, value in result.notes.items():
+        print(f"  {name}: {value:.3f}")
+    for name, ok in result.checks.items():
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+
+
+def assert_shape(result) -> None:
+    failed = result.failed_checks()
+    assert not failed, f"{result.figure} shape checks failed: {failed}"

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Using the simulator as a capacity-planning tool.
+
+A question a storage operator actually asks: *how does the replica
+footprint and the blocked-query rate grow as the query load scales?*
+We sweep the Poisson arrival rate λ from half to triple the paper's
+default and let RFH size the system, reporting the resources it settles
+on — the "resilient" part of RFH is exactly that this sizing is
+automatic.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import Simulation, SimulationConfig, WorkloadParameters
+
+EPOCHS = 200
+RATES = (150.0, 300.0, 600.0, 900.0)
+
+
+def run_at_rate(lam: float) -> dict[str, float]:
+    config = SimulationConfig(
+        seed=42,
+        workload=WorkloadParameters(queries_per_epoch_mean=lam),
+    )
+    sim = Simulation(config, policy="rfh")
+    metrics = sim.run(EPOCHS)
+    tail = 30
+    storage = sum(s.storage_used_mb for s in sim.cluster.servers)
+    return {
+        "replicas": metrics.series("total_replicas").last(),
+        "per_partition": metrics.series("avg_replicas").last(),
+        "utilization": metrics.series("utilization").tail_mean(tail),
+        "blocked": metrics.series("unserved").tail_mean(tail),
+        "blocked_pct": 100.0
+        * metrics.array("unserved")[-tail:].sum()
+        / max(1.0, metrics.array("queries")[-tail:].sum()),
+        "storage_mb": storage,
+    }
+
+
+def main() -> None:
+    print(f"RFH self-sizing across query rates ({EPOCHS} epochs each):\n")
+    print(
+        f"{'λ (q/epoch)':>11} | {'replicas':>8} {'per part':>8} {'util':>6} "
+        f"{'blocked %':>9} {'storage MB':>10}"
+    )
+    print("-" * 62)
+    for lam in RATES:
+        row = run_at_rate(lam)
+        print(
+            f"{lam:>11.0f} | {row['replicas']:>8.0f} {row['per_partition']:>8.2f} "
+            f"{row['utilization']:>6.3f} {row['blocked_pct']:>9.2f} "
+            f"{row['storage_mb']:>10.1f}"
+        )
+    print(
+        "\nThe replica footprint tracks demand roughly linearly and the"
+        " blocked fraction stays small until the highest rate, where the"
+        " fleet's aggregate service capacity itself becomes the limit —"
+        " capacity follows load, which is the resource-allocation argument"
+        " of the paper's introduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Full four-algorithm comparison under the random query setting.
+
+One recorded trace, four simulations, and a digest of every steady-state
+metric the paper plots in Figs. 3–9(a).  The orderings to look for:
+
+* utilization:      rfh > request > owner > random           (Fig. 3a)
+* replica count:    random > owner > rfh > request           (Fig. 4a)
+* replication cost: random worst                             (Fig. 5a)
+* migrations:       request ≫ rfh;  owner = random = 0       (Fig. 6a)
+* load imbalance:   rfh best                                 (Fig. 8a)
+* path length:      owner longest                            (Fig. 9a)
+
+Run:  python examples/compare_algorithms.py
+"""
+
+from repro import SimulationConfig
+from repro.experiments import compare_policies, random_query_scenario
+
+EPOCHS = 250
+POLICIES = ("rfh", "request", "owner", "random")
+
+
+def main() -> None:
+    config = SimulationConfig(seed=42)
+    scenario = random_query_scenario(config, epochs=EPOCHS)
+    print(
+        f"Replaying one {EPOCHS}-epoch random-query trace "
+        f"({scenario.trace.total_queries()} queries) through 4 algorithms..."
+    )
+    cmp = compare_policies(scenario, policies=POLICIES)
+
+    columns = (
+        ("utilization", "util", "{:.3f}"),
+        ("total_replicas", "replicas", "{:.0f}"),
+        ("path_length", "hops", "{:.2f}"),
+        ("load_imbalance", "imbalance", "{:.2f}"),
+        ("unserved", "blocked/ep", "{:.1f}"),
+    )
+    header = f"{'policy':>9} | " + " ".join(f"{label:>10}" for _, label, _ in columns)
+    header += f" {'repl.cost':>10} {'migrations':>10}"
+    print("\n" + header)
+    print("-" * len(header))
+    for policy in POLICIES:
+        res = cmp[policy]
+        cells = " ".join(
+            f"{fmt.format(res.steady(name)):>10}" for name, _, fmt in columns
+        )
+        print(
+            f"{policy:>9} | {cells} "
+            f"{res.series('replication_cost').sum():>10.1f} "
+            f"{res.series('migration_count').sum():>10.0f}"
+        )
+
+    print("\nOrderings (steady state):")
+    print("  utilization :", " > ".join(cmp.ranking("utilization")))
+    print("  replicas    :", " > ".join(cmp.ranking("total_replicas")))
+    print("  imbalance   :", " < ".join(reversed(cmp.ranking("load_imbalance"))))
+    print("  path length :", " > ".join(cmp.ranking("path_length")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Consistency maintenance under RFH — the paper's future work, explored.
+
+Section V: "we ... plan to focus on the research of consistency
+maintenance."  This study runs RFH with the optional consistency tracker
+and asks: how stale do replicas get as the write ratio grows, and what
+does keeping them fresh cost under lazy anti-entropy (fanout-limited)
+versus eager propagation?
+
+Run:  python examples/consistency_study.py
+"""
+
+from repro import Simulation, SimulationConfig
+from repro.consistency import ConsistencyConfig
+
+EPOCHS = 200
+WRITE_RATIOS = (0.05, 0.2, 0.5)
+FANOUTS = (1, 2, None)  # None = eager
+
+
+def run(write_ratio: float, fanout: int | None) -> dict[str, float]:
+    sim = Simulation(
+        SimulationConfig(seed=42),
+        policy="rfh",
+        consistency=ConsistencyConfig(write_ratio=write_ratio, fanout=fanout),
+    )
+    metrics = sim.run(EPOCHS)
+    tail = 40
+    return {
+        "staleness": metrics.series("mean_staleness").tail_mean(tail),
+        "stale_reads": metrics.series("stale_read_fraction").tail_mean(tail),
+        "transfers": metrics.series("propagation_transfers").tail_mean(tail),
+        "cost": metrics.array("propagation_cost").sum(),
+    }
+
+
+def main() -> None:
+    print("RFH + consistency tracker: staleness vs propagation effort\n")
+    print(
+        f"{'writes/query':>12} {'fanout':>7} | {'mean lag':>9} "
+        f"{'stale reads':>11} {'pushes/ep':>10} {'total cost':>11}"
+    )
+    print("-" * 68)
+    for ratio in WRITE_RATIOS:
+        for fanout in FANOUTS:
+            row = run(ratio, fanout)
+            label = "eager" if fanout is None else str(fanout)
+            print(
+                f"{ratio:>12.2f} {label:>7} | {row['staleness']:>9.2f} "
+                f"{row['stale_reads']:>11.3f} {row['transfers']:>10.1f} "
+                f"{row['cost']:>11.1f}"
+            )
+        print()
+    print(
+        "Reading the table: lazy anti-entropy (fanout 1-2) caps propagation"
+        " traffic but lets version lag grow with the write rate; eager"
+        " propagation holds stale reads near zero at proportionally higher"
+        " push cost.  Placement dynamics are identical in every row — the"
+        " tracker is a pure observer, so these numbers isolate the"
+        " consistency policy."
+    )
+
+
+if __name__ == "__main__":
+    main()

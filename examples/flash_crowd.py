@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The paper's headline scenario: a four-stage flash crowd.
+
+80 % of queries come from near H/I/J (Asia) for the first quarter of the
+run, then jump to A/B/C (US), then E/F/G, then spread out evenly
+(Section III-A).  All four algorithms replay the *identical* query
+trace; the table shows per-stage replica utilization — watch the
+request-oriented algorithm collapse at the first shift while RFH dips
+once and recovers.
+
+Run:  python examples/flash_crowd.py
+"""
+
+import numpy as np
+
+from repro import SimulationConfig
+from repro.experiments import compare_policies, flash_crowd_scenario
+
+EPOCHS = 400
+POLICIES = ("rfh", "request", "owner", "random")
+
+
+def stage_mean(series: np.ndarray, stage: int) -> float:
+    """Mean over the settled back half of one flash-crowd stage."""
+    length = EPOCHS // 4
+    start = stage * length + length // 2
+    return float(series[start : (stage + 1) * length].mean())
+
+
+def main() -> None:
+    config = SimulationConfig(seed=42)
+    scenario = flash_crowd_scenario(config, epochs=EPOCHS)
+    print(f"Replaying one {EPOCHS}-epoch flash-crowd trace through 4 algorithms...")
+    comparison = compare_policies(scenario, policies=POLICIES)
+
+    print("\nReplica utilization by stage (hot origins per stage):")
+    print(f"{'policy':>9} | {'H/I/J':>7} {'A/B/C':>7} {'E/F/G':>7} {'uniform':>8}")
+    print("-" * 46)
+    for policy in POLICIES:
+        util = comparison[policy].series("utilization")
+        row = " ".join(f"{stage_mean(util, s):>7.3f}" for s in range(3))
+        print(f"{policy:>9} | {row} {stage_mean(util, 3):>8.3f}")
+
+    print("\nAdaptation cost over the whole run:")
+    print(f"{'policy':>9} | {'replicas@end':>12} {'migrations':>11} {'migr cost':>10}")
+    print("-" * 48)
+    for policy in POLICIES:
+        res = comparison[policy]
+        print(
+            f"{policy:>9} | {res.final('total_replicas'):>12.0f} "
+            f"{res.series('migration_count').sum():>11.0f} "
+            f"{res.series('migration_cost').sum():>10.1f}"
+        )
+
+    shift = EPOCHS // 4
+    rfh_util = comparison["rfh"].series("utilization")
+    dip = rfh_util[shift : shift + 15].mean()
+    print(
+        f"\nRFH at the first shift (epoch {shift}): utilization dips to "
+        f"{dip:.3f} and recovers to {stage_mean(rfh_util, 1):.3f} within the stage"
+        " — the paper's 'decreases only once ... adjusts very quickly'."
+    )
+
+
+if __name__ == "__main__":
+    main()

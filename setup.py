@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+``pip install -e .`` requires the ``wheel`` package for PEP 660 editable
+builds; fully offline environments that lack it can fall back to::
+
+    python setup.py develop
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro — reproduction of "RFH: A Resilient, Fault-Tolerant and
+High-efficient Replication Algorithm for Distributed Cloud Storage"
+(Qu & Xiong, ICPP 2012).
+
+Quickstart::
+
+    from repro import Simulation, SimulationConfig
+
+    sim = Simulation(SimulationConfig(seed=7), policy="rfh")
+    metrics = sim.run(epochs=100)
+    print(metrics.series("utilization").tail_mean(20))
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure.
+"""
+
+from .baselines import OwnerOrientedPolicy, RandomPolicy, RequestOrientedPolicy
+from .config import (
+    ClusterParameters,
+    RFHParameters,
+    SimulationConfig,
+    WorkloadParameters,
+)
+from .core import RFHPolicy
+from .errors import ReproError
+from .metrics import MetricsCollector, Series
+from .sim import (
+    EpochObservation,
+    MassFailureEvent,
+    Migrate,
+    Replicate,
+    ServerJoinEvent,
+    ServerRecoveryEvent,
+    Simulation,
+    Suicide,
+)
+from .workload import (
+    FlashCrowdPattern,
+    HotspotPattern,
+    LocationShiftPattern,
+    PopularityShiftPattern,
+    QueryGenerator,
+    UniformPattern,
+    WorkloadTrace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SimulationConfig",
+    "RFHParameters",
+    "ClusterParameters",
+    "WorkloadParameters",
+    "Simulation",
+    "EpochObservation",
+    "Replicate",
+    "Migrate",
+    "Suicide",
+    "MassFailureEvent",
+    "ServerRecoveryEvent",
+    "ServerJoinEvent",
+    "RFHPolicy",
+    "RandomPolicy",
+    "OwnerOrientedPolicy",
+    "RequestOrientedPolicy",
+    "MetricsCollector",
+    "Series",
+    "QueryGenerator",
+    "WorkloadTrace",
+    "UniformPattern",
+    "HotspotPattern",
+    "FlashCrowdPattern",
+    "LocationShiftPattern",
+    "PopularityShiftPattern",
+    "ReproError",
+]

@@ -1,0 +1,30 @@
+"""The paper's comparison baselines (Section II-A, Section III).
+
+* :class:`RandomPolicy` — "most of the current Cloud storage systems
+  replicate each data item at a fixed number of physically distinct
+  nodes in a static way": Dynamo-style successor placement for the
+  availability floor, uniformly random placement under overload, no
+  migration, no suicide (paper refs [4][21][22]).
+* :class:`OwnerOrientedPolicy` — "the coordinator will consider
+  maximizing availability while minimizing replication cost" near the
+  primary owner (paper refs [7][11][12][13]).
+* :class:`RequestOrientedPolicy` — "encourages replicating data on
+  datacenters near to the requesters with the highest query rate",
+  Gnutella-style (paper refs [16][5]).
+
+All three consume the same :class:`~repro.sim.observation.EpochObservation`
+and share the Eq. 12 overload definition with RFH, so the comparison
+isolates *placement policy*, exactly as the paper's evaluation does.
+"""
+
+from .base import SmoothedSignals
+from .owner_oriented import OwnerOrientedPolicy
+from .random_policy import RandomPolicy
+from .request_oriented import RequestOrientedPolicy
+
+__all__ = [
+    "SmoothedSignals",
+    "RandomPolicy",
+    "OwnerOrientedPolicy",
+    "RequestOrientedPolicy",
+]

@@ -1,0 +1,183 @@
+"""The owner-oriented baseline (paper refs [7][11][12][13]).
+
+"If with an owner-oriented manner, the coordinator will consider
+maximizing availability while minimizing replication cost" (Eq. 1:
+``c = d · f · s / b``).  In Fig. 1's example "replicas will be placed on
+B and C, which are in the same country of A, or it will replicate on D,
+which is in the same continent of A, with relatively low replication
+cost but high availability."
+
+Placement rule implemented here, per new copy:
+
+1. rank candidate datacenters by the availability level the new copy
+   would add against the *closest existing copy*
+   (:func:`~repro.geo.availability_level`, higher is safer), breaking
+   ties by Eq. 1 replication cost from the holder — so the first replica
+   lands in the nearest *different* datacenter (level 5 at minimum
+   cost), the next in the next-nearest, and only once different-DC
+   options are exhausted does it fall back to same-DC/room/rack slots;
+2. inside the chosen datacenter, prefer the server that maximises label
+   diversity against existing copies ("it would like to choose a rack
+   different from another replica, or at least chooses a different
+   server", Section III-E).
+
+Migration "actually happens only when physical nodes are added into or
+removed from the system": after a membership change the policy migrates
+a replica only when strictly better availability-versus-cost appears —
+in the paper's scenarios (and ours) this fires rarely, keeping Fig. 6/7
+owner curves near zero.
+"""
+
+from __future__ import annotations
+
+from ..config import RFHParameters
+from ..geo.availability_level import AvailabilityLevel, availability_level
+from ..sim.actions import Action, Migrate, Replicate
+from ..sim.observation import EpochObservation
+from .base import SmoothedSignals
+
+__all__ = ["OwnerOrientedPolicy"]
+
+
+class OwnerOrientedPolicy:
+    """Availability-versus-cost placement near the primary owner."""
+
+    name = "owner"
+
+    def __init__(self, params: RFHParameters) -> None:
+        self._params = params
+        self._signals = SmoothedSignals(params)
+        self._last_membership: frozenset[int] | None = None
+
+    def decide(self, obs: EpochObservation) -> list[Action]:
+        signals = self._signals.update(obs)
+        membership = frozenset(obs.cluster.alive_server_ids())
+        membership_changed = (
+            self._last_membership is not None and membership != self._last_membership
+        )
+        self._last_membership = membership
+
+        actions: list[Action] = []
+        for partition in range(obs.num_partitions):
+            if not obs.replicas.has_holder(partition):
+                continue
+            holder_sid = obs.replicas.holder(partition)
+            replica_count = obs.replicas.replica_count(partition)
+
+            needs_copy = replica_count < obs.rmin
+            overloaded = signals.holder_overloaded(partition, self._params.beta)
+            if needs_copy or overloaded:
+                target = self._best_target(partition, obs)
+                if target is not None:
+                    reason = "availability" if needs_copy else "overload"
+                    actions.append(Replicate(partition, holder_sid, target, reason))
+                continue
+
+            if membership_changed:
+                migration = self._rebalance_after_membership(partition, obs)
+                if migration is not None:
+                    actions.append(migration)
+        return actions
+
+    # ------------------------------------------------------------------
+    def _best_target(self, partition: int, obs: EpochObservation) -> int | None:
+        """Max availability level added, then min Eq. 1 cost — among the
+        owner's neighbourhood.
+
+        The paper's owner-oriented scheme explicitly stays close: "it is
+        better to choose a different datacenter close to the primary
+        partition owner", and its cost depends on how many "close
+        neighbors" the holder has.  Candidates are therefore the
+        holder's datacenter and its direct WAN neighbours only — which
+        is also what gives this baseline its long lookup paths (queries
+        from far origins travel almost the whole route before meeting a
+        replica, Fig. 9).
+        """
+        cluster = obs.cluster
+        holder_dc = cluster.dc_of(obs.replicas.holder(partition))
+        existing = [
+            cluster.server(sid).label
+            for sid, _ in obs.replicas.servers_with(partition)
+        ]
+        holding = {sid for sid, _ in obs.replicas.servers_with(partition)}
+
+        neighbourhood = [holder_dc, *obs.router.wan_neighbors(holder_dc)]
+        best_sid: int | None = None
+        best_key: tuple[float, float, int] | None = None
+        for dc in neighbourhood:
+            cost = self._replication_cost(obs, holder_dc, dc)
+            for server in cluster.alive_in_dc(dc):
+                if server.sid in holding:
+                    continue
+                if not server.storage_gate_open(
+                    obs.partition_size_mb, self._params.phi
+                ):
+                    continue
+                level = min(
+                    (availability_level(server.label, lbl) for lbl in existing),
+                    default=AvailabilityLevel.DIFFERENT_DATACENTER,
+                )
+                # Maximize level; among equals minimize cost; tie by sid.
+                key = (-float(level), cost, server.sid)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_sid = server.sid
+        return best_sid
+
+    def _replication_cost(
+        self, obs: EpochObservation, src_dc: int, dst_dc: int
+    ) -> float:
+        """Eq. 1 with the configured failure rate and partition size."""
+        from ..metrics.cost import replication_cost
+
+        return replication_cost(
+            distance_km=obs.router.distance_km(src_dc, dst_dc)
+            if src_dc != dst_dc
+            else 1.0,
+            failure_rate=self._params.failure_rate,
+            size_mb=obs.partition_size_mb,
+            bandwidth_mb=obs.cluster.params.replication_bandwidth_mb,
+        )
+
+    def _rebalance_after_membership(
+        self, partition: int, obs: EpochObservation
+    ) -> Migrate | None:
+        """Migrate one replica when membership change opened a strictly
+        better availability-versus-cost slot.
+
+        Only the *worst-diversity* replica is considered, and only a
+        strict availability-level improvement triggers a move — cost
+        alone never justifies migration for this policy.
+        """
+        cluster = obs.cluster
+        holder_sid = obs.replicas.holder(partition)
+        entries = [sid for sid, _ in obs.replicas.servers_with(partition) if sid != holder_sid]
+        if not entries:
+            return None
+        labels = {
+            sid: cluster.server(sid).label
+            for sid, _ in obs.replicas.servers_with(partition)
+        }
+
+        def diversity(sid: int) -> int:
+            others = [lbl for other, lbl in labels.items() if other != sid]
+            if not others:
+                return int(AvailabilityLevel.DIFFERENT_DATACENTER)
+            return int(min(availability_level(labels[sid], lbl) for lbl in others))
+
+        worst = min(entries, key=lambda sid: (diversity(sid), sid))
+        worst_level = diversity(worst)
+        if worst_level >= int(AvailabilityLevel.DIFFERENT_DATACENTER):
+            return None  # already maximally diverse
+        target = self._best_target(partition, obs)
+        if target is None:
+            return None
+        target_label = cluster.server(target).label
+        target_level = min(
+            availability_level(target_label, lbl)
+            for other, lbl in labels.items()
+            if other != worst
+        )
+        if int(target_level) > worst_level:
+            return Migrate(partition, worst, target, reason="membership-rebalance")
+        return None

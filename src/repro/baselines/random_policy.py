@@ -1,0 +1,104 @@
+"""The random replication baseline (paper refs [4][21][22]).
+
+Dynamo "will replicate data at the N-1 clockwise successor nodes.
+Although adjacent in node ID space, these replicas are actually randomly
+chosen considering geographical location" (Section II-A).  Concretely:
+
+* **availability floor**: place copies at the partition key's clockwise
+  ring successors until ``r_min`` holds — the Dynamo rule verbatim;
+* **overload**: replicate onto a uniformly random alive server (storage
+  gate respected) — "replicas will be distributed to any other
+  datacenters with a random manner";
+* **no migration, no suicide** — the scheme is static, which is exactly
+  why Fig. 3 shows it with the lowest utilization and Fig. 4 with the
+  highest replica counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import RFHParameters
+from ..core.placement import eligible_servers
+from ..ring.partition import PartitionMapper
+from ..sim.actions import Action, Replicate
+from ..sim.observation import EpochObservation
+from .base import SmoothedSignals
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy:
+    """Static random placement: successors for safety, dice for load."""
+
+    name = "random"
+
+    def __init__(
+        self,
+        params: RFHParameters,
+        mapper: PartitionMapper,
+        rng: np.random.Generator,
+    ) -> None:
+        self._params = params
+        self._mapper = mapper
+        self._rng = rng
+        self._signals = SmoothedSignals(params)
+
+    def decide(self, obs: EpochObservation) -> list[Action]:
+        signals = self._signals.update(obs)
+        actions: list[Action] = []
+        for partition in range(obs.num_partitions):
+            if not obs.replicas.has_holder(partition):
+                continue
+            holder_sid = obs.replicas.holder(partition)
+            replica_count = obs.replicas.replica_count(partition)
+
+            if replica_count < obs.rmin:
+                target = self._next_successor(partition, obs)
+                if target is not None:
+                    actions.append(
+                        Replicate(partition, holder_sid, target, reason="successor")
+                    )
+                continue
+
+            if signals.holder_overloaded(partition, self._params.beta):
+                target = self._random_server(partition, obs)
+                if target is not None:
+                    actions.append(
+                        Replicate(partition, holder_sid, target, reason="overload")
+                    )
+        return actions
+
+    # ------------------------------------------------------------------
+    def _next_successor(self, partition: int, obs: EpochObservation) -> int | None:
+        """First clockwise successor that is alive, gated and copy-free."""
+        holding = {sid for sid, _ in obs.replicas.servers_with(partition)}
+        # Ask for enough successors to skip the ones already holding.
+        want = len(holding) + obs.rmin + 1
+        for sid in self._mapper.successor_sites(partition, want):
+            if sid in holding:
+                continue
+            server = obs.cluster.server(sid)
+            if not server.alive:
+                continue
+            if server.storage_gate_open(obs.partition_size_mb, self._params.phi):
+                return sid
+        return None
+
+    def _random_server(self, partition: int, obs: EpochObservation) -> int | None:
+        """Uniformly random eligible server anywhere in the system."""
+        holding = {sid for sid, _ in obs.replicas.servers_with(partition)}
+        candidates: list[int] = []
+        for dc in range(obs.num_datacenters):
+            candidates.extend(
+                eligible_servers(
+                    obs.cluster,
+                    dc,
+                    obs.partition_size_mb,
+                    self._params.phi,
+                    exclude=holding,
+                )
+            )
+        if not candidates:
+            return None
+        return int(candidates[int(self._rng.integers(len(candidates)))])

@@ -1,0 +1,202 @@
+"""The request-oriented baseline (paper refs [16][5], Gnutella-style).
+
+"It will choose among datacenters closest to the clients, where most of
+the queries come from ... It will randomly choose a node among the top 3
+ones to replicate on.  The migration process is started when another
+node without any replica joins in the list of the top 3" (Section II-A).
+
+Mechanics implemented:
+
+* **requester ranking** — per partition, a slowly-decaying cumulative
+  count of query origins (decay 0.99/epoch ≈ a hundred-epoch memory:
+  Gnutella-style popularity is historical, which is precisely why the
+  paper's Fig. 3(b) shows this algorithm collapsing when the flash crowd
+  moves — the ranking lags the shift and the old replicas sit unused);
+* **replication** — when the holder is overloaded (shared Eq. 12
+  signal), replicate onto a random server in a random top-3 requester
+  datacenter whose local demand exceeds its local replica capacity;
+  demand-met sites are skipped, which is what bounds the replica count
+  (Fig. 4 shows request-oriented with the fewest replicas);
+* **availability floor** — below ``r_min`` it replicates at the
+  top-ranked requester sites;
+* **migration** — a top-3 requester site without any replica pulls the
+  replica from the lowest-ranked non-top-3 site, the paper's stated
+  trigger; this is what makes request-oriented the most migration-happy
+  algorithm in Figs. 6–7;
+* **no suicide** — stale replicas linger ("the replicas of a former hot
+  partition will become a waste of resource").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import RFHParameters
+from ..core.placement import choose_random_server
+from ..sim.actions import Action, Migrate, Replicate
+from ..sim.observation import EpochObservation
+from .base import SmoothedSignals
+
+__all__ = ["RequestOrientedPolicy"]
+
+#: Per-epoch decay of the cumulative origin counts.
+ORIGIN_DECAY: float = 0.99
+
+#: Size of the requester preference list ("the top 3 ones").
+TOP_K: int = 3
+
+#: Top-3 membership hysteresis: an outside site only displaces the
+#: weakest current top-3 member when its historical demand exceeds the
+#: member's by this factor.  Under uniform origins the raw ranking is
+#: pure noise — without the margin the preference list (and with it the
+#: replica set and the migration trigger) churns every epoch; a genuine
+#: flash-crowd shift clears the margin within a few epochs of decay.
+CHALLENGER_MARGIN: float = 2.0
+
+
+class RequestOrientedPolicy:
+    """Replicate near whoever asks the most (historically)."""
+
+    name = "request"
+
+    def __init__(self, params: RFHParameters, rng: np.random.Generator) -> None:
+        self._params = params
+        self._rng = rng
+        self._signals = SmoothedSignals(params)
+        self._origin_counts: np.ndarray | None = None  # (P, D)
+        # Sticky per-partition preference lists ("the top 3 ones"); a
+        # member is only displaced by a decisively stronger challenger.
+        self._top3: dict[int, list[int]] = {}
+
+    def decide(self, obs: EpochObservation) -> list[Action]:
+        signals = self._signals.update(obs)
+        counts = obs.queries.counts.astype(np.float64)
+        if self._origin_counts is None:
+            self._origin_counts = counts.copy()
+        else:
+            self._origin_counts = ORIGIN_DECAY * self._origin_counts + counts
+
+        actions: list[Action] = []
+        for partition in range(obs.num_partitions):
+            if not obs.replicas.has_holder(partition):
+                continue
+            action = self._decide_partition(partition, obs, signals)
+            if action is not None:
+                actions.append(action)
+        return actions
+
+    # ------------------------------------------------------------------
+    def _decide_partition(self, partition, obs, signals) -> Action | None:
+        assert self._origin_counts is not None
+        holder_sid = obs.replicas.holder(partition)
+        holder_dc = obs.cluster.dc_of(holder_sid)
+        replica_count = obs.replicas.replica_count(partition)
+        top = self._sticky_top(partition)
+
+        if replica_count < obs.rmin:
+            target = self._place_at(partition, obs, top)
+            if target is not None:
+                return Replicate(partition, holder_sid, target, reason="availability")
+            return None
+
+        # Migration trigger: a top requester site with no replica pulls
+        # the replica parked at the least-requesting outside site.
+        layout = obs.replicas.replicas_by_dc(partition)
+        empty_top = [dc for dc in top if dc not in layout]
+        outside = [
+            dc for dc in layout if dc not in top and dc != holder_dc
+        ]
+        if empty_top and outside:
+            src_dc = min(
+                outside, key=lambda dc: (self._origin_counts[partition, dc], dc)
+            )
+            dst_dc = empty_top[0]
+            src_sid = layout[src_dc][0][0]
+            if src_sid != holder_sid:
+                target = choose_random_server(
+                    obs.cluster,
+                    dst_dc,
+                    self._rng,
+                    obs.partition_size_mb,
+                    self._params.phi,
+                    exclude=[sid for sid, _ in obs.replicas.servers_with(partition)],
+                )
+                if target is not None:
+                    return Migrate(partition, src_sid, target, reason="top3-change")
+
+        if signals.holder_overloaded(partition, self._params.beta):
+            unmet = [
+                dc
+                for dc in top
+                if self._demand(partition, dc) > self._local_capacity(partition, obs, dc)
+            ]
+            if unmet:
+                target = self._place_at(partition, obs, unmet)
+                if target is not None:
+                    return Replicate(partition, holder_sid, target, reason="demand")
+        return None
+
+    # ------------------------------------------------------------------
+    def _sticky_top(self, partition: int) -> list[int]:
+        """The partition's top-3 requester list, with hysteresis.
+
+        The list initialises to the current count ranking; afterwards at
+        most one member per epoch is displaced, and only by a challenger
+        whose decayed demand beats the weakest member's by
+        :data:`CHALLENGER_MARGIN` — this is "another node ... joins in
+        the list of the top 3", debounced against ranking noise.
+        """
+        assert self._origin_counts is not None
+        row = self._origin_counts[partition]
+        ranking = sorted(range(row.size), key=lambda dc: (-row[dc], dc))
+        current = self._top3.get(partition)
+        if current is None:
+            current = ranking[:TOP_K]
+            self._top3[partition] = current
+            return list(current)
+        outsiders = [dc for dc in ranking if dc not in current]
+        if outsiders:
+            challenger = outsiders[0]
+            weakest = min(current, key=lambda dc: (row[dc], dc))
+            if row[challenger] >= CHALLENGER_MARGIN * max(row[weakest], 1e-12):
+                current[current.index(weakest)] = challenger
+        return list(current)
+
+    def _demand(self, partition: int, dc: int) -> float:
+        """Recent per-epoch demand at ``dc``: decayed count normalised to
+        a per-epoch rate (a decay of ρ keeps ≈ 1/(1−ρ) epochs of history)."""
+        assert self._origin_counts is not None
+        return float(self._origin_counts[partition, dc]) * (1.0 - ORIGIN_DECAY)
+
+    def _local_capacity(self, partition: int, obs: EpochObservation, dc: int) -> float:
+        """Per-epoch service capacity of the partition's replicas in ``dc``."""
+        layout = obs.replicas.replicas_by_dc(partition)
+        total = 0.0
+        for sid, count in layout.get(dc, ()):
+            server = obs.cluster.server(sid)
+            if server.alive:
+                total += count * server.replica_capacity
+        return total
+
+    def _place_at(
+        self, partition: int, obs: EpochObservation, dcs: list[int]
+    ) -> int | None:
+        """Random server in a random candidate datacenter (paper: "randomly
+        choose a node among the top 3 ones")."""
+        if not dcs:
+            return None
+        holding = [sid for sid, _ in obs.replicas.servers_with(partition)]
+        order = list(dcs)
+        self._rng.shuffle(order)
+        for dc in order:
+            target = choose_random_server(
+                obs.cluster,
+                dc,
+                self._rng,
+                obs.partition_size_mb,
+                self._params.phi,
+                exclude=holding,
+            )
+            if target is not None:
+                return target
+        return None

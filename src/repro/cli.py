@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the workflows a user reaches for first:
+
+* ``run``     — one policy, one scenario, headline metrics (optionally
+  exported to CSV/JSON);
+* ``compare`` — all four algorithms on one shared trace, as a table;
+* ``figures`` — regenerate the paper's figures and report shape checks;
+* ``sla``     — the introduction's 300 ms SLA scoreboard.
+
+Examples::
+
+    python -m repro run --policy rfh --epochs 200 --seed 7
+    python -m repro compare --scenario flash --epochs 400
+    python -m repro figures --only fig3 fig10
+    python -m repro sla --epochs 250 --csv out.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .config import SimulationConfig, WorkloadParameters
+from .experiments.comparison import POLICIES, compare_policies
+from .experiments.runner import run_experiment
+from .experiments.scenarios import (
+    Scenario,
+    failure_recovery_scenario,
+    flash_crowd_scenario,
+    random_query_scenario,
+)
+
+__all__ = ["main", "build_parser"]
+
+_SCENARIOS = {
+    "random": random_query_scenario,
+    "flash": flash_crowd_scenario,
+    "failure": failure_recovery_scenario,
+}
+
+_HEADLINE = (
+    ("utilization", "{:.3f}"),
+    ("total_replicas", "{:.0f}"),
+    ("path_length", "{:.2f}"),
+    ("load_imbalance", "{:.2f}"),
+    ("unserved", "{:.1f}"),
+    ("sla_attainment", "{:.4f}"),
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RFH replication-algorithm reproduction (ICPP 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=42, help="root RNG seed")
+        p.add_argument("--epochs", type=int, default=250, help="epochs to simulate")
+        p.add_argument(
+            "--partitions", type=int, default=64, help="number of data partitions"
+        )
+        p.add_argument(
+            "--rate", type=float, default=300.0, help="Poisson queries per epoch"
+        )
+        p.add_argument(
+            "--scenario",
+            choices=sorted(_SCENARIOS),
+            default="random",
+            help="workload scenario",
+        )
+
+    run_p = sub.add_parser("run", help="run one policy and print headline metrics")
+    common(run_p)
+    run_p.add_argument(
+        "--policy", choices=sorted(POLICIES), default="rfh", help="algorithm to run"
+    )
+    run_p.add_argument("--csv", help="export the metric series to this CSV file")
+    run_p.add_argument("--json", help="export the metric series to this JSON file")
+
+    cmp_p = sub.add_parser("compare", help="run all four algorithms on one trace")
+    common(cmp_p)
+
+    fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
+    fig_p.add_argument("--seed", type=int, default=7)
+    fig_p.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        metavar="FIG",
+        help="subset, e.g. --only fig3 fig10 (default: all)",
+    )
+
+    sla_p = sub.add_parser("sla", help="SLA-attainment scoreboard (Section I)")
+    common(sla_p)
+    sla_p.add_argument("--csv", help="export the rfh run's series to CSV")
+
+    return parser
+
+
+def _config(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        seed=args.seed,
+        workload=WorkloadParameters(
+            queries_per_epoch_mean=args.rate, num_partitions=args.partitions
+        ),
+    )
+
+
+def _scenario(args: argparse.Namespace) -> Scenario:
+    return _SCENARIOS[args.scenario](_config(args), epochs=args.epochs)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    result = run_experiment(args.policy, scenario)
+    print(f"policy={args.policy} scenario={scenario.name} epochs={args.epochs}")
+    for name, fmt in _HEADLINE:
+        print(f"  {name:<18} {fmt.format(result.steady(name))}")
+    print(f"  {'replication_cost':<18} {result.series('replication_cost').sum():.1f}")
+    print(f"  {'migrations':<18} {result.series('migration_count').sum():.0f}")
+    if args.csv:
+        from .metrics.export import to_csv
+
+        to_csv(result.metrics, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        from .metrics.export import to_json
+
+        to_json(result.metrics, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    cmp = compare_policies(scenario)
+    header = f"{'policy':>9} | " + " ".join(f"{name:>16}" for name, _ in _HEADLINE)
+    print(f"scenario={scenario.name} epochs={args.epochs} seed={args.seed}")
+    print(header)
+    print("-" * len(header))
+    for policy in cmp.policies():
+        res = cmp[policy]
+        cells = " ".join(
+            f"{fmt.format(res.steady(name)):>16}" for name, fmt in _HEADLINE
+        )
+        print(f"{policy:>9} | {cells}")
+    print("\nutilization ranking:", " > ".join(cmp.ranking("utilization")))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .experiments import figures as fig_mod
+    from .experiments.report import render_figure
+
+    registry = {
+        "fig3": fig_mod.fig3_utilization,
+        "fig4": fig_mod.fig4_replica_number,
+        "fig5": fig_mod.fig5_replication_cost,
+        "fig6": fig_mod.fig6_migration_times,
+        "fig7": fig_mod.fig7_migration_cost,
+        "fig8": fig_mod.fig8_load_imbalance,
+        "fig9": fig_mod.fig9_path_length,
+        "fig10": fig_mod.fig10_failure_recovery,
+    }
+    selected = args.only if args.only else sorted(registry)
+    unknown = [name for name in selected if name not in registry]
+    if unknown:
+        print(f"unknown figures: {unknown}; have {sorted(registry)}", file=sys.stderr)
+        return 2
+    config = SimulationConfig(seed=args.seed)
+    failures = 0
+    for name in selected:
+        result = registry[name](config)  # only the requested figures run
+        print(render_figure(result))
+        failures += len(result.failed_checks())
+    print(f"{'OK' if failures == 0 else 'FAILED'}: {failures} shape checks failed")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_sla(args: argparse.Namespace) -> int:
+    from .experiments.sla import sla_comparison
+
+    result = sla_comparison(_config(args), epochs=args.epochs)
+    print(f"{'policy':>9} {'attainment':>11} {'latency ms':>11} {'replicas':>9}")
+    for policy in result.attainment:
+        print(
+            f"{policy:>9} {result.attainment[policy]:>11.4f} "
+            f"{result.latency_ms[policy]:>11.1f} {result.replicas[policy]:>9.0f}"
+        )
+    for name, ok in result.checks.items():
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    return 0 if result.passed else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    commands = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "figures": _cmd_figures,
+        "sla": _cmd_sla,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

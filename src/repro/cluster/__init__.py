@@ -1,0 +1,22 @@
+"""Physical cluster substrate (paper Section III-A).
+
+Servers with heterogeneous storage / processing / bandwidth capacities,
+organised as datacenter → room → rack → server per Table I, plus replica
+placement state and failure/recovery helpers:
+
+* :mod:`repro.cluster.server` — one physical server;
+* :mod:`repro.cluster.datacenter` — a datacenter's server grouping;
+* :mod:`repro.cluster.cluster` — the whole deployment with deterministic
+  capacity draws and membership mutation (join / fail / recover);
+* :mod:`repro.cluster.replicas` — the authoritative replica-placement
+  map with storage accounting;
+* :mod:`repro.cluster.failure` — failure-injection helpers.
+"""
+
+from .cluster import Cluster
+from .datacenter import Datacenter
+from .failure import FailureInjector
+from .replicas import ReplicaMap
+from .server import Server
+
+__all__ = ["Server", "Datacenter", "Cluster", "ReplicaMap", "FailureInjector"]

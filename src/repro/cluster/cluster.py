@@ -1,0 +1,193 @@
+"""The full physical deployment.
+
+Builds every server from a :class:`~repro.config.ClusterParameters`
+(Table I defaults: 10 datacenters x 1 room x 2 racks x 5 servers = 100
+servers) with deterministic, seeded heterogeneous capacity draws, and
+owns membership mutation: server join, failure and recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ClusterParameters
+from ..errors import SimulationError, TopologyError
+from ..geo.hierarchy import GeoHierarchy
+from .datacenter import Datacenter
+from .server import Server
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """All physical servers of the deployment, grouped by datacenter.
+
+    Parameters
+    ----------
+    hierarchy:
+        The datacenter sites (usually
+        :func:`repro.geo.build_default_hierarchy`).
+    params:
+        Shape and capacity parameters (Table I defaults).
+    rng:
+        Seeded stream for the heterogeneous capacity draws ("for every
+        server, their capacities are different from each other").
+    """
+
+    def __init__(
+        self,
+        hierarchy: GeoHierarchy,
+        params: ClusterParameters,
+        rng: np.random.Generator,
+    ) -> None:
+        self._hierarchy = hierarchy
+        self._params = params
+        self._rng = rng
+        self._servers: list[Server] = []
+        self._datacenters: list[Datacenter] = []
+        for site in hierarchy.sites:
+            dc_servers: list[Server] = []
+            for room in range(params.rooms_per_datacenter):
+                for rack in range(params.racks_per_room):
+                    for slot in range(params.servers_per_rack):
+                        server = self._make_server(site.index, room, rack, slot)
+                        dc_servers.append(server)
+            self._datacenters.append(Datacenter(site, dc_servers))
+
+    def _make_server(self, dc_index: int, room: int, rack: int, slot: int) -> Server:
+        params = self._params
+        jitter = params.capacity_jitter
+        # Uniform draw in [mean*(1-jitter), mean*(1+jitter)]; consumed in
+        # construction order so the cluster is a pure function of the seed.
+        factor = 1.0 + jitter * float(self._rng.uniform(-1.0, 1.0))
+        server = Server(
+            sid=len(self._servers),
+            dc=dc_index,
+            label=self._hierarchy.server_label(dc_index, room, rack, slot),
+            storage_capacity_mb=params.storage_capacity_mb,
+            replica_capacity=params.replica_capacity_mean * factor,
+            replication_bandwidth_mb=params.replication_bandwidth_mb,
+            migration_bandwidth_mb=params.migration_bandwidth_mb,
+            service_slots=params.service_slots,
+        )
+        self._servers.append(server)
+        return server
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def hierarchy(self) -> GeoHierarchy:
+        """The geographic hierarchy this cluster was built on."""
+        return self._hierarchy
+
+    @property
+    def params(self) -> ClusterParameters:
+        """The construction parameters."""
+        return self._params
+
+    @property
+    def num_servers(self) -> int:
+        """Total servers ever created (alive or failed)."""
+        return len(self._servers)
+
+    @property
+    def num_datacenters(self) -> int:
+        return len(self._datacenters)
+
+    @property
+    def servers(self) -> tuple[Server, ...]:
+        """All servers in sid order."""
+        return tuple(self._servers)
+
+    def server(self, sid: int) -> Server:
+        """Server by global id; raises :class:`TopologyError` if unknown."""
+        if not 0 <= sid < len(self._servers):
+            raise TopologyError(f"unknown server id: {sid}")
+        return self._servers[sid]
+
+    def datacenter(self, index: int) -> Datacenter:
+        """Datacenter by index."""
+        if not 0 <= index < len(self._datacenters):
+            raise TopologyError(f"unknown datacenter index: {index}")
+        return self._datacenters[index]
+
+    @property
+    def datacenters(self) -> tuple[Datacenter, ...]:
+        return tuple(self._datacenters)
+
+    def alive_servers(self) -> tuple[Server, ...]:
+        """All currently-up servers in sid order."""
+        return tuple(s for s in self._servers if s.alive)
+
+    def alive_server_ids(self) -> tuple[int, ...]:
+        """Ids of currently-up servers, ascending."""
+        return tuple(s.sid for s in self._servers if s.alive)
+
+    def alive_in_dc(self, dc_index: int) -> tuple[Server, ...]:
+        """Currently-up servers inside one datacenter."""
+        return self.datacenter(dc_index).alive_servers()
+
+    def dc_of(self, sid: int) -> int:
+        """Datacenter index of a server."""
+        return self.server(sid).dc
+
+    # ------------------------------------------------------------------
+    # Epoch bookkeeping
+    # ------------------------------------------------------------------
+    def reset_epoch_budgets(self) -> None:
+        """Refill every alive server's bandwidth budgets (epoch boundary)."""
+        for server in self._servers:
+            if server.alive:
+                server.reset_epoch_budgets()
+
+    # ------------------------------------------------------------------
+    # Membership mutation
+    # ------------------------------------------------------------------
+    def fail_server(self, sid: int) -> None:
+        """Take one server down (its disk contents are lost)."""
+        server = self.server(sid)
+        if not server.alive:
+            raise SimulationError(f"server {sid} is already down")
+        server.fail()
+
+    def recover_server(self, sid: int) -> None:
+        """Bring a failed server back, empty."""
+        self.server(sid).recover()
+
+    def join_server(self, dc_index: int) -> Server:
+        """Add a brand-new server to a datacenter (paper: "to allow
+        physical nodes freely join or depart the system is another goal").
+
+        The new server gets the next free sid and a label in a synthetic
+        expansion rack; its capacities are drawn from the same stream as
+        construction-time servers.
+        """
+        dc = self.datacenter(dc_index)
+        slot = len(dc.servers)  # unique per-DC slot for the label
+        params = self._params
+        factor = 1.0 + params.capacity_jitter * float(self._rng.uniform(-1.0, 1.0))
+        server = Server(
+            sid=len(self._servers),
+            dc=dc_index,
+            label=self._hierarchy.server_label(
+                dc_index,
+                room=params.rooms_per_datacenter,  # expansion room index
+                rack=0,
+                server=slot,
+            ),
+            storage_capacity_mb=params.storage_capacity_mb,
+            replica_capacity=params.replica_capacity_mean * factor,
+            replication_bandwidth_mb=params.replication_bandwidth_mb,
+            migration_bandwidth_mb=params.migration_bandwidth_mb,
+            service_slots=params.service_slots,
+        )
+        self._servers.append(server)
+        dc.add_server(server)
+        return server
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(datacenters={self.num_datacenters}, servers={self.num_servers}, "
+            f"alive={len(self.alive_servers())})"
+        )

@@ -1,0 +1,78 @@
+"""A datacenter: the grouping of servers at one site.
+
+The paper's placement decisions are two-level: the algorithm first picks
+a *datacenter* (the traffic hub / owner neighbour / requester site), then
+a *server inside it* (lowest blocking probability, Eq. 18, subject to the
+storage gate of Eq. 19).  :class:`Datacenter` provides the inside-a-site
+queries that the second step needs.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from ..geo.hierarchy import DatacenterSite
+from .server import Server
+
+__all__ = ["Datacenter"]
+
+
+class Datacenter:
+    """Servers co-located at one :class:`~repro.geo.hierarchy.DatacenterSite`."""
+
+    def __init__(self, site: DatacenterSite, servers: list[Server]) -> None:
+        for server in servers:
+            if server.dc != site.index:
+                raise TopologyError(
+                    f"server {server.sid} belongs to DC {server.dc}, not {site.index}"
+                )
+        self._site = site
+        self._servers = list(servers)
+
+    @property
+    def site(self) -> DatacenterSite:
+        """The geographic site of this datacenter."""
+        return self._site
+
+    @property
+    def index(self) -> int:
+        """Datacenter index (== ``site.index``)."""
+        return self._site.index
+
+    @property
+    def name(self) -> str:
+        """Letter name (``"A"``..)."""
+        return self._site.name
+
+    @property
+    def servers(self) -> tuple[Server, ...]:
+        """All servers ever placed here, in sid order (including failed)."""
+        return tuple(self._servers)
+
+    def alive_servers(self) -> tuple[Server, ...]:
+        """Currently-up servers in sid order."""
+        return tuple(s for s in self._servers if s.alive)
+
+    @property
+    def num_alive(self) -> int:
+        """Number of currently-up servers."""
+        return sum(1 for s in self._servers if s.alive)
+
+    def total_replica_capacity(self) -> float:
+        """Sum of per-replica capacities over alive servers.
+
+        An upper bound on per-partition service this site could offer if
+        each alive server hosted one replica.
+        """
+        return sum(s.replica_capacity for s in self._servers if s.alive)
+
+    def add_server(self, server: Server) -> None:
+        """Attach a newly-joined server (keeps sid ordering)."""
+        if server.dc != self._site.index:
+            raise TopologyError(
+                f"server {server.sid} belongs to DC {server.dc}, not {self._site.index}"
+            )
+        self._servers.append(server)
+        self._servers.sort(key=lambda s: s.sid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Datacenter({self.name}, servers={len(self._servers)}, alive={self.num_alive})"

@@ -1,0 +1,65 @@
+"""Failure injection helpers (paper Section III-G, Fig. 10).
+
+"Node failure is very common in Cloud storage system ... 30 servers are
+randomly removed at epoch 290, resulting in a sharp decrease of replicas
+number."
+
+:class:`FailureInjector` picks victims deterministically from a seeded
+stream and applies the failure to cluster + replica map in one step, so
+engine code and tests share identical semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .cluster import Cluster
+from .replicas import ReplicaMap
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Deterministic random failures and recoveries."""
+
+    def __init__(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        self._cluster = cluster
+        self._rng = rng
+
+    def choose_victims(self, count: int) -> tuple[int, ...]:
+        """Pick ``count`` distinct alive servers uniformly at random."""
+        alive = list(self._cluster.alive_server_ids())
+        if count > len(alive):
+            raise SimulationError(
+                f"cannot fail {count} servers, only {len(alive)} are alive"
+            )
+        if count < 0:
+            raise SimulationError(f"count must be >= 0, got {count}")
+        picks = self._rng.choice(len(alive), size=count, replace=False)
+        return tuple(sorted(alive[int(i)] for i in picks))
+
+    def fail(self, replica_map: ReplicaMap, sids: tuple[int, ...]) -> dict[int, tuple[int, ...]]:
+        """Fail each server in ``sids``; returns ``{sid: affected partitions}``.
+
+        Copies on the failed servers are dropped from the replica map and
+        orphaned partitions get their holder re-pointed (or cleared when
+        every copy is gone — the engine's availability branch restores
+        those next epoch, which is exactly Fig. 10's recovery dynamic).
+        """
+        affected: dict[int, tuple[int, ...]] = {}
+        for sid in sids:
+            self._cluster.fail_server(sid)
+            affected[sid] = replica_map.drop_server(sid)
+        return affected
+
+    def fail_random(
+        self, replica_map: ReplicaMap, count: int
+    ) -> dict[int, tuple[int, ...]]:
+        """Fail ``count`` random alive servers (Fig. 10's mass failure)."""
+        return self.fail(replica_map, self.choose_victims(count))
+
+    def recover(self, sids: tuple[int, ...]) -> None:
+        """Bring previously-failed servers back up, empty."""
+        for sid in sids:
+            self._cluster.recover_server(sid)

@@ -1,0 +1,206 @@
+"""Simulation configuration: Table I of the paper, as frozen dataclasses.
+
+The paper's evaluation (Section III-A, Table I) fixes the environment and
+the RFH control parameters.  This module captures every one of those knobs
+in three immutable dataclasses plus a composite :class:`SimulationConfig`:
+
+* :class:`RFHParameters` — the algorithm constants ``alpha``..``mu`` plus
+  the availability floor and the storage gate ``phi`` (Eq. 19).
+* :class:`ClusterParameters` — datacenter/room/rack/server shape and the
+  per-server capacity draws.
+* :class:`WorkloadParameters` — Poisson arrival rate, partition count and
+  size, and the Zipf skew used for partition popularity.
+
+All values default to Table I.  Validation happens eagerly in
+``__post_init__`` so an out-of-range parameter raises
+:class:`~repro.errors.ConfigurationError` before any simulation starts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "RFHParameters",
+    "ClusterParameters",
+    "WorkloadParameters",
+    "SimulationConfig",
+    "DEFAULT_EPOCH_SECONDS",
+]
+
+#: Length of one simulation epoch in seconds (Table I: "Epoch  10 seconds").
+DEFAULT_EPOCH_SECONDS: float = 10.0
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class RFHParameters:
+    """Control constants of the RFH algorithm (Table I, Eqs. 10-19).
+
+    Attributes
+    ----------
+    alpha:
+        EWMA smoothing factor of Eqs. (10)/(11).  The paper's update is
+        ``x_t = alpha * x_{t-1} + (1 - alpha) * x_t_raw`` so *smaller*
+        alpha reacts *faster*.
+    beta:
+        Holder-overload multiplier of Eq. (12): the primary partition
+        holder is overloaded when its traffic exceeds ``beta`` times the
+        smoothed system-average query rate.
+    gamma:
+        Traffic-hub multiplier of Eq. (13): a forwarding node whose
+        traffic exceeds ``gamma`` times the average query rate marks
+        itself as a traffic hub and volunteers for replication.
+    delta:
+        Suicide multiplier of Eq. (15): a replica whose traffic falls
+        below ``delta`` times the average query rate offers to remove
+        itself (subject to the availability floor).
+    mu:
+        Migration-benefit multiplier of Eq. (16): migrate a replica from
+        node *k* to hub *j* only when ``tr_j - tr_k >= mu * mean(tr)``.
+    phi:
+        Storage gate of Eq. (19): a server whose storage utilisation is
+        at or above ``phi`` refuses replication/migration requests.
+    failure_rate:
+        Per-replica failure probability ``f`` used by the availability
+        bound (Eq. 14) and by the replication-cost formula (Eq. 1).
+    min_availability:
+        Expected availability floor ``A_expect`` of Eq. (14).
+    hub_fanout:
+        The holder chooses among this many top-traffic hubs ("it will
+        choose a node among the 3 nodes with the largest amount of
+        traffic", Section II-E).
+    """
+
+    alpha: float = 0.2
+    beta: float = 2.0
+    gamma: float = 1.5
+    delta: float = 0.2
+    mu: float = 1.0
+    phi: float = 0.70
+    failure_rate: float = 0.1
+    min_availability: float = 0.8
+    hub_fanout: int = 3
+
+    def __post_init__(self) -> None:
+        _require(0.0 < self.alpha < 1.0, f"alpha must be in (0, 1), got {self.alpha}")
+        _require(self.beta > 1.0, f"beta must be > 1, got {self.beta}")
+        _require(self.gamma > 1.0, f"gamma must be > 1, got {self.gamma}")
+        _require(0.0 < self.delta < 1.0, f"delta must be in (0, 1), got {self.delta}")
+        _require(self.mu > 0.0, f"mu must be > 0, got {self.mu}")
+        _require(0.0 < self.phi <= 1.0, f"phi must be in (0, 1], got {self.phi}")
+        _require(
+            0.0 < self.failure_rate < 1.0,
+            f"failure_rate must be in (0, 1), got {self.failure_rate}",
+        )
+        _require(
+            0.0 < self.min_availability < 1.0,
+            f"min_availability must be in (0, 1), got {self.min_availability}",
+        )
+        _require(self.hub_fanout >= 1, f"hub_fanout must be >= 1, got {self.hub_fanout}")
+
+
+@dataclass(frozen=True)
+class ClusterParameters:
+    """Shape and capacity of the physical substrate (Table I, Section III-A).
+
+    The paper: "Initially, each datacenter contains one room and there are
+    two racks in each room.  For each rack, it consists of 5 servers ...
+    for every server, their capacities are different from each other."
+
+    Heterogeneity is modelled as a uniform draw in
+    ``[base * (1 - jitter), base * (1 + jitter)]`` from a seeded stream, so
+    identical seeds give identical clusters.
+    """
+
+    rooms_per_datacenter: int = 1
+    racks_per_room: int = 2
+    servers_per_rack: int = 5
+    #: Maximum server storage capacity (Table I: 10 GB), in megabytes.
+    storage_capacity_mb: float = 10_240.0
+    #: Replication bandwidth per server (Table I: 300 MB/epoch).
+    replication_bandwidth_mb: float = 300.0
+    #: Migration bandwidth per server (Table I: 100 MB/epoch).
+    migration_bandwidth_mb: float = 100.0
+    #: Mean per-replica processing capacity in queries/epoch.  The paper
+    #: only says servers have "a fixed ... processing capacity to serve a
+    #: certain number of queries in each epoch"; the default is calibrated
+    #: so the default workload saturates at roughly the paper's replica
+    #: counts (~4 replicas/partition for RFH, see DESIGN.md).
+    replica_capacity_mean: float = 2.0
+    #: Relative half-width of the uniform capacity jitter.
+    capacity_jitter: float = 0.5
+    #: Concurrent service slots per server, used by the M/G/c blocking
+    #: probability model (Eq. 18).
+    service_slots: int = 8
+
+    def __post_init__(self) -> None:
+        _require(self.rooms_per_datacenter >= 1, "rooms_per_datacenter must be >= 1")
+        _require(self.racks_per_room >= 1, "racks_per_room must be >= 1")
+        _require(self.servers_per_rack >= 1, "servers_per_rack must be >= 1")
+        _require(self.storage_capacity_mb > 0, "storage_capacity_mb must be > 0")
+        _require(self.replication_bandwidth_mb > 0, "replication_bandwidth_mb must be > 0")
+        _require(self.migration_bandwidth_mb > 0, "migration_bandwidth_mb must be > 0")
+        _require(self.replica_capacity_mean > 0, "replica_capacity_mean must be > 0")
+        _require(
+            0.0 <= self.capacity_jitter < 1.0,
+            f"capacity_jitter must be in [0, 1), got {self.capacity_jitter}",
+        )
+        _require(self.service_slots >= 1, "service_slots must be >= 1")
+
+    @property
+    def servers_per_datacenter(self) -> int:
+        """Number of servers hosted by one datacenter."""
+        return self.rooms_per_datacenter * self.racks_per_room * self.servers_per_rack
+
+
+@dataclass(frozen=True)
+class WorkloadParameters:
+    """Query-workload knobs (Table I).
+
+    ``queries_per_epoch_mean`` is the Poisson mean λ; partition popularity
+    follows a truncated Zipf with exponent ``zipf_exponent`` ("a hot
+    partition, which is frequently requested", Section II-A).
+    """
+
+    queries_per_epoch_mean: float = 300.0
+    num_partitions: int = 64
+    partition_size_mb: float = 0.5  # 512 KB
+    zipf_exponent: float = 0.9
+
+    def __post_init__(self) -> None:
+        _require(self.queries_per_epoch_mean > 0, "queries_per_epoch_mean must be > 0")
+        _require(self.num_partitions >= 1, "num_partitions must be >= 1")
+        _require(self.partition_size_mb > 0, "partition_size_mb must be > 0")
+        _require(self.zipf_exponent >= 0, "zipf_exponent must be >= 0")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Composite, immutable configuration for a full simulation run."""
+
+    rfh: RFHParameters = field(default_factory=RFHParameters)
+    cluster: ClusterParameters = field(default_factory=ClusterParameters)
+    workload: WorkloadParameters = field(default_factory=WorkloadParameters)
+    epoch_seconds: float = DEFAULT_EPOCH_SECONDS
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        _require(self.epoch_seconds > 0, "epoch_seconds must be > 0")
+        _require(self.seed >= 0, "seed must be >= 0")
+
+    def replace(self, **overrides: object) -> "SimulationConfig":
+        """Return a copy with top-level fields replaced.
+
+        Nested parameter groups can be replaced wholesale, e.g.::
+
+            cfg.replace(rfh=RFHParameters(alpha=0.5))
+        """
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]

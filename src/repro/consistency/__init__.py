@@ -1,0 +1,23 @@
+"""Replica-consistency tracking (the paper's stated future work).
+
+Section V: "As a future work, we will further study the effectiveness
+of RFH in real business cases and plan to focus on the research of
+consistency maintenance."  The evaluation itself treats consistency as
+out of scope ("maintaining data consistency is not the focus of this
+work"), so nothing here changes any reproduced figure — the tracker is
+an *optional* engine extension that measures what a placement algorithm
+does to update propagation:
+
+* how stale replicas get under write load (version lag),
+* what fraction of reads hit stale replicas,
+* how much propagation traffic keeping them fresh costs.
+
+The interesting systems question it answers: RFH's suicide/migration
+churn creates and destroys replicas — does that help consistency (fresh
+copies are created synced) or hurt it (propagation work is wasted on
+copies that die)?  See ``examples/consistency_study.py``.
+"""
+
+from .tracker import ConsistencyConfig, ConsistencySummary, ConsistencyTracker
+
+__all__ = ["ConsistencyConfig", "ConsistencySummary", "ConsistencyTracker"]

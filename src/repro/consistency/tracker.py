@@ -1,0 +1,237 @@
+"""Version-vector consistency tracking over the replica map.
+
+Model
+-----
+Each partition carries an integer *version*, bumped once per write.
+Every replica records the version it last synchronised to.  Writes land
+at the primary holder (it is always current); propagation is lazy
+anti-entropy: once per epoch the holder pushes the latest version to up
+to ``fanout`` of its stalest replicas (``fanout=None`` = eager, all
+replicas every epoch), paying the Eq. 1 transfer cost per push.
+
+Write arrivals are tied to read demand: each epoch a partition receives
+``Binomial(queries_i, write_ratio)`` writes, so hot partitions are
+write-hot too — the classic correlated read/write skew.
+
+Replica lifecycle needs no engine hooks: :meth:`ConsistencyTracker.observe`
+reconciles against the replica map each epoch.  Replicas that appear are
+*fresh copies* of the current state (a replication/migration transfers
+current bytes); replicas that disappear are forgotten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.replicas import ReplicaMap
+from ..errors import ConfigurationError
+from ..metrics.cost import replication_cost
+from ..net.coordinates import INTRA_DATACENTER_KM
+from ..net.routing import Router
+
+__all__ = ["ConsistencyConfig", "ConsistencySummary", "ConsistencyTracker"]
+
+
+@dataclass(frozen=True)
+class ConsistencyConfig:
+    """Knobs of the consistency model.
+
+    Attributes
+    ----------
+    write_ratio:
+        Probability that a query has an accompanying write (writes are
+        drawn per-partition as ``Binomial(queries, write_ratio)``).
+    fanout:
+        Replicas the holder refreshes per partition per epoch;
+        ``None`` means eager propagation (every stale replica, every
+        epoch).
+    """
+
+    write_ratio: float = 0.1
+    fanout: int | None = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ConfigurationError(
+                f"write_ratio must be in [0, 1], got {self.write_ratio}"
+            )
+        if self.fanout is not None and self.fanout < 1:
+            raise ConfigurationError(f"fanout must be >= 1 or None, got {self.fanout}")
+
+
+@dataclass(frozen=True)
+class ConsistencySummary:
+    """One epoch's consistency roll-up."""
+
+    #: Writes applied this epoch (all partitions).
+    writes: float
+    #: Version-refresh transfers pushed this epoch.
+    propagation_transfers: float
+    #: Eq. 1 cost of those transfers.
+    propagation_cost: float
+    #: Mean version lag over all non-holder replicas (0 = all current).
+    mean_staleness: float
+    #: Fraction of replicas that are behind the partition version.
+    stale_replica_fraction: float
+    #: Fraction of served reads answered by a stale replica.
+    stale_read_fraction: float
+
+
+class ConsistencyTracker:
+    """Tracks versions, propagates updates, and scores staleness."""
+
+    def __init__(
+        self,
+        config: ConsistencyConfig,
+        rng: np.random.Generator,
+        partition_size_mb: float,
+        failure_rate: float,
+        replication_bandwidth_mb: float,
+    ) -> None:
+        self._config = config
+        self._rng = rng
+        self._size_mb = partition_size_mb
+        self._failure_rate = failure_rate
+        self._bandwidth = replication_bandwidth_mb
+        self._version: dict[int, int] = {}
+        # (partition, sid) -> version last synced.
+        self._replica_version: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ConsistencyConfig:
+        return self._config
+
+    def version(self, partition: int) -> int:
+        """Current committed version of a partition."""
+        return self._version.get(partition, 0)
+
+    def replica_version(self, partition: int, sid: int) -> int | None:
+        """Version a replica last synced, or None if untracked."""
+        return self._replica_version.get((partition, sid))
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        queries_per_partition: np.ndarray,
+        served_server: np.ndarray,
+        replicas: ReplicaMap,
+        cluster: Cluster,
+        router: Router,
+    ) -> ConsistencySummary:
+        """Advance the consistency model one epoch.
+
+        Order of operations matters and mirrors a real epoch: membership
+        reconciliation (copies made this epoch are fresh), then write
+        arrivals, then one round of anti-entropy, then scoring.
+        """
+        self._reconcile(replicas)
+        writes = self._apply_writes(queries_per_partition)
+        transfers, cost = self._propagate(replicas, cluster, router)
+        return self._score(writes, transfers, cost, served_server, replicas)
+
+    # ------------------------------------------------------------------
+    def _reconcile(self, replicas: ReplicaMap) -> None:
+        live: set[tuple[int, int]] = set()
+        for partition in range(replicas.num_partitions):
+            if not replicas.has_holder(partition):
+                continue
+            current = self._version.setdefault(partition, 0)
+            for sid, _count in replicas.servers_with(partition):
+                key = (partition, sid)
+                live.add(key)
+                # A newly-seen copy was just transferred: it is current.
+                self._replica_version.setdefault(key, current)
+        for key in [k for k in self._replica_version if k not in live]:
+            del self._replica_version[key]
+
+    def _apply_writes(self, queries_per_partition: np.ndarray) -> float:
+        ratio = self._config.write_ratio
+        if ratio == 0.0:
+            return 0.0
+        total = 0
+        for partition, q in enumerate(queries_per_partition):
+            if q <= 0:
+                continue
+            w = int(self._rng.binomial(int(q), ratio))
+            if w > 0:
+                self._version[partition] = self._version.get(partition, 0) + w
+                total += w
+        return float(total)
+
+    def _propagate(
+        self, replicas: ReplicaMap, cluster: Cluster, router: Router
+    ) -> tuple[float, float]:
+        fanout = self._config.fanout
+        transfers = 0.0
+        cost = 0.0
+        for partition in range(replicas.num_partitions):
+            if not replicas.has_holder(partition):
+                continue
+            current = self._version.get(partition, 0)
+            holder = replicas.holder(partition)
+            self._replica_version[(partition, holder)] = current  # holder is current
+            stale = [
+                (sid, self._replica_version[(partition, sid)])
+                for sid, _ in replicas.servers_with(partition)
+                if sid != holder and self._replica_version[(partition, sid)] < current
+            ]
+            if not stale:
+                continue
+            # Stalest first, sid tie-break: the holder triages refreshes.
+            stale.sort(key=lambda item: (item[1], item[0]))
+            budget = len(stale) if fanout is None else min(fanout, len(stale))
+            holder_dc = cluster.dc_of(holder)
+            for sid, _old in stale[:budget]:
+                self._replica_version[(partition, sid)] = current
+                dst_dc = cluster.dc_of(sid)
+                distance = (
+                    INTRA_DATACENTER_KM
+                    if dst_dc == holder_dc
+                    else router.distance_km(holder_dc, dst_dc)
+                )
+                transfers += 1.0
+                cost += replication_cost(
+                    distance, self._failure_rate, self._size_mb, self._bandwidth
+                )
+        return transfers, cost
+
+    def _score(
+        self,
+        writes: float,
+        transfers: float,
+        cost: float,
+        served_server: np.ndarray,
+        replicas: ReplicaMap,
+    ) -> ConsistencySummary:
+        lags: list[int] = []
+        stale_reads = 0.0
+        total_reads = 0.0
+        for partition in range(replicas.num_partitions):
+            if not replicas.has_holder(partition):
+                continue
+            current = self._version.get(partition, 0)
+            holder = replicas.holder(partition)
+            for sid, _count in replicas.servers_with(partition):
+                if sid == holder:
+                    continue
+                lag = current - self._replica_version[(partition, sid)]
+                lags.append(lag)
+                reads = float(served_server[partition, sid])
+                total_reads += reads
+                if lag > 0:
+                    stale_reads += reads
+            total_reads += float(served_server[partition, holder])
+        return ConsistencySummary(
+            writes=writes,
+            propagation_transfers=transfers,
+            propagation_cost=cost,
+            mean_staleness=float(np.mean(lags)) if lags else 0.0,
+            stale_replica_fraction=(
+                sum(1 for lag in lags if lag > 0) / len(lags) if lags else 0.0
+            ),
+            stale_read_fraction=(stale_reads / total_reads if total_reads > 0 else 0.0),
+        )

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: the RFH replication algorithm.
+
+Section II of the paper, piece by piece:
+
+* :mod:`repro.core.traffic` — traffic determination, Eqs. 2–8: the
+  overflow recursion along routing paths that defines ``tr_ikt``;
+* :mod:`repro.core.smoothing` — the EWMA of Eqs. 10–11;
+* :mod:`repro.core.thresholds` — the β/γ/δ/μ predicates of
+  Eqs. 12, 13, 15, 16;
+* :mod:`repro.core.availability` — the availability lower limit of
+  Eq. 14 and the derived minimum replica count;
+* :mod:`repro.core.blocking` — the M/G/c (Erlang-B) blocking probability
+  of Eq. 18;
+* :mod:`repro.core.placement` — server choice inside a datacenter
+  (lowest blocking probability subject to the Eq. 19 storage gate);
+* :mod:`repro.core.migration` — migration-benefit evaluation (Eqs. 16–17);
+* :mod:`repro.core.decision` — the per-virtual-node decision tree of
+  Fig. 2;
+* :mod:`repro.core.policy` — :class:`RFHPolicy`, the engine-facing
+  algorithm.
+"""
+
+from .availability import (
+    availability_all_alive,
+    availability_at_least_one,
+    min_replicas_for_availability,
+)
+from .blocking import erlang_b, server_blocking_probabilities
+from .decision import RFHDecision
+from .policy import RFHPolicy
+from .smoothing import Ewma
+from .traffic import ServiceResult, serve_epoch
+from .thresholds import (
+    is_holder_overloaded,
+    is_suicide_candidate,
+    is_traffic_hub,
+    migration_benefit_met,
+)
+
+__all__ = [
+    "serve_epoch",
+    "ServiceResult",
+    "Ewma",
+    "is_holder_overloaded",
+    "is_traffic_hub",
+    "is_suicide_candidate",
+    "migration_benefit_met",
+    "availability_all_alive",
+    "availability_at_least_one",
+    "min_replicas_for_availability",
+    "erlang_b",
+    "server_blocking_probabilities",
+    "RFHDecision",
+    "RFHPolicy",
+]

@@ -1,0 +1,116 @@
+"""Availability lower limit (paper Eq. 14).
+
+Section II-D: with per-replica failure probability ``f`` and replica
+number ``r``, the paper requires
+
+    1 − Σ_{j=1..r} (−1)^{j+1} C(r, j) f^j  ≥  A_expect            (Eq. 14)
+
+By the binomial theorem the sum telescopes:
+``Σ (−1)^{j+1} C(r,j) f^j = 1 − (1−f)^r``, so the left side is exactly
+``(1−f)^r`` — the probability that *all* ``r`` replicas are alive, which
+*decreases* with ``r`` and therefore cannot serve as a minimum-replica
+bound (replicating more would *reduce* it).  The paper's own worked
+example ("if the system requires a minimum availability of 0.8 and the
+failure probability is 0.1, then the minimum replica number is 2")
+matches neither that literal reading as a lower bound nor the standard
+at-least-one-alive availability ``1 − f^r`` (which already gives 0.9 at
+r = 1).
+
+Our resolution, used by every algorithm in the simulation and recorded
+in DESIGN.md / EXPERIMENTS.md:
+
+* availability is the standard redundancy formula
+  ``A(r) = 1 − f^r`` (data available iff at least one copy is alive);
+* the minimum replica count is ``max(2, min{r : 1 − f^r ≥ A_expect})``
+  — the floor of 2 encodes the fault-tolerance premise that a *single*
+  copy is never acceptable (losing one node must not lose data), and it
+  reproduces the paper's example exactly: ``(0.8, 0.1) → 2``.
+
+Both literal forms are also exported so tests can document the algebra.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "availability_all_alive",
+    "availability_at_least_one",
+    "inclusion_exclusion_sum",
+    "min_replicas_for_availability",
+]
+
+#: Replica-count floor: the fault-tolerance premise of the paper (and of
+#: every production store it cites) is that one copy is never enough.
+FAULT_TOLERANCE_FLOOR: int = 2
+
+
+def _check(f: float, replicas: int) -> None:
+    if not 0.0 < f < 1.0:
+        raise ConfigurationError(f"failure probability must be in (0, 1), got {f}")
+    if replicas < 0:
+        raise ConfigurationError(f"replica count must be >= 0, got {replicas}")
+
+
+def inclusion_exclusion_sum(replicas: int, f: float) -> float:
+    """The literal sum of Eq. 14: ``Σ_{j=1..r} (−1)^{j+1} C(r,j) f^j``.
+
+    Equals ``1 − (1−f)^r`` identically (verified by a property test);
+    exported so the algebraic claim in this module's docstring is
+    executable documentation.
+    """
+    _check(f, replicas)
+    total = 0.0
+    for j in range(1, replicas + 1):
+        total += ((-1) ** (j + 1)) * math.comb(replicas, j) * (f**j)
+    return total
+
+
+def availability_all_alive(replicas: int, f: float) -> float:
+    """``(1−f)^r``: probability every copy is simultaneously alive.
+
+    This is what Eq. 14's left-hand side evaluates to literally.
+    """
+    _check(f, replicas)
+    return (1.0 - f) ** replicas
+
+
+def availability_at_least_one(replicas: int, f: float) -> float:
+    """``1 − f^r``: probability at least one copy is alive.
+
+    The standard redundancy availability; what the simulation uses.
+    ``r = 0`` gives 0.0 (data lost).
+    """
+    _check(f, replicas)
+    if replicas == 0:
+        return 0.0
+    return 1.0 - f**replicas
+
+
+def min_replicas_for_availability(a_expect: float, f: float) -> int:
+    """Minimum replica count ``r_min`` for the availability floor.
+
+    ``max(2, min{r : 1 − f^r ≥ a_expect})`` — see module docstring for
+    why the floor is 2.  Matches the paper's example:
+
+    >>> min_replicas_for_availability(0.8, 0.1)
+    2
+    >>> min_replicas_for_availability(0.999, 0.1)
+    3
+    """
+    if not 0.0 < a_expect < 1.0:
+        raise ConfigurationError(
+            f"expected availability must be in (0, 1), got {a_expect}"
+        )
+    _check(f, 0)
+    # Smallest r with f^r <= 1 - a_expect; the logarithm only estimates,
+    # the explicit checks below settle floating-point boundary cases
+    # (e.g. a_expect = 1 - f^r exactly).
+    r = max(1, math.ceil(math.log(1.0 - a_expect) / math.log(f) - 1e-9))
+    while availability_at_least_one(r, f) < a_expect:
+        r += 1
+    while r > 1 and availability_at_least_one(r - 1, f) >= a_expect:
+        r -= 1
+    return max(FAULT_TOLERANCE_FLOOR, r)

@@ -1,0 +1,98 @@
+"""M/G/c blocking probability (paper Eq. 18, Erlang-B).
+
+Section II-E: "Among the physical nodes in the same datacenter, RFH
+chooses a node with the lowest blocking probability":
+
+    BP_i = (λτ)^c / c!  ·  [ Σ_{k=0..c} (λτ)^k / k! ]^{-1}       (Eq. 18)
+
+with Poisson arrival rate λ, mean service time τ and processing limit c
+— the Erlang-B formula, which for M/G/c/c systems depends on the service
+distribution only through its mean (insensitivity), so "M/G/c_i model"
+is computed exactly by Erlang-B.
+
+We evaluate it with the standard numerically-stable recurrence
+``B(0) = 1;  B(k) = a·B(k−1) / (k + a·B(k−1))`` instead of factorials,
+which is exact and safe for large offered loads.
+
+Per-server estimation: each server's offered load ``a = λτ`` is its
+(smoothed) served queries per epoch divided by its per-replica service
+capacity — i.e. how many service-times' worth of work arrives per
+service time — and ``c`` is the server's concurrent slot count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..errors import ConfigurationError
+
+__all__ = ["erlang_b", "offered_load", "server_blocking_probabilities"]
+
+
+def erlang_b(offered: float, servers: int) -> float:
+    """Erlang-B blocking probability for offered load ``a`` and ``c`` slots.
+
+    ``offered`` is the dimensionless product λτ.  Monotonically
+    increasing in ``offered`` and decreasing in ``servers`` (both pinned
+    by property tests).  ``offered == 0`` gives 0.0.
+    """
+    if offered < 0:
+        raise ConfigurationError(f"offered load must be >= 0, got {offered}")
+    if servers < 1:
+        raise ConfigurationError(f"server count must be >= 1, got {servers}")
+    if offered == 0.0:
+        return 0.0
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered * b / (k + offered * b)
+    return b
+
+
+def offered_load(
+    served_per_epoch: float, replica_capacity: float, service_slots: int
+) -> float:
+    """Dimensionless offered load ``a = λτ`` of one server.
+
+    A server whose replicas can each serve ``replica_capacity`` queries
+    per epoch has per-slot service rate ``replica_capacity`` per epoch;
+    an arrival stream of ``served_per_epoch`` therefore offers
+    ``served_per_epoch / replica_capacity`` service-times of work per
+    epoch (λτ).  ``service_slots`` is unused in the load itself but kept
+    in the signature for symmetry with :func:`erlang_b` call sites.
+    """
+    if replica_capacity <= 0:
+        raise ConfigurationError(
+            f"replica capacity must be > 0, got {replica_capacity}"
+        )
+    if served_per_epoch < 0:
+        raise ConfigurationError(
+            f"served count must be >= 0, got {served_per_epoch}"
+        )
+    return served_per_epoch / replica_capacity
+
+
+def server_blocking_probabilities(
+    cluster: Cluster, load_per_server: np.ndarray
+) -> np.ndarray:
+    """Eq. 18 for every server; dead servers get probability 1.0.
+
+    ``load_per_server`` is the (possibly smoothed) queries-per-epoch
+    vector, index-aligned with server ids.  A dead server "blocks"
+    everything, which conveniently removes it from every lowest-BP
+    placement choice.
+    """
+    if load_per_server.shape != (cluster.num_servers,):
+        raise ConfigurationError(
+            f"expected load vector of length {cluster.num_servers}, "
+            f"got shape {load_per_server.shape}"
+        )
+    out = np.ones(cluster.num_servers, dtype=np.float64)
+    for server in cluster.servers:
+        if not server.alive:
+            continue
+        a = offered_load(
+            float(load_per_server[server.sid]), server.replica_capacity, server.service_slots
+        )
+        out[server.sid] = erlang_b(a, server.service_slots)
+    return out

@@ -1,0 +1,76 @@
+"""Migration planning helpers (Eqs. 16–17).
+
+RFH migrates a replica only when the benefit clears a threshold:
+"to guarantee enough benefit and avoid failure, a threshold of benefit
+is set ... tr_ij − tr_ik ≥ μ · t̄r_i" (Eq. 16), where ``t̄r_i`` is the
+average traffic over all nodes for the partition (Eq. 17).
+
+The helpers here pick the *coldest* replica site as the migration source
+and the best top-traffic hub as the destination; the decision tree in
+:mod:`repro.core.decision` wires them together with the threshold
+predicates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["mean_partition_traffic", "coldest_replica_dc", "pick_hub_target", "replica_sid_in_dc"]
+
+
+def mean_partition_traffic(traffic_row: np.ndarray) -> float:
+    """Eq. 17: ``t̄r_i = Σ_j tr_ij / N`` over all datacenters."""
+    return float(np.asarray(traffic_row, dtype=np.float64).mean())
+
+
+def coldest_replica_dc(
+    traffic_row: np.ndarray, replica_dcs: Iterable[int], exclude: Iterable[int] = ()
+) -> int | None:
+    """The replica-holding datacenter with the least traffic.
+
+    ``exclude`` typically removes the holder's datacenter (the original
+    copy never migrates) and the current top-traffic hubs (replicas
+    already in the right place stay).  Ties break by datacenter index.
+    Returns ``None`` when no candidate remains.
+    """
+    excluded = set(exclude)
+    candidates = [dc for dc in replica_dcs if dc not in excluded]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda dc: (float(traffic_row[dc]), dc))
+
+
+def pick_hub_target(
+    hubs: Sequence[int],
+    traffic_row: np.ndarray,
+    replica_dcs: Iterable[int],
+) -> int | None:
+    """Choose the replication/migration destination among the top hubs.
+
+    Preference order: hubs *without* a replica first (geographic spread
+    buys interception coverage), then by descending traffic, then by
+    index.  Returns ``None`` for an empty hub list.
+    """
+    if not hubs:
+        return None
+    replica_set = set(replica_dcs)
+    return min(
+        hubs,
+        key=lambda dc: (dc in replica_set, -float(traffic_row[dc]), dc),
+    )
+
+
+def replica_sid_in_dc(
+    layout_by_dc: Mapping[int, Sequence[tuple[int, int]]], dc: int
+) -> int | None:
+    """The lowest-sid server holding a copy inside ``dc`` (or ``None``).
+
+    Used to resolve "the node holding this replica" once a source
+    datacenter has been picked.
+    """
+    entries = layout_by_dc.get(dc)
+    if not entries:
+        return None
+    return entries[0][0]  # entries are sid-sorted by ReplicaMap

@@ -1,0 +1,81 @@
+"""Server choice inside a datacenter (Eqs. 18–19).
+
+Once an algorithm has picked a *datacenter* (traffic hub for RFH, owner
+neighbour, requester site, or a random member), a concrete server must
+be chosen.  RFH's rule (Section II-E): lowest blocking probability
+(Eq. 18) among servers whose storage stays below the ``phi`` gate
+(Eq. 19, default 70 %) — "thus, it can dynamically balance workload
+among all the physical nodes".
+
+The baselines use :func:`choose_random_server` with the same storage
+gate, matching "the request-oriented algorithm employs random choosing
+method, which is the same as the random algorithm" (Section II-H).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+
+__all__ = ["eligible_servers", "choose_lowest_blocking", "choose_random_server"]
+
+
+def eligible_servers(
+    cluster: Cluster,
+    dc: int,
+    partition_size_mb: float,
+    phi: float,
+    exclude: Iterable[int] = (),
+) -> list[int]:
+    """Alive servers of ``dc`` that pass the Eq. 19 storage gate.
+
+    ``exclude`` removes specific sids (e.g. the migration source or a
+    server already holding the partition when diversity is wanted).
+    Returned ascending by sid.
+    """
+    excluded = set(exclude)
+    out = []
+    for server in cluster.alive_in_dc(dc):
+        if server.sid in excluded:
+            continue
+        if server.storage_gate_open(partition_size_mb, phi):
+            out.append(server.sid)
+    return out
+
+
+def choose_lowest_blocking(
+    cluster: Cluster,
+    dc: int,
+    blocking_probability: np.ndarray,
+    partition_size_mb: float,
+    phi: float,
+    exclude: Iterable[int] = (),
+) -> int | None:
+    """RFH's choice: eligible server with the lowest Eq. 18 BP.
+
+    Ties break by ascending sid for determinism.  Returns ``None`` when
+    no server in the datacenter is eligible (caller falls back to its
+    next-preferred datacenter).
+    """
+    candidates = eligible_servers(cluster, dc, partition_size_mb, phi, exclude)
+    if not candidates:
+        return None
+    return min(candidates, key=lambda sid: (float(blocking_probability[sid]), sid))
+
+
+def choose_random_server(
+    cluster: Cluster,
+    dc: int,
+    rng: np.random.Generator,
+    partition_size_mb: float,
+    phi: float,
+    exclude: Iterable[int] = (),
+) -> int | None:
+    """Baseline choice: uniform over eligible servers of the datacenter."""
+    candidates = eligible_servers(cluster, dc, partition_size_mb, phi, exclude)
+    if not candidates:
+        return None
+    return int(candidates[int(rng.integers(len(candidates)))])

@@ -1,0 +1,94 @@
+"""The engine-facing RFH algorithm.
+
+:class:`RFHPolicy` owns the smoothing state of Eqs. 10–11 (each virtual
+node "periodically calculates its traffic load" against history) and
+runs the Fig. 2 decision tree for every partition each epoch.  It is the
+``"rfh"`` entry of the four-algorithm comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import RFHParameters
+from ..sim.actions import Action
+from ..sim.observation import EpochObservation
+from .decision import RFHDecision
+from .smoothing import Ewma
+
+__all__ = ["RFHPolicy"]
+
+
+class RFHPolicy:
+    """Resilient, Fault-tolerant, High-efficient replication (the paper)."""
+
+    name = "rfh"
+
+    def __init__(self, params: RFHParameters | None = None) -> None:
+        self._params = params if params is not None else RFHParameters()
+        self._avg_query = Ewma(self._params.alpha)  # Eq. 10, per partition
+        self._traffic = Ewma(self._params.alpha)  # Eq. 11, per (partition, dc)
+        self._holder_traffic = Ewma(self._params.alpha)  # Eq. 11 at the holder
+        self._unserved = Ewma(self._params.alpha)  # blocked-query signal
+        # Per-(partition, server) served EWMA, kept by hand because the
+        # server axis can grow when nodes join mid-run.
+        self._served: np.ndarray | None = None
+        # Birth epoch of replicas this policy created, for the suicide
+        # warm-up exemption.
+        self._birth: dict[tuple[int, int], int] = {}
+        self._decision = RFHDecision(self._params)
+
+    @property
+    def params(self) -> RFHParameters:
+        return self._params
+
+    def decide(self, obs: EpochObservation) -> list[Action]:
+        """Run the decision tree over all partitions for one epoch."""
+        avg_query = np.asarray(self._avg_query.update(obs.system_average_query()))
+        traffic = np.asarray(self._traffic.update(obs.traffic_dc))
+        holder_traffic = np.asarray(self._holder_traffic.update(obs.holder_traffic))
+        unserved = np.asarray(self._unserved.update(obs.unserved))
+        served = self._update_served(obs.served_server)
+        age = {key: obs.epoch - born for key, born in self._birth.items()}
+        actions: list[Action] = []
+        for partition in range(obs.num_partitions):
+            actions.extend(
+                self._decision.decide_partition(
+                    partition,
+                    obs,
+                    float(avg_query[partition]),
+                    traffic[partition],
+                    float(holder_traffic[partition]),
+                    served[partition],
+                    float(unserved[partition]),
+                    replica_age=age,
+                )
+            )
+        self._record_births(obs.epoch, actions)
+        return actions
+
+    def _record_births(self, epoch: int, actions: list[Action]) -> None:
+        """Track creation epochs of replicas this policy just placed."""
+        from ..sim.actions import Migrate, Replicate, Suicide
+
+        for action in actions:
+            if isinstance(action, Replicate):
+                self._birth[(action.partition, action.target_sid)] = epoch
+            elif isinstance(action, Migrate):
+                self._birth[(action.partition, action.target_sid)] = epoch
+                self._birth.pop((action.partition, action.source_sid), None)
+            elif isinstance(action, Suicide):
+                self._birth.pop((action.partition, action.sid), None)
+
+    def _update_served(self, raw: np.ndarray) -> np.ndarray:
+        """EWMA of the (P, S) served matrix, padding on server growth."""
+        alpha = self._params.alpha
+        if self._served is None:
+            self._served = raw.astype(np.float64, copy=True)
+        else:
+            if raw.shape[1] > self._served.shape[1]:
+                grown = np.zeros_like(raw, dtype=np.float64)
+                grown[:, : self._served.shape[1]] = self._served
+                self._served = grown
+            self._served = (1.0 - alpha) * self._served + alpha * raw
+        return self._served

@@ -1,0 +1,95 @@
+"""The RFH threshold predicates (Eqs. 12, 13, 15, 16).
+
+All four compare a node's (smoothed) traffic against the (smoothed)
+system-average query rate ``q̄_it`` of Eqs. 9–10:
+
+* **holder overload** (Eq. 12):  ``tr_iit ≥ β · q̄_it``  with β > 1 —
+  the primary holder "enters a status waiting for replication requests";
+* **traffic hub** (Eq. 13):  ``tr_ikt ≥ γ · q̄_it``  with γ > 1 — a
+  forwarding node marks itself a hub and volunteers;
+* **suicide** (Eq. 15):  ``tr_ikt ≤ δ · q̄_it``  with δ < 1 — a replica
+  is barely visited and offers to reclaim itself;
+* **migration benefit** (Eq. 16):  ``tr_ij − tr_ik ≥ μ · t̄r_i``  where
+  ``t̄r_i`` is Eq. 17's average traffic over all nodes — move a replica
+  from cold node *k* to hub *j* only when the gain clears the bar.
+
+These are deliberately tiny pure functions: the decision tree composes
+them, tests pin their boundary behaviour (all comparisons are inclusive
+exactly as printed in the paper).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "UNSERVED_TOLERANCE",
+    "blocked_tolerance",
+    "is_blocked",
+    "is_holder_overloaded",
+    "is_traffic_hub",
+    "is_suicide_candidate",
+    "migration_benefit_met",
+]
+
+
+#: Floor of the blocked-queries tolerance (queries/epoch).  See
+#: :func:`is_blocked`.
+UNSERVED_TOLERANCE: float = 0.5
+
+
+def blocked_tolerance(avg_query: float) -> float:
+    """Scale-aware blocked-queries tolerance for one partition.
+
+    The tolerance tracks the partition's own query rate (half of Eq. 9's
+    per-requester average, i.e. ~5 % of its total demand) with an
+    absolute floor: hot partitions see Poisson swings of several queries
+    per epoch that are not structural overload, while for cold
+    partitions even one persistently blocked query is.
+    """
+    return max(UNSERVED_TOLERANCE, 0.5 * avg_query)
+
+
+def is_blocked(unserved: float, avg_query: float) -> bool:
+    """Persistent blocking counts as overload regardless of Eq. 12.
+
+    The relative threshold β·q̄ can sit *above* the holder's physical
+    capacity, in which case the excess would stay silently blocked
+    forever — but a blocked query is the definition of an overloaded
+    holder ("they could become overloaded and consequently cannot
+    response to the clients within time limit", Section I).
+    """
+    return unserved > blocked_tolerance(avg_query)
+
+
+def is_holder_overloaded(holder_traffic: float, avg_query: float, beta: float) -> bool:
+    """Eq. 12: ``tr_iit ≥ β · q̄_it``."""
+    return holder_traffic >= beta * avg_query
+
+
+def is_traffic_hub(node_traffic: float, avg_query: float, gamma: float) -> bool:
+    """Eq. 13: ``tr_ikt ≥ γ · q̄_it``.
+
+    Only meaningful for nodes *not* holding the original partition; the
+    decision tree applies it to forwarding nodes.
+    """
+    return node_traffic >= gamma * avg_query
+
+
+def is_suicide_candidate(node_traffic: float, avg_query: float, delta: float) -> bool:
+    """Eq. 15: ``tr_ikt ≤ δ · q̄_it``.
+
+    A true result is necessary but not sufficient for suicide — the
+    availability floor without this replica must still hold (Fig. 2).
+    """
+    return node_traffic <= delta * avg_query
+
+
+def migration_benefit_met(
+    hub_traffic: float, replica_traffic: float, mean_traffic: float, mu: float
+) -> bool:
+    """Eq. 16: ``tr_ij − tr_ik ≥ μ · t̄r_i``.
+
+    ``hub_traffic`` is the migration destination's traffic, and
+    ``replica_traffic`` the current (cold) replica node's;
+    ``mean_traffic`` is Eq. 17's all-node average for the partition.
+    """
+    return hub_traffic - replica_traffic >= mu * mean_traffic

@@ -1,0 +1,294 @@
+"""Traffic determination: the overflow recursion of Eqs. 2–8.
+
+The model (Section II-C): a query for partition ``B_i`` raised near
+datacenter ``j`` travels the routing path ``A_ij`` toward the partition
+holder.  Every node on the path that hosts replicas of ``B_i`` absorbs
+queries up to its processing capacity ``Σ_l C_ikl``; the remainder flows
+on.  The *traffic* of node ``k`` is the flow arriving at it:
+
+    tr_ijjt = q_ijt                                   (Eq. 5)
+    tr_ijkt = max(0, tr_ijk't − Σ_l C_ik'l)            (Eqs. 2–4)
+
+where ``k'`` is the node immediately before ``k``.  Eq. 8 sums over
+requesters ``j`` with the path-membership indicator ``p_ijk``.
+
+One refinement over the per-path closed form (documented in DESIGN.md):
+capacity is a *shared* resource.  When flows from several requesters
+cross one datacenter, Eq. 6 applied independently per path would let
+each flow consume the same replicas.  We therefore process flows
+level-synchronously (all first hops, then all second hops, ...) against
+shared remaining capacities, in deterministic origin order — flows merge
+at conjunction nodes exactly as physical queries would.
+
+Everything the metrics need falls out of the same walk: per-server
+served counts (utilization, Eq. 20; load imbalance, Eq. 24), per-DC
+traffic (hub detection, Eqs. 12–13), unserved overflow, and lookup path
+lengths (hops until a replica was hit).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..net.routing import Router
+from ..workload.query import QueryBatch
+
+__all__ = ["ServiceResult", "serve_epoch"]
+
+#: Per-partition replica layout: ``{dc: [(sid, capacity_queries_per_epoch)]}``.
+ReplicaLayout = Mapping[int, Sequence[tuple[int, float]]]
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Outcome of routing one epoch's queries through the replica layout.
+
+    Attributes
+    ----------
+    served_server:
+        ``(P, S)``: queries of partition ``i`` served by server ``sid``.
+    traffic_dc:
+        ``(P, D)``: Eq. 8 traffic — the flow *arriving* at each
+        datacenter for each partition (its own service not subtracted).
+    unserved:
+        Length ``P``: queries that overflowed every replica on their
+        path, including the holder (blocked this epoch).
+    holder_traffic:
+        Length ``P``: the flow that reached the *holder server itself*
+        (its served queries plus the unserved overflow).  This is the
+        paper's ``tr_iit`` — traffic of the primary holder *node* — at
+        server granularity: replicas co-located in the holder's
+        datacenter intercept before the holder server, exactly like any
+        other node earlier on the routing path, so placing copies near
+        the holder genuinely relieves it (Eq. 12's feedback loop).
+    hop_sum:
+        Sum over all queries of the WAN hop count at which they were
+        served (blocked queries are charged the full path length — they
+        travelled it before being refused).
+    distance_sum_km:
+        Sum over all queries of the WAN distance (km) from their origin
+        to the datacenter that served them (blocked queries are charged
+        the full path distance).  Feeds the response-latency model in
+        :mod:`repro.metrics.latency`.
+    sla_miss:
+        Queries that missed the SLA bound this epoch: every blocked
+        query plus every served query whose modelled response time
+        exceeded the bound.  0.0 when no latency model was supplied.
+    query_count:
+        Total queries routed (== ``queries.total``).
+    """
+
+    served_server: np.ndarray
+    traffic_dc: np.ndarray
+    unserved: np.ndarray
+    holder_traffic: np.ndarray
+    hop_sum: float
+    distance_sum_km: float
+    sla_miss: float
+    query_count: int
+
+    @property
+    def per_server_load(self) -> np.ndarray:
+        """Total queries served per server across partitions (length S)."""
+        return self.served_server.sum(axis=0)
+
+    @property
+    def mean_path_length(self) -> float:
+        """Average WAN hops per query (0.0 when the epoch had no queries)."""
+        if self.query_count == 0:
+            return 0.0
+        return self.hop_sum / self.query_count
+
+    @property
+    def total_served(self) -> float:
+        """Total queries actually served this epoch."""
+        return float(self.served_server.sum())
+
+
+def serve_epoch(
+    queries: QueryBatch,
+    holder_dc: Sequence[int | None],
+    layouts: Sequence[ReplicaLayout],
+    router: Router,
+    num_servers: int,
+    holder_sid: Sequence[int | None] | None = None,
+    latency=None,
+) -> ServiceResult:
+    """Route one epoch's query matrix and return the full service outcome.
+
+    Parameters
+    ----------
+    queries:
+        The epoch's ``q_ijt`` matrix.
+    holder_dc:
+        Per-partition datacenter of the primary holder; ``None`` marks a
+        partition whose every copy is lost (all its queries fail).
+    layouts:
+        Per-partition replica capacity layout
+        ``{dc: [(sid, capacity), ...]}``; within a datacenter servers are
+        drained in the given order (callers pass sid-sorted lists, which
+        keeps the walk deterministic).
+    router:
+        WAN shortest-path oracle.
+    num_servers:
+        Width of the served matrix (server columns).
+    holder_sid:
+        Per-partition server id of the primary holder.  When given, the
+        holder server is drained *last* among its datacenter's replicas
+        (co-located copies intercept first) and
+        :attr:`ServiceResult.holder_traffic` reports the flow reaching
+        it.  When omitted (pure-kernel unit tests), servers drain in the
+        given order and ``holder_traffic`` is all zeros.
+    latency:
+        Optional :class:`~repro.metrics.latency.LatencyModel`; when
+        given, SLA misses are accumulated exactly per absorbed flow
+        (blocked queries always miss).
+    """
+    num_partitions = queries.num_partitions
+    num_dcs = queries.num_origins
+    if len(holder_dc) != num_partitions:
+        raise SimulationError(
+            f"holder_dc has {len(holder_dc)} entries for {num_partitions} partitions"
+        )
+    if len(layouts) != num_partitions:
+        raise SimulationError(
+            f"layouts has {len(layouts)} entries for {num_partitions} partitions"
+        )
+
+    served = np.zeros((num_partitions, num_servers), dtype=np.float64)
+    traffic = np.zeros((num_partitions, num_dcs), dtype=np.float64)
+    unserved = np.zeros(num_partitions, dtype=np.float64)
+    holder_flow = np.zeros(num_partitions, dtype=np.float64)
+    hop_sum = 0.0
+    distance_sum = 0.0
+    sla_miss = 0.0
+
+    counts = queries.counts
+    for partition in range(num_partitions):
+        row = counts[partition]
+        if not row.any():
+            continue
+        holder = holder_dc[partition]
+        if holder is None:
+            # Every copy lost: queries reach nothing and fail at distance 0.
+            unserved[partition] = float(row.sum())
+            sla_miss += float(row.sum()) if latency is not None else 0.0
+            for origin in np.nonzero(row)[0]:
+                traffic[partition, origin] += float(row[origin])
+            continue
+        sid = holder_sid[partition] if holder_sid is not None else None
+        hops, kms, misses = _serve_partition(
+            row,
+            int(holder),
+            layouts[partition],
+            router,
+            served[partition],
+            traffic[partition],
+            partition,
+            unserved,
+            sid,
+            latency,
+        )
+        hop_sum += hops
+        distance_sum += kms
+        sla_miss += misses
+        if sid is not None:
+            holder_flow[partition] = served[partition, sid] + unserved[partition]
+
+    return ServiceResult(
+        served_server=served,
+        traffic_dc=traffic,
+        unserved=unserved,
+        holder_traffic=holder_flow,
+        hop_sum=hop_sum,
+        distance_sum_km=distance_sum,
+        sla_miss=sla_miss,
+        query_count=queries.total,
+    )
+
+
+def _serve_partition(
+    row: np.ndarray,
+    holder: int,
+    layout: ReplicaLayout,
+    router: Router,
+    served_row: np.ndarray,
+    traffic_row: np.ndarray,
+    partition: int,
+    unserved: np.ndarray,
+    holder_sid: int | None,
+    latency,
+) -> tuple[float, float, float]:
+    """Walk one partition's flows level-synchronously.
+
+    Returns ``(hop_sum, distance_sum_km, sla_miss)`` for this partition.
+    """
+    # Shared remaining capacity per replica-holding server this epoch.
+    remaining: dict[int, float] = {}
+    dc_servers: dict[int, list[int]] = {}
+    for dc, entries in layout.items():
+        order: list[int] = []
+        for sid, capacity in entries:
+            if capacity < 0:
+                raise SimulationError(
+                    f"negative capacity {capacity} for server {sid}"
+                )
+            remaining[sid] = remaining.get(sid, 0.0) + float(capacity)
+            order.append(sid)
+        if holder_sid is not None and holder_sid in order:
+            # The holder server is the path terminus: co-located replicas
+            # intercept before it, so it drains last within its DC.
+            order.remove(holder_sid)
+            order.append(holder_sid)
+        dc_servers[dc] = order
+
+    # Flows: (origin, path, remaining_amount); origins in ascending order.
+    flows: list[tuple[int, tuple[int, ...], float]] = []
+    max_levels = 0
+    for origin in np.nonzero(row)[0]:
+        path = router.path(int(origin), holder)
+        flows.append((int(origin), path, float(row[origin])))
+        max_levels = max(max_levels, len(path))
+
+    hop_sum = 0.0
+    distance_sum = 0.0
+    sla_miss = 0.0
+    amounts = [f[2] for f in flows]
+    for level in range(max_levels):
+        for idx, (origin, path, _) in enumerate(flows):
+            amount = amounts[idx]
+            if amount <= 0.0 or level >= len(path):
+                continue
+            dc = path[level]
+            # Eq. 8's arriving-flow traffic, including the origin's own
+            # full query load at level 0 (Eq. 5: tr_ijj = q_ij).
+            traffic_row[dc] += amount
+            for sid in dc_servers.get(dc, ()):
+                if amount <= 0.0:
+                    break
+                cap = remaining.get(sid, 0.0)
+                if cap <= 0.0:
+                    continue
+                take = min(cap, amount)
+                remaining[sid] = cap - take
+                served_row[sid] += take
+                amount -= take
+                hop_sum += take * level
+                km = router.distance_km(origin, dc)
+                distance_sum += take * km
+                if latency is not None and latency.response_ms(km, level) > latency.sla_ms:
+                    sla_miss += take
+            if amount > 0.0 and level == len(path) - 1:
+                # Reached the holder and still overflowing: blocked.
+                unserved[partition] += amount
+                hop_sum += amount * level
+                distance_sum += amount * router.distance_km(origin, dc)
+                if latency is not None:
+                    sla_miss += amount  # blocked queries always miss
+                amount = 0.0
+            amounts[idx] = amount
+    return hop_sum, distance_sum, sla_miss

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration problems from runtime simulation
+violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or inconsistent.
+
+    Raised eagerly at construction time (``__post_init__`` of the frozen
+    config dataclasses) so that a bad parameter never reaches the
+    simulation engine.
+    """
+
+
+class TopologyError(ReproError):
+    """The WAN/cluster topology is malformed (unknown node, disconnected
+    graph, duplicate label, ...)."""
+
+
+class RingError(ReproError):
+    """Consistent-hashing ring invariant violation (empty ring, unknown
+    token, duplicate position, ...)."""
+
+
+class CapacityError(ReproError):
+    """A placement would exceed a server's storage or bandwidth budget."""
+
+
+class ActionError(ReproError):
+    """A replication policy emitted an invalid action (unknown server,
+    replica that does not exist, migration to the same node, ...)."""
+
+
+class SimulationError(ReproError):
+    """The engine reached an inconsistent state; indicates a library bug
+    rather than a user error."""
+
+
+class WorkloadError(ReproError):
+    """A workload pattern or generator was asked for something it cannot
+    produce (negative epoch, empty weight vector, ...)."""

@@ -1,0 +1,67 @@
+"""Experiment harnesses: one entry per paper figure (Section III).
+
+* :mod:`repro.experiments.scenarios` — named workload/event scenarios
+  (random query, flash crowd, node failure & recovery);
+* :mod:`repro.experiments.runner` — run one policy on one scenario;
+* :mod:`repro.experiments.comparison` — run all four policies on the
+  *identical* recorded trace;
+* :mod:`repro.experiments.figures` — ``fig3`` .. ``fig10`` functions
+  that regenerate each figure's series and check its qualitative shape;
+* :mod:`repro.experiments.report` — markdown rendering for
+  EXPERIMENTS.md.
+"""
+
+from .comparison import ComparisonResult, compare_policies
+from .figures import (
+    FigureResult,
+    fig3_utilization,
+    fig4_replica_number,
+    fig5_replication_cost,
+    fig6_migration_times,
+    fig7_migration_cost,
+    fig8_load_imbalance,
+    fig9_path_length,
+    fig10_failure_recovery,
+)
+from .ablations import alpha_sweep, placement_ablation, threshold_sweep
+from .replication import MetricStats, ReplicationResult, replicate
+from .runner import ExperimentResult, run_experiment
+from .sla import SlaResult, sla_comparison
+from .surges import SurgeResult, location_shift_surge, popularity_shift_surge
+from .scenarios import (
+    Scenario,
+    failure_recovery_scenario,
+    flash_crowd_scenario,
+    random_query_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "random_query_scenario",
+    "flash_crowd_scenario",
+    "failure_recovery_scenario",
+    "ExperimentResult",
+    "run_experiment",
+    "ComparisonResult",
+    "compare_policies",
+    "FigureResult",
+    "fig3_utilization",
+    "fig4_replica_number",
+    "fig5_replication_cost",
+    "fig6_migration_times",
+    "fig7_migration_cost",
+    "fig8_load_imbalance",
+    "fig9_path_length",
+    "fig10_failure_recovery",
+    "SlaResult",
+    "sla_comparison",
+    "SurgeResult",
+    "location_shift_surge",
+    "popularity_shift_surge",
+    "alpha_sweep",
+    "threshold_sweep",
+    "placement_ablation",
+    "MetricStats",
+    "ReplicationResult",
+    "replicate",
+]

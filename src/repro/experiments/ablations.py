@@ -1,0 +1,139 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* **A1 — smoothing factor α** (Eqs. 10–11): stability versus
+  responsiveness of RFH under the flash crowd;
+* **A2 — threshold sweep β/γ/δ** (Eqs. 12/13/15): the replica-count /
+  utilization trade-off under random query;
+* **A3 — blocking-probability placement** (Eq. 18): how much of RFH's
+  load-balance win comes from the lowest-BP server choice, isolated by
+  swapping in blind random in-datacenter placement.
+
+Each returns plain dictionaries of summary numbers so benchmarks can
+print paper-style rows and tests can pin the qualitative outcome.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import RFHParameters, SimulationConfig
+from ..core.decision import RFHDecision
+from ..core.placement import choose_random_server
+from ..core.policy import RFHPolicy
+from ..sim.engine import Simulation
+from .scenarios import Scenario, flash_crowd_scenario, random_query_scenario
+
+__all__ = [
+    "RandomPlacementRFHPolicy",
+    "alpha_sweep",
+    "threshold_sweep",
+    "placement_ablation",
+]
+
+
+class _RandomPlacementDecision(RFHDecision):
+    """RFH decision tree with Eq. 18's placement replaced by a blind
+    uniform in-datacenter choice (everything else identical)."""
+
+    def __init__(self, params: RFHParameters, rng: np.random.Generator) -> None:
+        super().__init__(params)
+        self._rng = rng
+
+    def _choose_server(self, partition, obs, dc, exclude=()):  # type: ignore[override]
+        holding = {sid for sid, _ in obs.replicas.servers_with(partition)}
+        holding.update(exclude)
+        return choose_random_server(
+            obs.cluster,
+            dc,
+            self._rng,
+            obs.partition_size_mb,
+            self._params.phi,
+            exclude=holding,
+        )
+
+
+class RandomPlacementRFHPolicy(RFHPolicy):
+    """RFH minus the blocking-probability server choice (ablation A3)."""
+
+    name = "rfh-random-placement"
+
+    def __init__(self, params: RFHParameters, rng: np.random.Generator) -> None:
+        super().__init__(params)
+        self._decision = _RandomPlacementDecision(params, rng)
+
+
+def _run(scenario: Scenario, policy) -> dict[str, float]:
+    sim = Simulation(
+        scenario.config, policy=policy, workload=scenario.trace, events=scenario.events
+    )
+    metrics = sim.run(scenario.epochs)
+    tail = 30
+    return {
+        "utilization": metrics.series("utilization").tail_mean(tail),
+        "total_replicas": metrics.series("total_replicas").last(),
+        "load_imbalance": metrics.series("load_imbalance").tail_mean(tail),
+        "unserved": metrics.series("unserved").tail_mean(tail),
+        "replication_total": float(metrics.array("replication_count").sum()),
+        "suicide_total": float(metrics.array("suicide_count").sum()),
+        "migration_total": float(metrics.array("migration_count").sum()),
+    }
+
+
+def alpha_sweep(
+    config: SimulationConfig,
+    alphas: tuple[float, ...] = (0.05, 0.2, 0.5, 0.8),
+    epochs: int = 400,
+) -> dict[float, dict[str, float]]:
+    """A1: run RFH on the flash crowd for several smoothing factors.
+
+    Small α smooths heavily (stable but slow to adapt); large α chases
+    every Poisson fluctuation (responsive but churny) — the sweep
+    surfaces the trade-off behind Table I's α = 0.2.
+    """
+    scenario = flash_crowd_scenario(config, epochs=epochs)
+    out: dict[float, dict[str, float]] = {}
+    for alpha in alphas:
+        params = RFHParameters(
+            alpha=alpha,
+            beta=config.rfh.beta,
+            gamma=config.rfh.gamma,
+            delta=config.rfh.delta,
+            mu=config.rfh.mu,
+        )
+        out[alpha] = _run(scenario, RFHPolicy(params))
+        out[alpha]["churn"] = (
+            out[alpha]["replication_total"] + out[alpha]["suicide_total"]
+        )
+    return out
+
+
+def threshold_sweep(
+    config: SimulationConfig,
+    betas: tuple[float, ...] = (1.5, 2.0, 3.0),
+    deltas: tuple[float, ...] = (0.1, 0.2, 0.4),
+    epochs: int = 250,
+) -> dict[tuple[float, float], dict[str, float]]:
+    """A2: sweep the overload (β) and suicide (δ) thresholds jointly."""
+    scenario = random_query_scenario(config, epochs=epochs)
+    out: dict[tuple[float, float], dict[str, float]] = {}
+    for beta in betas:
+        for delta in deltas:
+            params = RFHParameters(beta=beta, delta=delta)
+            out[(beta, delta)] = _run(scenario, RFHPolicy(params))
+    return out
+
+
+def placement_ablation(
+    config: SimulationConfig, epochs: int = 300
+) -> dict[str, dict[str, float]]:
+    """A3: Eq. 18 placement versus blind random in-DC placement."""
+    scenario = random_query_scenario(config, epochs=epochs)
+    blocking = _run(scenario, RFHPolicy(config.rfh))
+
+    def build(sim: Simulation):
+        return RandomPlacementRFHPolicy(
+            sim.config.rfh, sim.rng_tree.stream("ablation-placement")
+        )
+
+    blind = _run(scenario, build)
+    return {"lowest-blocking": blocking, "random-in-dc": blind}

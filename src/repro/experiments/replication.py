@@ -1,0 +1,119 @@
+"""Multi-seed experiment replication and summary statistics.
+
+The paper reports single curves; a credible simulation study also
+reports how much of each number is seed noise.  :func:`replicate` runs
+one (policy, scenario-builder) pair under several root seeds — every
+seed gets its own workload trace, cluster capacity draw and policy
+tie-breaking — and aggregates the steady-state metrics into
+mean / standard deviation / range, so figure claims can be checked for
+robustness rather than luck (see ``tests/test_replication.py``, which
+pins the headline Fig. 3/4 orderings across seeds).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import SimulationError
+from .runner import run_experiment
+from .scenarios import Scenario
+
+__all__ = ["MetricStats", "ReplicationResult", "replicate"]
+
+#: Builds a scenario from a config (e.g. ``random_query_scenario``).
+ScenarioBuilder = Callable[[SimulationConfig], Scenario]
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Across-seed statistics of one steady-state metric."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    values: tuple[float, ...]
+
+    @classmethod
+    def of(cls, values: list[float]) -> "MetricStats":
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+            min=float(arr.min()),
+            max=float(arr.max()),
+            values=tuple(float(v) for v in values),
+        )
+
+    def overlaps(self, other: "MetricStats") -> bool:
+        """Whether the two ranges overlap at all (a cheap separation test:
+        non-overlapping ranges mean the ordering held for *every* seed
+        pair)."""
+        return self.min <= other.max and other.min <= self.max
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """All seeds' steady-state metrics for one policy."""
+
+    policy: str
+    scenario: str
+    seeds: tuple[int, ...]
+    stats: dict[str, MetricStats]
+
+    def __getitem__(self, metric: str) -> MetricStats:
+        try:
+            return self.stats[metric]
+        except KeyError:
+            raise SimulationError(
+                f"metric {metric!r} not aggregated; have {sorted(self.stats)}"
+            ) from None
+
+
+#: Steady-state metrics aggregated by default.
+DEFAULT_METRICS: tuple[str, ...] = (
+    "utilization",
+    "total_replicas",
+    "path_length",
+    "load_imbalance",
+    "unserved",
+    "sla_attainment",
+)
+
+
+def replicate(
+    policy: str,
+    base_config: SimulationConfig,
+    scenario_builder: ScenarioBuilder,
+    seeds: tuple[int, ...],
+    metrics: tuple[str, ...] = DEFAULT_METRICS,
+    tail: int = 30,
+) -> ReplicationResult:
+    """Run the experiment once per seed and aggregate steady-state stats.
+
+    Each seed replaces ``base_config.seed`` wholesale, so workload,
+    capacities, failures and policy randomness all vary together —
+    exactly what an independent repetition means.
+    """
+    if not seeds:
+        raise SimulationError("need at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise SimulationError(f"duplicate seeds: {seeds}")
+    collected: dict[str, list[float]] = {name: [] for name in metrics}
+    scenario_name = ""
+    for seed in seeds:
+        scenario = scenario_builder(base_config.replace(seed=seed))
+        result = run_experiment(policy, scenario)
+        scenario_name = result.scenario
+        for name in metrics:
+            collected[name].append(result.steady(name, tail))
+    return ReplicationResult(
+        policy=policy,
+        scenario=scenario_name,
+        seeds=tuple(seeds),
+        stats={name: MetricStats.of(values) for name, values in collected.items()},
+    )

@@ -1,0 +1,57 @@
+"""Run one policy on one scenario and package the result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.collector import MetricsCollector
+from ..sim.engine import Simulation
+from .scenarios import Scenario
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One (policy, scenario) run with convenience accessors."""
+
+    policy: str
+    scenario: str
+    metrics: MetricsCollector
+    simulation: Simulation
+
+    def series(self, name: str) -> np.ndarray:
+        """A metric series as an array."""
+        return self.metrics.array(name)
+
+    def cumulative(self, name: str) -> np.ndarray:
+        """Running total of a per-epoch series (the paper's "total ..."
+        panels are cumulative)."""
+        return self.metrics.series(name).cumulative()
+
+    def steady(self, name: str, tail: int = 30) -> float:
+        """Steady-state estimate: mean over the last ``tail`` epochs."""
+        return self.metrics.series(name).tail_mean(tail)
+
+    def final(self, name: str) -> float:
+        return self.metrics.series(name).last()
+
+
+def run_experiment(policy: str, scenario: Scenario) -> ExperimentResult:
+    """Run ``policy`` over the scenario's recorded trace and events.
+
+    Every run constructs a fresh :class:`Simulation` from the scenario's
+    config, so repeated calls are bit-identical.
+    """
+    sim = Simulation(
+        scenario.config,
+        policy=policy,
+        workload=scenario.trace,
+        events=scenario.events,
+    )
+    metrics = sim.run(scenario.epochs)
+    return ExperimentResult(
+        policy=policy, scenario=scenario.name, metrics=metrics, simulation=sim
+    )

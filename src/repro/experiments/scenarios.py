@@ -1,0 +1,124 @@
+"""Named evaluation scenarios (paper Section III-A).
+
+A :class:`Scenario` bundles everything that defines one experiment
+except the policy: the recorded workload trace (so every policy sees
+identical queries), the scheduled membership events, and the epoch
+count.  The three scenarios of the paper:
+
+* **random query** — uniform origins, Zipf partition popularity;
+* **flash crowd** — the four-stage origin schedule (80 % near H/I/J,
+  then A/B/C, then E/F/G, then uniform; each stage a quarter of the
+  run);
+* **failure & recovery** — random query plus "30 servers are randomly
+  removed at epoch 290" (Fig. 10), with an optional recovery event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SimulationConfig
+from ..sim.events import MassFailureEvent, MembershipEvent, ServerRecoveryEvent
+from ..sim.rng import RngTree
+from ..workload.generator import QueryGenerator
+from ..workload.patterns import FlashCrowdPattern, UniformPattern
+from ..workload.trace import WorkloadTrace
+
+__all__ = [
+    "Scenario",
+    "random_query_scenario",
+    "flash_crowd_scenario",
+    "failure_recovery_scenario",
+    "DEFAULT_FAILURE_EPOCH",
+    "DEFAULT_FAILURE_COUNT",
+]
+
+#: Fig. 10: "30 servers are randomly removed at epoch 290".
+DEFAULT_FAILURE_EPOCH: int = 290
+DEFAULT_FAILURE_COUNT: int = 30
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified experiment setup, minus the policy."""
+
+    name: str
+    config: SimulationConfig
+    trace: WorkloadTrace
+    epochs: int
+    events: tuple[MembershipEvent, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.epochs > len(self.trace):
+            raise ValueError(
+                f"scenario {self.name!r} needs {self.epochs} epochs but the "
+                f"trace only covers {len(self.trace)}"
+            )
+
+
+def _record(config: SimulationConfig, pattern, epochs: int, stream: str) -> WorkloadTrace:
+    generator = QueryGenerator(
+        config.workload, pattern, RngTree(config.seed).stream(stream)
+    )
+    return WorkloadTrace.record(generator, epochs)
+
+
+def random_query_scenario(
+    config: SimulationConfig, epochs: int = 250, num_datacenters: int = 10
+) -> Scenario:
+    """The "random and even query rate" setting of Figs. 3a-9a."""
+    pattern = UniformPattern(
+        config.workload.num_partitions, num_datacenters, config.workload.zipf_exponent
+    )
+    return Scenario(
+        name="random-query",
+        config=config,
+        trace=_record(config, pattern, epochs, "scenario-random"),
+        epochs=epochs,
+    )
+
+
+def flash_crowd_scenario(
+    config: SimulationConfig, epochs: int = 400, num_datacenters: int = 10
+) -> Scenario:
+    """The four-stage flash crowd of Figs. 3b-9b."""
+    pattern = FlashCrowdPattern(
+        config.workload.num_partitions,
+        num_datacenters,
+        config.workload.zipf_exponent,
+        total_epochs=epochs,
+    )
+    return Scenario(
+        name="flash-crowd",
+        config=config,
+        trace=_record(config, pattern, epochs, "scenario-flash"),
+        epochs=epochs,
+    )
+
+
+def failure_recovery_scenario(
+    config: SimulationConfig,
+    epochs: int = 500,
+    failure_epoch: int = DEFAULT_FAILURE_EPOCH,
+    failure_count: int = DEFAULT_FAILURE_COUNT,
+    recovery_epoch: int | None = None,
+    num_datacenters: int = 10,
+) -> Scenario:
+    """Fig. 10: mass failure mid-run, optional later recovery."""
+    pattern = UniformPattern(
+        config.workload.num_partitions, num_datacenters, config.workload.zipf_exponent
+    )
+    events: list[MembershipEvent] = [
+        MassFailureEvent(epoch=failure_epoch, count=failure_count)
+    ]
+    if recovery_epoch is not None:
+        if recovery_epoch <= failure_epoch:
+            raise ValueError("recovery must come after the failure")
+        events.append(ServerRecoveryEvent(epoch=recovery_epoch))
+    return Scenario(
+        name="failure-recovery",
+        config=config,
+        trace=_record(config, pattern, epochs, "scenario-failure"),
+        epochs=epochs,
+        events=tuple(events),
+    )

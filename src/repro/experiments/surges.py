@@ -1,0 +1,186 @@
+"""The two query-surge types of Section II-F, as experiments.
+
+The paper describes — but does not plot — two surge classes and argues
+how each algorithm copes:
+
+* **Location shift** ("query location changes"): demand moves from
+  Tokyo-adjacent origins to Beijing-adjacent ones.  Claimed: "it has
+  little impact on the RFH algorithm ... the traffic hub nodes are
+  still D and E"; "little impact on the owner-oriented algorithm";
+  "however, replicas have to migrate or be added ... according to the
+  request-oriented algorithm, resulting in relatively low efficiency
+  and high cost."
+* **Popularity shift** ("the popularity of a partition changes over
+  time"): a hot partition cools while a cold one heats up.  Claimed:
+  "The RFH algorithm can adapt the replica number according to changing
+  traffic ... unwanted replicas will commit suicide to save resources."
+
+These experiments quantify both claims and are exercised by
+``benchmarks/bench_surges.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..sim.engine import Simulation
+from ..sim.rng import RngTree
+from ..workload.generator import QueryGenerator
+from ..workload.patterns import LocationShiftPattern, PopularityShiftPattern
+from ..workload.trace import WorkloadTrace
+
+__all__ = ["SurgeResult", "location_shift_surge", "popularity_shift_surge"]
+
+
+@dataclass(frozen=True)
+class SurgeResult:
+    """Series + shape checks for one surge experiment."""
+
+    name: str
+    series: dict[str, dict[str, np.ndarray]]
+    checks: dict[str, bool]
+    notes: dict[str, float]
+
+    @property
+    def passed(self) -> bool:
+        return all(self.checks.values())
+
+    def failed_checks(self) -> tuple[str, ...]:
+        return tuple(name for name, ok in self.checks.items() if not ok)
+
+
+def _run(config: SimulationConfig, trace: WorkloadTrace, policy: str, epochs: int):
+    sim = Simulation(config, policy=policy, workload=trace)
+    return sim.run(epochs)
+
+
+def location_shift_surge(
+    config: SimulationConfig,
+    epochs: int = 300,
+    shift_start: int = 120,
+    shift_end: int = 160,
+) -> SurgeResult:
+    """Section II-F's first surge: origins drift Tokyo -> Beijing.
+
+    Checks: RFH's utilization after the shift stays close to its
+    pre-shift level (the Pacific corridor hubs still carry the flows);
+    request-oriented pays more migration than RFH to follow the crowd.
+    """
+    pattern = LocationShiftPattern(
+        config.workload.num_partitions,
+        10,
+        config.workload.zipf_exponent,
+        from_origins=(8,),  # Tokyo (I)
+        to_origins=(7,),  # Beijing (H)
+        shift_start=shift_start,
+        shift_end=shift_end,
+    )
+    generator = QueryGenerator(
+        config.workload, pattern, RngTree(config.seed).stream("surge-location")
+    )
+    trace = WorkloadTrace.record(generator, epochs)
+
+    series: dict[str, dict[str, np.ndarray]] = {"utilization": {}, "migration": {}}
+    notes: dict[str, float] = {}
+    window = 40
+    for policy in ("rfh", "request", "owner"):
+        metrics = _run(config, trace, policy, epochs)
+        util = metrics.array("utilization")
+        series["utilization"][policy] = util
+        series["migration"][policy] = metrics.series("migration_count").cumulative()
+        notes[f"{policy} util before"] = float(
+            util[shift_start - window : shift_start].mean()
+        )
+        notes[f"{policy} util after"] = float(util[-window:].mean())
+        notes[f"{policy} migrations"] = float(
+            metrics.array("migration_count").sum()
+        )
+
+    checks = {
+        "rfh keeps utilization through the shift": (
+            notes["rfh util after"] >= 0.8 * notes["rfh util before"]
+        ),
+        "owner unaffected by the shift": (
+            notes["owner util after"] >= 0.8 * notes["owner util before"]
+        ),
+        "request pays more migration than rfh": (
+            notes["request migrations"] > notes["rfh migrations"]
+        ),
+    }
+    return SurgeResult("location-shift", series, checks, notes)
+
+
+def popularity_shift_surge(
+    config: SimulationConfig,
+    epochs: int = 300,
+    shift_epoch: int = 150,
+    rotate_by: int = 32,
+) -> SurgeResult:
+    """Section II-F's second surge: *which* partition is hot flips.
+
+    At ``shift_epoch`` the Zipf ranking rotates by half the partition
+    space, so the old hot partitions go cold and vice versa.  Checks:
+    RFH grows the newly-hot partitions' replica groups, shrinks the
+    cooled ones (suicides fire), and keeps the *total* footprint in the
+    same band — "adapt the replica number according to changing
+    traffic".
+    """
+    num_partitions = config.workload.num_partitions
+    pattern = PopularityShiftPattern(
+        num_partitions,
+        10,
+        config.workload.zipf_exponent,
+        shift_epochs=(shift_epoch,),
+        rotate_by=rotate_by,
+    )
+    generator = QueryGenerator(
+        config.workload, pattern, RngTree(config.seed).stream("surge-popularity")
+    )
+    trace = WorkloadTrace.record(generator, epochs)
+
+    sim = Simulation(config, policy="rfh", workload=trace)
+    hot_before = 0  # hottest partition before the shift
+    hot_after = rotate_by % num_partitions  # hottest after
+
+    before_counts = after_counts = None
+    for epoch in range(epochs):
+        sim.step()
+        if epoch == shift_epoch - 1:
+            before_counts = list(sim.replicas.per_partition_counts())
+    after_counts = list(sim.replicas.per_partition_counts())
+    assert before_counts is not None
+
+    metrics = sim.metrics
+    suicides_after = float(metrics.array("suicide_count")[shift_epoch:].sum())
+    total_before = float(metrics.array("total_replicas")[shift_epoch - 1])
+    total_after = float(metrics.array("total_replicas")[-1])
+
+    notes = {
+        "old-hot replicas before": float(before_counts[hot_before]),
+        "old-hot replicas after": float(after_counts[hot_before]),
+        "new-hot replicas before": float(before_counts[hot_after]),
+        "new-hot replicas after": float(after_counts[hot_after]),
+        "suicides after shift": suicides_after,
+        "total before": total_before,
+        "total after": total_after,
+    }
+    checks = {
+        "newly-hot partition gains replicas": (
+            after_counts[hot_after] > before_counts[hot_after]
+        ),
+        "cooled partition sheds replicas": (
+            after_counts[hot_before] < before_counts[hot_before]
+        ),
+        "suicides reclaim the cooled replicas": suicides_after > 0,
+        "total footprint stays in band": (
+            abs(total_after - total_before) <= 0.35 * total_before
+        ),
+    }
+    series = {
+        "total_replicas": {"rfh": metrics.array("total_replicas")},
+        "utilization": {"rfh": metrics.array("utilization")},
+    }
+    return SurgeResult("popularity-shift", series, checks, notes)

@@ -1,0 +1,30 @@
+"""Geographic hierarchy substrate (paper Section II-A).
+
+Every physical node carries a label of the form
+``continent-country-datacenter-room-rack-server`` (e.g.
+``NA-USA-GA1-C01-R02-S5``) and the *availability level* of a pair of
+servers is defined by the deepest hierarchy level they share:
+
+===========  =====================================
+Level        Meaning
+===========  =====================================
+5 (highest)  different datacenters
+4            same datacenter, different rooms
+3            same room, different racks
+2            same rack, different servers
+1 (lowest)   the very same server
+===========  =====================================
+"""
+
+from .availability_level import AVAILABILITY_LEVELS, AvailabilityLevel, availability_level
+from .hierarchy import GeoHierarchy, build_default_hierarchy
+from .labels import GeoLabel
+
+__all__ = [
+    "GeoLabel",
+    "AvailabilityLevel",
+    "AVAILABILITY_LEVELS",
+    "availability_level",
+    "GeoHierarchy",
+    "build_default_hierarchy",
+]

@@ -1,0 +1,62 @@
+"""Availability levels of server pairs (paper Section II-A).
+
+"If two servers are in different datacenters, they are of the highest
+availability level, Level 5.  If two servers are in the same datacenter,
+but different rooms, their availability level is 4.  Correspondingly, the
+lowest level is Level 1, which means the two replicas are in the same
+server."
+
+The mapping from shared-label-prefix depth to level is therefore::
+
+    shared depth 0..2 (different datacenter)  ->  level 5
+    shared depth 3    (same DC, diff room)    ->  level 4
+    shared depth 4    (same room, diff rack)  ->  level 3
+    shared depth 5    (same rack, diff server)->  level 2
+    shared depth 6    (same server)           ->  level 1
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .labels import GeoLabel
+
+__all__ = ["AvailabilityLevel", "availability_level", "AVAILABILITY_LEVELS"]
+
+
+class AvailabilityLevel(enum.IntEnum):
+    """Geographic-diversity level of a replica pair; higher is safer."""
+
+    SAME_SERVER = 1
+    SAME_RACK = 2
+    SAME_ROOM = 3
+    SAME_DATACENTER = 4
+    DIFFERENT_DATACENTER = 5
+
+
+#: All levels from safest to least safe, for iteration in preference order.
+AVAILABILITY_LEVELS: tuple[AvailabilityLevel, ...] = (
+    AvailabilityLevel.DIFFERENT_DATACENTER,
+    AvailabilityLevel.SAME_DATACENTER,
+    AvailabilityLevel.SAME_ROOM,
+    AvailabilityLevel.SAME_RACK,
+    AvailabilityLevel.SAME_SERVER,
+)
+
+_DEPTH_TO_LEVEL: dict[int, AvailabilityLevel] = {
+    0: AvailabilityLevel.DIFFERENT_DATACENTER,
+    1: AvailabilityLevel.DIFFERENT_DATACENTER,
+    2: AvailabilityLevel.DIFFERENT_DATACENTER,
+    3: AvailabilityLevel.SAME_DATACENTER,
+    4: AvailabilityLevel.SAME_ROOM,
+    5: AvailabilityLevel.SAME_RACK,
+    6: AvailabilityLevel.SAME_SERVER,
+}
+
+
+def availability_level(a: GeoLabel, b: GeoLabel) -> AvailabilityLevel:
+    """Availability level of placing one replica at ``a`` and one at ``b``.
+
+    Symmetric: ``availability_level(a, b) == availability_level(b, a)``.
+    """
+    return _DEPTH_TO_LEVEL[a.shared_prefix_depth(b)]

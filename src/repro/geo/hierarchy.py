@@ -1,0 +1,135 @@
+"""The default 10-datacenter global deployment (paper Fig. 1 + III-A).
+
+"It consists of 10 datacenters geographically distributed in different
+countries, different continents.  Three of them are in America, two of
+them are in Canada, and two are in Swiss.  The rest three are in China
+and Japan."
+
+The paper never names the sites, so we pin plausible cities (DESIGN.md,
+substitution table): the exact coordinates only set WAN distances, and
+only the *relative* geometry (which datacenters sit on transit paths)
+matters for the traffic-hub dynamics being reproduced.
+
+Sites are lettered ``A``..``J`` to match Fig. 1's narrative: ``A`` is the
+US-East hot-partition holder; ``D``/``E`` (Canada) and ``F`` (Switzerland)
+become the transit hubs of queries arriving from Asia (``H``/``I``/``J``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+from .labels import GeoLabel
+
+__all__ = ["DatacenterSite", "GeoHierarchy", "build_default_hierarchy", "DEFAULT_SITES"]
+
+
+@dataclass(frozen=True)
+class DatacenterSite:
+    """One datacenter location: letter name, geography and coordinates."""
+
+    index: int
+    name: str
+    continent: str
+    country: str
+    city: str
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise TopologyError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise TopologyError(f"longitude out of range: {self.longitude}")
+
+    def label_prefix(self) -> tuple[str, str, str]:
+        """(continent, country, datacenter) components for server labels."""
+        return (self.continent, self.country, self.name)
+
+
+#: The default deployment matching Section III-A's country mix.
+DEFAULT_SITES: tuple[DatacenterSite, ...] = (
+    DatacenterSite(0, "A", "NA", "USA", "Ashburn", 39.04, -77.49),
+    DatacenterSite(1, "B", "NA", "USA", "Dallas", 32.78, -96.80),
+    DatacenterSite(2, "C", "NA", "USA", "SanJose", 37.34, -121.89),
+    DatacenterSite(3, "D", "NA", "CAN", "Toronto", 43.65, -79.38),
+    DatacenterSite(4, "E", "NA", "CAN", "Vancouver", 49.28, -123.12),
+    DatacenterSite(5, "F", "EU", "CHE", "Zurich", 47.37, 8.54),
+    DatacenterSite(6, "G", "EU", "CHE", "Geneva", 46.20, 6.14),
+    DatacenterSite(7, "H", "AS", "CHN", "Beijing", 39.90, 116.40),
+    DatacenterSite(8, "I", "AS", "JPN", "Tokyo", 35.68, 139.69),
+    DatacenterSite(9, "J", "AS", "CHN", "Shanghai", 31.23, 121.47),
+)
+
+
+class GeoHierarchy:
+    """An indexed collection of datacenter sites with label helpers."""
+
+    def __init__(self, sites: tuple[DatacenterSite, ...]) -> None:
+        if not sites:
+            raise TopologyError("a hierarchy needs at least one datacenter site")
+        names = [s.name for s in sites]
+        if len(set(names)) != len(names):
+            raise TopologyError(f"duplicate datacenter names: {names}")
+        for expected, site in enumerate(sites):
+            if site.index != expected:
+                raise TopologyError(
+                    f"site indices must be 0..n-1 in order; saw {site.index} at position {expected}"
+                )
+        self._sites = sites
+        self._by_name = {s.name: s for s in sites}
+
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> tuple[DatacenterSite, ...]:
+        """All sites in index order."""
+        return self._sites
+
+    @property
+    def num_datacenters(self) -> int:
+        return len(self._sites)
+
+    def site(self, index: int) -> DatacenterSite:
+        """Site by integer index; raises :class:`TopologyError` if unknown."""
+        if not 0 <= index < len(self._sites):
+            raise TopologyError(f"datacenter index out of range: {index}")
+        return self._sites[index]
+
+    def by_name(self, name: str) -> DatacenterSite:
+        """Site by letter name (``"A"``..)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TopologyError(f"unknown datacenter name: {name!r}") from None
+
+    def indices_by_country(self, country: str) -> tuple[int, ...]:
+        """Indices of all datacenters in ``country``."""
+        return tuple(s.index for s in self._sites if s.country == country)
+
+    def indices_by_continent(self, continent: str) -> tuple[int, ...]:
+        """Indices of all datacenters on ``continent``."""
+        return tuple(s.index for s in self._sites if s.continent == continent)
+
+    # ------------------------------------------------------------------
+    def server_label(self, dc_index: int, room: int, rack: int, server: int) -> GeoLabel:
+        """Deterministic label for a server slot inside a datacenter.
+
+        Rooms/racks/servers are 0-based slot indices and are rendered with
+        the paper's ``C01``/``R02``/``S5`` style (1-based display).
+        """
+        site = self.site(dc_index)
+        continent, country, dc = site.label_prefix()
+        return GeoLabel(
+            continent=continent,
+            country=country,
+            datacenter=dc,
+            room=f"C{room + 1:02d}",
+            rack=f"R{rack + 1:02d}",
+            server=f"S{server + 1}",
+        )
+
+
+def build_default_hierarchy() -> GeoHierarchy:
+    """The 10-site deployment of Section III-A (3 US, 2 CA, 2 CH, 3 CN/JP)."""
+    return GeoHierarchy(DEFAULT_SITES)

@@ -1,0 +1,114 @@
+"""Hierarchical geographic labels.
+
+The paper (Section II-A): "each physical node ... has a label of the form
+'continent-country-datacenter-room-rack-server' in order to identify its
+geographical location.  For example ... a server located in Datacenter A
+is possibly labeled as 'NA-USA-GA1-C01-R02-S5'."
+
+:class:`GeoLabel` is an immutable six-component label with parsing,
+formatting and prefix comparison.  The paper's automatic address
+configuration (DAC/BCube, refs [2][3]) is replaced by deterministic label
+assignment — see DESIGN.md, substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+
+__all__ = ["GeoLabel"]
+
+_NUM_COMPONENTS = 6
+
+
+@dataclass(frozen=True, order=True)
+class GeoLabel:
+    """A ``continent-country-datacenter-room-rack-server`` location label.
+
+    Components are free-form non-empty strings without ``-``.  Ordering
+    and equality are lexicographic over the component tuple, which makes
+    labels usable as deterministic sort keys.
+    """
+
+    continent: str
+    country: str
+    datacenter: str
+    room: str
+    rack: str
+    server: str
+
+    def __post_init__(self) -> None:
+        for name in ("continent", "country", "datacenter", "room", "rack", "server"):
+            value = getattr(self, name)
+            if not value:
+                raise TopologyError(f"label component {name!r} must be non-empty")
+            if "-" in value:
+                raise TopologyError(
+                    f"label component {name!r} must not contain '-', got {value!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "GeoLabel":
+        """Parse ``"NA-USA-GA1-C01-R02-S5"`` into a :class:`GeoLabel`.
+
+        Raises
+        ------
+        TopologyError
+            If the string does not have exactly six ``-``-separated
+            non-empty components.
+        """
+        parts = text.split("-")
+        if len(parts) != _NUM_COMPONENTS:
+            raise TopologyError(
+                f"expected {_NUM_COMPONENTS} '-'-separated components, got {len(parts)}: {text!r}"
+            )
+        return cls(*parts)
+
+    def __str__(self) -> str:
+        return "-".join(self.components)
+
+    @property
+    def components(self) -> tuple[str, str, str, str, str, str]:
+        """The six components, outermost (continent) first."""
+        return (
+            self.continent,
+            self.country,
+            self.datacenter,
+            self.room,
+            self.rack,
+            self.server,
+        )
+
+    # ------------------------------------------------------------------
+    # Hierarchy queries
+    # ------------------------------------------------------------------
+    def shared_prefix_depth(self, other: "GeoLabel") -> int:
+        """Number of leading components shared with ``other`` (0..6).
+
+        Depth 6 means the two labels denote the very same server; depth 0
+        means not even the continent matches.
+        """
+        depth = 0
+        for mine, theirs in zip(self.components, other.components):
+            if mine != theirs:
+                break
+            depth += 1
+        return depth
+
+    def same_datacenter(self, other: "GeoLabel") -> bool:
+        """True when both labels are inside the same datacenter."""
+        return self.shared_prefix_depth(other) >= 3
+
+    def same_rack(self, other: "GeoLabel") -> bool:
+        """True when both labels are inside the same rack."""
+        return self.shared_prefix_depth(other) >= 5
+
+    def with_server(self, server: str) -> "GeoLabel":
+        """Copy of this label pointing at a different server slot."""
+        return GeoLabel(
+            self.continent, self.country, self.datacenter, self.room, self.rack, server
+        )

@@ -1,0 +1,46 @@
+"""Evaluation metrics (paper Sections II-G, II-H, III).
+
+Every quantity the paper plots, computed from engine state each epoch:
+
+* :mod:`repro.metrics.utilization` — average replica utilization,
+  Eqs. 20–23 (Fig. 3);
+* :mod:`repro.metrics.cost` — replication/migration cost, Eq. 1
+  (Figs. 5, 7);
+* :mod:`repro.metrics.imbalance` — load imbalance, Eqs. 24–26 (Fig. 8);
+* :mod:`repro.metrics.path_length` — lookup path length (Fig. 9);
+* :mod:`repro.metrics.availability_metric` — per-partition availability
+  against the Eq. 14 floor (Fig. 10 context);
+* :mod:`repro.metrics.series` / :mod:`repro.metrics.collector` — the
+  per-epoch series store experiments read back.
+"""
+
+from .availability_metric import availability_summary
+from .collector import MetricsCollector
+from .cost import migration_cost, replication_cost
+from .imbalance import (
+    load_imbalance,
+    replica_load_cv,
+    replica_load_imbalance,
+    server_load_imbalance,
+)
+from .latency import LatencyModel, LatencySummary
+from .path_length import mean_path_length
+from .series import Series
+from .utilization import average_utilization, replica_group_utilization
+
+__all__ = [
+    "average_utilization",
+    "replica_group_utilization",
+    "replication_cost",
+    "migration_cost",
+    "load_imbalance",
+    "replica_load_cv",
+    "replica_load_imbalance",
+    "server_load_imbalance",
+    "mean_path_length",
+    "LatencyModel",
+    "LatencySummary",
+    "availability_summary",
+    "Series",
+    "MetricsCollector",
+]

@@ -1,0 +1,26 @@
+"""Lookup path length (paper Fig. 9).
+
+A query's lookup path length is the number of WAN hops it travelled
+before a replica served it (0 = served in its origin datacenter).
+Queries blocked at the holder are charged the full path — they paid the
+latency and still failed, so discounting them would flatter overloaded
+configurations.  The service kernel accumulates the hop-weighted sum;
+this module just normalises.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["mean_path_length"]
+
+
+def mean_path_length(hop_sum: float, query_count: float) -> float:
+    """Average WAN hops per query; 0.0 for an idle epoch."""
+    if hop_sum < 0 or query_count < 0:
+        raise SimulationError(
+            f"hop_sum and query_count must be >= 0, got {hop_sum}, {query_count}"
+        )
+    if query_count == 0:
+        return 0.0
+    return hop_sum / query_count

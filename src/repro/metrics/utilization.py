@@ -1,0 +1,88 @@
+"""Average replica utilization (paper Eqs. 20–23, Fig. 3).
+
+Eq. 20 defines the utilization of the ``l``-th replica on node ``k`` as
+the clamped fill fraction under *sequential fill*:
+
+    U_iklt = min(1, max(0, (tr_ikt − Σ_{n<l} C_ikn) / C_ikl))
+
+and Eq. 21 averages over every replica in the system:
+
+    Ū_t = Σ U_iklt / Σ m_ikt .
+
+With equal per-replica capacity ``C_k`` on a server (our model — a
+server's replicas share its hardware), the sum of the sequential-fill
+fractions of the ``m_ik`` replicas of partition ``i`` on server ``k``
+collapses to ``served_ik / C_k`` clamped to ``m_ik``:  the service
+kernel already caps ``served_ik ≤ m_ik · C_k``, so the group's summed
+utilization is exactly ``served_ik / C_k``.  The average over all
+replicas is then
+
+    Ū_t = ( Σ_ik served_ik / C_k ) / ( Σ_ik m_ik )
+
+which is what :func:`average_utilization` evaluates, fully vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["replica_group_utilization", "average_utilization"]
+
+
+def replica_group_utilization(
+    served: float, count: int, capacity: float
+) -> float:
+    """Summed Eq. 20 utilization of one server's replica group.
+
+    ``served`` queries spread sequentially over ``count`` replicas of
+    per-replica ``capacity``; the result is in ``[0, count]``.
+    """
+    if capacity <= 0:
+        raise SimulationError(f"capacity must be > 0, got {capacity}")
+    if count < 1:
+        raise SimulationError(f"count must be >= 1, got {count}")
+    if served < 0:
+        raise SimulationError(f"served must be >= 0, got {served}")
+    return min(float(count), served / capacity)
+
+
+def average_utilization(
+    served_server: np.ndarray,
+    replica_counts: np.ndarray,
+    capacities: np.ndarray,
+) -> float:
+    """Eq. 21: mean utilization over every replica in the system.
+
+    Parameters
+    ----------
+    served_server:
+        ``(P, S)`` served-query matrix from the service kernel.
+    replica_counts:
+        ``(P, S)`` integer replica multiplicities ``m_ik``.
+    capacities:
+        Length-``S`` per-replica capacities ``C_k``.
+
+    Returns 0.0 when the system holds no replicas (pre-bootstrap).
+    """
+    if served_server.shape != replica_counts.shape:
+        raise SimulationError(
+            f"shape mismatch: served {served_server.shape} vs counts {replica_counts.shape}"
+        )
+    if capacities.shape != (served_server.shape[1],):
+        raise SimulationError(
+            f"capacities must have length {served_server.shape[1]}, got {capacities.shape}"
+        )
+    total_replicas = replica_counts.sum()
+    if total_replicas == 0:
+        return 0.0
+    mask = replica_counts > 0
+    if np.any(capacities[np.any(mask, axis=0)] <= 0):
+        raise SimulationError("replica-holding servers must have positive capacity")
+    fills = np.zeros_like(served_server)
+    cols = np.broadcast_to(capacities, served_server.shape)
+    fills[mask] = served_server[mask] / cols[mask]
+    # The kernel guarantees served <= m * C; clip guards float fuzz only.
+    fills = np.minimum(fills, replica_counts)
+    return float(fills.sum() / total_replicas)

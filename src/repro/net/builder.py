@@ -1,0 +1,77 @@
+"""Default WAN topology construction.
+
+The link set is chosen to reproduce the Fig. 1 situation the paper
+narrates: the hot partition lives in datacenter ``A`` (US-East) and "80%
+of the queries are from the clients near to datacenters I, J and H"
+(Tokyo/Shanghai/Beijing); those queries transit ``D`` and ``F`` (and in
+our geometry also ``E``), which therefore "shoulder most traffic" and are
+where RFH wants replicas.
+
+Links (13 total):
+
+* US backbone: A–B, B–C, A–C (triangle so intra-US routing is short);
+* Canada: D–E, plus cross-border D–A and E–C;
+* Europe: F–G, plus transatlantic F–A;
+* Asia: H–I, H–J, I–J (triangle);
+* Trans-Pacific: I–E (Tokyo–Vancouver);
+* Eurasia: H–F (Beijing–Zurich).
+
+Consequences (verified by tests): shortest paths from H/I/J to A run
+through E→D (Pacific) or F (Eurasian), never directly, so traffic hubs
+exist exactly where the paper says they do.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from ..geo.hierarchy import GeoHierarchy, build_default_hierarchy
+from .coordinates import site_distance_km
+from .graph import WanGraph
+
+__all__ = ["DEFAULT_LINKS", "build_wan", "build_default_wan"]
+
+#: Default links as datacenter letter pairs.
+DEFAULT_LINKS: tuple[tuple[str, str], ...] = (
+    ("A", "B"),
+    ("B", "C"),
+    ("A", "C"),
+    ("D", "E"),
+    ("D", "A"),
+    ("E", "C"),
+    ("F", "G"),
+    ("F", "A"),
+    ("H", "I"),
+    ("H", "J"),
+    ("I", "J"),
+    ("I", "E"),
+    ("H", "F"),
+)
+
+
+def build_wan(
+    hierarchy: GeoHierarchy, links: tuple[tuple[str, str], ...] = DEFAULT_LINKS
+) -> WanGraph:
+    """Build a WAN graph over ``hierarchy``'s sites with the given links.
+
+    Edge weights are great-circle distances between the linked sites.
+
+    Raises
+    ------
+    TopologyError
+        If a link references an unknown site or the result is
+        disconnected.
+    """
+    edges: list[tuple[int, int, float]] = []
+    for name_u, name_v in links:
+        site_u = hierarchy.by_name(name_u)
+        site_v = hierarchy.by_name(name_v)
+        if site_u.index == site_v.index:
+            raise TopologyError(f"link {name_u}-{name_v} is a self-loop")
+        edges.append((site_u.index, site_v.index, site_distance_km(site_u, site_v)))
+    return WanGraph(hierarchy.num_datacenters, edges)
+
+
+def build_default_wan() -> tuple[GeoHierarchy, WanGraph]:
+    """The default 10-site hierarchy together with its default WAN graph."""
+    hierarchy = build_default_hierarchy()
+    return hierarchy, build_wan(hierarchy)

@@ -1,0 +1,56 @@
+"""Great-circle distances between datacenter sites.
+
+Replication cost (paper Eq. 1) is proportional to the distance ``d_i``
+between source and destination.  We use the haversine great-circle
+distance between site coordinates as that ``d``; intra-datacenter
+transfers get a small constant distance so same-DC replication is cheap
+but never free.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..geo.hierarchy import DatacenterSite
+
+__all__ = ["EARTH_RADIUS_KM", "INTRA_DATACENTER_KM", "great_circle_km", "site_distance_km"]
+
+#: Mean Earth radius used by the haversine formula.
+EARTH_RADIUS_KM: float = 6371.0
+
+#: Nominal distance charged for an intra-datacenter transfer (two servers
+#: in the same building are metres apart; 1 km keeps Eq. 1 strictly
+#: positive without distorting inter-DC comparisons).
+INTRA_DATACENTER_KM: float = 1.0
+
+
+def great_circle_km(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Haversine great-circle distance in kilometres.
+
+    Symmetric, zero iff the points coincide, and always finite for valid
+    coordinates.
+    """
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    # Clamp against floating-point overshoot before the asin.
+    a = min(1.0, max(0.0, a))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+def site_distance_km(a: DatacenterSite, b: DatacenterSite) -> float:
+    """Distance between two datacenter sites.
+
+    Same site -> :data:`INTRA_DATACENTER_KM` (replication inside one
+    datacenter still crosses a network, see Eq. 1 discussion in
+    Section III-C: "replicas are placed on the same datacenter of the
+    primary partition holders, but in different servers; thus, the
+    replication cost is even lower than replicating on neighbors").
+    """
+    if a.index == b.index:
+        return INTRA_DATACENTER_KM
+    return great_circle_km(a.latitude, a.longitude, b.latitude, b.longitude)

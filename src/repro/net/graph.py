@@ -1,0 +1,105 @@
+"""Validated, immutable WAN graph over datacenter indices.
+
+A thin wrapper around :class:`networkx.Graph` that enforces the
+invariants routing relies on:
+
+* nodes are exactly ``0..n-1`` (datacenter indices);
+* every edge carries a strictly positive ``distance_km`` weight;
+* the graph is connected (every requester can reach every holder).
+
+The wrapper is immutable after construction — topology changes in the
+paper happen at the *server* level (join/failure/recovery), never at the
+WAN level, so a frozen graph lets the router cache all-pairs paths once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from ..errors import TopologyError
+
+__all__ = ["WanGraph"]
+
+
+class WanGraph:
+    """An immutable weighted graph over datacenter indices.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of datacenters; node ids are ``0..num_nodes-1``.
+    edges:
+        Iterable of ``(u, v, distance_km)`` triples.
+    """
+
+    def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int, float]]) -> None:
+        if num_nodes < 1:
+            raise TopologyError(f"num_nodes must be >= 1, got {num_nodes}")
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_nodes))
+        for u, v, dist in edges:
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise TopologyError(f"edge ({u}, {v}) references an unknown node")
+            if u == v:
+                raise TopologyError(f"self-loop on node {u} is not allowed")
+            if dist <= 0:
+                raise TopologyError(f"edge ({u}, {v}) must have positive distance, got {dist}")
+            if graph.has_edge(u, v):
+                raise TopologyError(f"duplicate edge ({u}, {v})")
+            graph.add_edge(u, v, distance_km=float(dist))
+        if num_nodes > 1 and not nx.is_connected(graph):
+            components = [sorted(c) for c in nx.connected_components(graph)]
+            raise TopologyError(f"WAN graph is disconnected: components {components}")
+        self._graph = graph
+        self._num_nodes = num_nodes
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of datacenters."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of WAN links."""
+        return self._graph.number_of_edges()
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """Sorted neighbour datacenters of ``node``."""
+        self._check_node(node)
+        return tuple(sorted(self._graph.neighbors(node)))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when a direct WAN link connects ``u`` and ``v``."""
+        return self._graph.has_edge(u, v)
+
+    def edge_distance_km(self, u: int, v: int) -> float:
+        """Distance of the direct link ``u``–``v``.
+
+        Raises :class:`TopologyError` when no such link exists.
+        """
+        if not self._graph.has_edge(u, v):
+            raise TopologyError(f"no WAN link between {u} and {v}")
+        return float(self._graph.edges[u, v]["distance_km"])
+
+    def edges(self) -> tuple[tuple[int, int, float], ...]:
+        """All edges as sorted ``(u, v, distance_km)`` triples with u < v."""
+        out = []
+        for u, v, data in self._graph.edges(data=True):
+            a, b = (u, v) if u < v else (v, u)
+            out.append((a, b, float(data["distance_km"])))
+        return tuple(sorted(out))
+
+    def as_networkx(self) -> nx.Graph:
+        """A *copy* of the underlying graph (callers cannot mutate ours)."""
+        return self._graph.copy()
+
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise TopologyError(f"datacenter index out of range: {node}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WanGraph(nodes={self._num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,147 @@
+"""Deterministic shortest-path routing over the WAN graph.
+
+The traffic-determination model (paper Eqs. 2–8) is defined over "the
+routing path from requester j to the holder of partition B_i"; the set of
+nodes on that path is ``A_ij``.  :class:`Router` precomputes all-pairs
+shortest paths (distance-weighted, deterministic tie-break by node index)
+once per topology — the WAN never changes during a run — and exposes:
+
+* :meth:`Router.path` — the ordered datacenter path ``j → holder``;
+* :meth:`Router.distance_km` — path distance, feeding Eq. 1's ``d``;
+* :meth:`Router.transit_counts` — how many source–destination pairs each
+  node forwards for, i.e. which nodes are structural "conjunction nodes
+  of many necessary routing paths".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TopologyError
+from .graph import WanGraph
+
+__all__ = ["Router"]
+
+
+class Router:
+    """All-pairs deterministic shortest paths over a :class:`WanGraph`.
+
+    Uses Dijkstra with a lexicographic tie-break: among equal-distance
+    paths the one whose predecessor has the smaller index wins, so every
+    run of the simulation sees identical routes.
+    """
+
+    def __init__(self, wan: WanGraph) -> None:
+        self._wan = wan
+        n = wan.num_nodes
+        self._dist = np.full((n, n), np.inf, dtype=np.float64)
+        # _next_hop[s, d] = first hop on the path s -> d (or -1 on s == d).
+        self._next_hop = np.full((n, n), -1, dtype=np.int64)
+        self._paths: dict[tuple[int, int], tuple[int, ...]] = {}
+        for source in range(n):
+            self._run_dijkstra(source)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _run_dijkstra(self, source: int) -> None:
+        n = self._wan.num_nodes
+        dist = np.full(n, np.inf, dtype=np.float64)
+        prev = np.full(n, -1, dtype=np.int64)
+        visited = np.zeros(n, dtype=bool)
+        dist[source] = 0.0
+        for _ in range(n):
+            # Deterministic extraction: smallest distance, then smallest id.
+            pending = np.where(~visited)[0]
+            if pending.size == 0:
+                break
+            u = int(pending[np.argmin(dist[pending])])
+            if not np.isfinite(dist[u]):
+                break
+            visited[u] = True
+            for v in self._wan.neighbors(u):
+                if visited[v]:
+                    continue
+                cand = dist[u] + self._wan.edge_distance_km(u, v)
+                # Strict improvement, or equal distance with a smaller
+                # predecessor index: both keep routing deterministic.
+                if cand < dist[v] - 1e-12 or (
+                    abs(cand - dist[v]) <= 1e-12 and prev[v] > u
+                ):
+                    dist[v] = cand
+                    prev[v] = u
+        self._dist[source, :] = dist
+        for dest in range(n):
+            if dest == source or not np.isfinite(dist[dest]):
+                continue
+            path = [dest]
+            node = dest
+            while node != source:
+                node = int(prev[node])
+                if node < 0:  # pragma: no cover - connectivity is validated
+                    raise TopologyError(f"no path from {source} to {dest}")
+                path.append(node)
+            path.reverse()
+            self._paths[(source, dest)] = tuple(path)
+            self._next_hop[source, dest] = path[1]
+        self._paths[(source, source)] = (source,)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._wan.num_nodes
+
+    def path(self, source: int, dest: int) -> tuple[int, ...]:
+        """Ordered datacenter path from ``source`` to ``dest``, inclusive.
+
+        ``path(j, j) == (j,)`` — a query raised inside the holder's own
+        datacenter has a zero-hop path.
+        """
+        try:
+            return self._paths[(source, dest)]
+        except KeyError:
+            raise TopologyError(f"invalid route endpoints ({source}, {dest})") from None
+
+    def hop_count(self, source: int, dest: int) -> int:
+        """Number of WAN hops (edges) on the route."""
+        return len(self.path(source, dest)) - 1
+
+    def distance_km(self, source: int, dest: int) -> float:
+        """Shortest-path distance in kilometres (0.0 for source == dest)."""
+        if not (0 <= source < self.num_nodes and 0 <= dest < self.num_nodes):
+            raise TopologyError(f"invalid route endpoints ({source}, {dest})")
+        return float(self._dist[source, dest])
+
+    def next_hop(self, source: int, dest: int) -> int:
+        """First hop on the route, or ``source`` itself when already there."""
+        if source == dest:
+            return source
+        hop = int(self._next_hop[source, dest])
+        if hop < 0:
+            raise TopologyError(f"invalid route endpoints ({source}, {dest})")
+        return hop
+
+    def wan_neighbors(self, node: int) -> tuple[int, ...]:
+        """Direct WAN neighbours of a datacenter (sorted)."""
+        return self._wan.neighbors(node)
+
+    def transit_counts(self) -> np.ndarray:
+        """How many ordered (s, d) pairs each node *forwards* for.
+
+        A node forwards for a pair when it lies strictly inside the path
+        (neither endpoint).  High counts identify the structural traffic
+        hubs of the topology; tests assert D/E/F dominate the default WAN.
+        """
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        for (source, dest), path in self._paths.items():
+            if source == dest:
+                continue
+            for node in path[1:-1]:
+                counts[node] += 1
+        return counts
+
+    def distance_matrix_km(self) -> np.ndarray:
+        """Copy of the all-pairs shortest distance matrix."""
+        return self._dist.copy()

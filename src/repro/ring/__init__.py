@@ -1,0 +1,37 @@
+"""Consistent-hashing ring substrate (paper Section II-B).
+
+"The partitioning scheme of RFH is built using a variant of consistent
+hashing.  ...  A ring topology, which is treated as a fixed circular
+space, is employed as the output range of a hash function.  A ring
+consists of several virtual nodes.  Each node is assigned a random value
+within the hashing space to represent its position.  A physical node
+hosts an amount of virtual nodes within its capacity limit."
+
+* :mod:`repro.ring.hashspace` — the fixed circular id space and stable
+  hashing;
+* :mod:`repro.ring.hashring` — tokens, successor lookup, minimal-
+  disruption join/leave;
+* :mod:`repro.ring.partition` — mapping data partitions to their primary
+  holders;
+* :mod:`repro.ring.finger` — Chord-style finger tables giving the
+  O(log n) overlay lookup the paper cites for its routing layer.
+"""
+
+from .finger import FingerTable
+from .overlay import OverlayAnalyzer, OverlayLookupStats
+from .hashring import HashRing, Token
+from .hashspace import HASH_SPACE_BITS, HASH_SPACE_SIZE, ring_distance, stable_hash
+from .partition import PartitionMapper
+
+__all__ = [
+    "HASH_SPACE_BITS",
+    "HASH_SPACE_SIZE",
+    "stable_hash",
+    "ring_distance",
+    "Token",
+    "HashRing",
+    "PartitionMapper",
+    "FingerTable",
+    "OverlayAnalyzer",
+    "OverlayLookupStats",
+]

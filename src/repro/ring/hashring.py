@@ -1,0 +1,170 @@
+"""Token ring: virtual-node positions with successor ownership.
+
+Each physical server hosts a number of *tokens* (virtual nodes) at
+pseudo-random positions; the owner of a key is the server of the first
+token clockwise from the key ("the N-1 clockwise successor nodes" rule
+of Dynamo starts from the same successor notion).  Token positions are
+``stable_hash(f"server:{sid}:token:{k}")`` so the ring is a pure function
+of membership — no RNG, no cross-process drift.
+
+Join/leave disruption is minimal by construction and verified by tests:
+adding a server only claims arcs from the tokens immediately clockwise
+of the new tokens; removing one only cedes its own arcs ("node join and
+departure only impacts its immediate neighbors", Section I).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from ..errors import RingError
+from .hashspace import stable_hash
+
+__all__ = ["Token", "HashRing"]
+
+
+@dataclass(frozen=True, order=True)
+class Token:
+    """One virtual node: a ring position owned by a server."""
+
+    position: int
+    sid: int
+    index: int  # which of the server's tokens this is
+
+
+class HashRing:
+    """Sorted token ring with successor lookup and membership changes.
+
+    Parameters
+    ----------
+    tokens_per_server:
+        Virtual nodes per physical server ("a physical node hosts an
+        amount of virtual nodes within its capacity limit").  More tokens
+        smooth ownership imbalance; 8 is plenty for 100 servers.
+    """
+
+    def __init__(self, tokens_per_server: int = 8) -> None:
+        if tokens_per_server < 1:
+            raise RingError(f"tokens_per_server must be >= 1, got {tokens_per_server}")
+        self._tokens_per_server = tokens_per_server
+        self._positions: list[int] = []  # sorted, parallel to _tokens
+        self._tokens: list[Token] = []
+        self._members: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> tuple[int, ...]:
+        """Sorted server ids currently on the ring."""
+        return tuple(sorted(self._members))
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def tokens_per_server(self) -> int:
+        return self._tokens_per_server
+
+    def tokens(self) -> tuple[Token, ...]:
+        """All tokens in position order."""
+        return tuple(self._tokens)
+
+    def _token_positions(self, sid: int) -> list[tuple[int, Token]]:
+        out = []
+        for k in range(self._tokens_per_server):
+            position = stable_hash(f"server:{sid}:token:{k}")
+            out.append((position, Token(position, sid, k)))
+        return out
+
+    def add_server(self, sid: int) -> None:
+        """Join a server: insert its tokens.
+
+        Raises :class:`RingError` on duplicate membership or on the
+        (astronomically unlikely, but checked) position collision.
+        """
+        if sid in self._members:
+            raise RingError(f"server {sid} is already on the ring")
+        for position, token in self._token_positions(sid):
+            idx = bisect.bisect_left(self._positions, position)
+            if idx < len(self._positions) and self._positions[idx] == position:
+                raise RingError(
+                    f"token position collision at {position} between server "
+                    f"{self._tokens[idx].sid} and server {sid}"
+                )
+            self._positions.insert(idx, position)
+            self._tokens.insert(idx, token)
+        self._members.add(sid)
+
+    def remove_server(self, sid: int) -> None:
+        """Leave/fail a server: drop its tokens."""
+        if sid not in self._members:
+            raise RingError(f"server {sid} is not on the ring")
+        keep_positions: list[int] = []
+        keep_tokens: list[Token] = []
+        for position, token in zip(self._positions, self._tokens):
+            if token.sid != sid:
+                keep_positions.append(position)
+                keep_tokens.append(token)
+        self._positions = keep_positions
+        self._tokens = keep_tokens
+        self._members.discard(sid)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def successor_token(self, key: int) -> Token:
+        """First token at or clockwise after ``key``."""
+        if not self._tokens:
+            raise RingError("the ring is empty")
+        idx = bisect.bisect_left(self._positions, key)
+        if idx == len(self._positions):
+            idx = 0  # wrap around
+        return self._tokens[idx]
+
+    def owner(self, key: int) -> int:
+        """Server id owning position ``key``."""
+        return self.successor_token(key).sid
+
+    def successors(self, key: int, n: int) -> tuple[int, ...]:
+        """The first ``n`` *distinct servers* clockwise from ``key``.
+
+        This is Dynamo's replica-site list: "replicate data at the N-1
+        clockwise successor nodes" skips tokens of servers already in the
+        list.  Returns fewer than ``n`` ids when the ring has fewer
+        members.
+        """
+        if not self._tokens:
+            raise RingError("the ring is empty")
+        if n < 1:
+            raise RingError(f"n must be >= 1, got {n}")
+        out: list[int] = []
+        idx = bisect.bisect_left(self._positions, key)
+        for step in range(len(self._tokens)):
+            token = self._tokens[(idx + step) % len(self._tokens)]
+            if token.sid not in out:
+                out.append(token.sid)
+                if len(out) == n:
+                    break
+        return tuple(out)
+
+    def ownership_fractions(self) -> dict[int, float]:
+        """Fraction of the id space each member owns (sums to 1.0)."""
+        if not self._tokens:
+            raise RingError("the ring is empty")
+        from .hashspace import HASH_SPACE_SIZE, ring_distance
+
+        fractions: dict[int, float] = {sid: 0.0 for sid in self._members}
+        n = len(self._tokens)
+        for i, token in enumerate(self._tokens):
+            prev_pos = self._positions[(i - 1) % n]
+            arc = ring_distance(prev_pos, token.position)
+            if n == 1:
+                arc = HASH_SPACE_SIZE
+            fractions[token.sid] += arc / HASH_SPACE_SIZE
+        return fractions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing(members={len(self._members)}, tokens={len(self._tokens)})"

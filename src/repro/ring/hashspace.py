@@ -1,0 +1,50 @@
+"""The fixed circular hash space and stable hashing into it.
+
+The ring is "a fixed circular space ... the output range of a hash
+function" (Section II-B).  We use a 32-bit space (2^32 positions) and
+SHA-1 — the classic consistent-hashing construction of Karger et al.
+(paper refs [6][24]) — truncated to 32 bits.  SHA-1's cryptographic
+strength is irrelevant here; what matters is that the mapping is uniform
+and stable across processes (unlike Python's salted ``hash``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["HASH_SPACE_BITS", "HASH_SPACE_SIZE", "stable_hash", "ring_distance", "in_arc"]
+
+#: Width of the identifier space in bits.
+HASH_SPACE_BITS: int = 32
+
+#: Number of positions on the ring (identifiers are ``0..HASH_SPACE_SIZE-1``).
+HASH_SPACE_SIZE: int = 1 << HASH_SPACE_BITS
+
+
+def stable_hash(key: str) -> int:
+    """Map a string key onto the ring: ``sha1(key)`` truncated to 32 bits."""
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % HASH_SPACE_SIZE
+
+
+def ring_distance(frm: int, to: int) -> int:
+    """Clockwise distance from ``frm`` to ``to`` (0 when equal).
+
+    Always in ``[0, HASH_SPACE_SIZE)``; asymmetric by design —
+    ``ring_distance(a, b) + ring_distance(b, a) == HASH_SPACE_SIZE`` for
+    distinct points.
+    """
+    return (to - frm) % HASH_SPACE_SIZE
+
+
+def in_arc(point: int, start: int, end: int) -> bool:
+    """Whether ``point`` lies on the clockwise arc ``(start, end]``.
+
+    The half-open-on-the-left convention matches successor ownership: a
+    token at position ``p`` owns the arc ``(predecessor, p]`` including
+    its own position.
+    """
+    if start == end:
+        # The arc covers the whole ring (single-token degenerate case).
+        return True
+    return ring_distance(start, point) <= ring_distance(start, end) and point != start

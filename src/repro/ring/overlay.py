@@ -1,0 +1,119 @@
+"""Overlay-granular lookup analysis.
+
+The paper's routing layer resolves keys over the structured overlay
+("routes messages directly to the closest node which has the desired ID
+and matches the prefix ... The cost of routing is O(log n)"), and a
+query is answered by the *first node on the overlay route that holds a
+replica* — intermediate virtual nodes append themselves to the query.
+
+The WAN-granular service model (``repro.core.traffic``) is what drives
+every reproduced figure; this analyzer is the complementary diagnostic
+at overlay granularity: given a live replica layout, how many overlay
+hops does a lookup take before it meets a copy?  Replication shortens
+lookups exactly as the paper describes — more copies means more chances
+that the greedy route crosses one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.replicas import ReplicaMap
+from ..errors import RingError
+from .finger import FingerTable
+from .hashring import HashRing
+from .partition import PartitionMapper
+
+__all__ = ["OverlayLookupStats", "OverlayAnalyzer"]
+
+
+@dataclass(frozen=True)
+class OverlayLookupStats:
+    """Aggregate of a batch of overlay lookups."""
+
+    mean_hops: float
+    max_hops: int
+    #: Fraction of lookups answered before reaching the key owner
+    #: (a replica intercepted the route).
+    intercepted_fraction: float
+    lookups: int
+
+
+class OverlayAnalyzer:
+    """Overlay lookup-length analysis over a ring snapshot.
+
+    Rebuild after membership changes — finger tables are a snapshot,
+    exactly like a real node's routing state between stabilisation
+    rounds.
+    """
+
+    def __init__(self, ring: HashRing, mapper: PartitionMapper) -> None:
+        self._ring = ring
+        self._mapper = mapper
+        self._fingers = FingerTable(ring)
+        # First token index per server, for gateway starts.
+        self._token_of_server: dict[int, int] = {}
+        for index, token in enumerate(ring.tokens()):
+            self._token_of_server.setdefault(token.sid, index)
+
+    # ------------------------------------------------------------------
+    def lookup_hops(self, partition: int, start_sid: int, replicas: ReplicaMap) -> int:
+        """Overlay hops from ``start_sid``'s first token until a server
+        holding a copy of ``partition`` is visited.
+
+        The key owner terminates the route regardless (the primary can
+        always answer, possibly by holding the original).
+        """
+        try:
+            start_index = self._token_of_server[start_sid]
+        except KeyError:
+            raise RingError(f"server {start_sid} has no tokens on the ring") from None
+        holders = {sid for sid, _ in replicas.servers_with(partition)}
+        route = self._fingers.route(self._mapper.key(partition), start_index)
+        for hops, token in enumerate(route):
+            if token.sid in holders:
+                return hops
+        return len(route) - 1  # answered by the key owner
+
+    def survey(
+        self,
+        replicas: ReplicaMap,
+        gateways: tuple[int, ...],
+        partitions: tuple[int, ...] | None = None,
+    ) -> OverlayLookupStats:
+        """Look up every (partition, gateway) pair and aggregate.
+
+        ``gateways`` are the client entry servers (e.g. one per
+        datacenter); ``partitions`` defaults to all.
+        """
+        if not gateways:
+            raise RingError("need at least one gateway server")
+        if partitions is None:
+            partitions = tuple(range(self._mapper.num_partitions))
+        total_hops = 0
+        max_hops = 0
+        intercepted = 0
+        count = 0
+        for partition in partitions:
+            owner = self._mapper.holder(partition)
+            holders = {sid for sid, _ in replicas.servers_with(partition)}
+            for gateway in gateways:
+                hops = self.lookup_hops(partition, gateway, replicas)
+                total_hops += hops
+                max_hops = max(max_hops, hops)
+                count += 1
+                # Did a replica (not the ring owner) answer?
+                route = self._fingers.route(
+                    self._mapper.key(partition), self._token_of_server[gateway]
+                )
+                answered_by = next(
+                    (t.sid for t in route if t.sid in holders), owner
+                )
+                if answered_by != owner:
+                    intercepted += 1
+        return OverlayLookupStats(
+            mean_hops=total_hops / count,
+            max_hops=max_hops,
+            intercepted_fraction=intercepted / count,
+            lookups=count,
+        )

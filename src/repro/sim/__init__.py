@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation is epoch-driven (Table I: epoch = 10 s).  This
+package provides the pieces an epoch simulation needs:
+
+* :mod:`repro.sim.rng` — a deterministic tree of named random streams;
+* :mod:`repro.sim.clock` — the epoch clock;
+* :mod:`repro.sim.events` — a scheduled event queue (failures, joins,
+  recoveries);
+* :mod:`repro.sim.actions` — the action vocabulary replication policies
+  emit and the engine applies;
+* :mod:`repro.sim.observation` — the immutable per-epoch snapshot handed
+  to policies;
+* :mod:`repro.sim.engine` — the engine tying workload, routing, policy
+  and metrics together.
+"""
+
+from .actions import Action, Migrate, Replicate, Suicide
+from .clock import EpochClock
+from .engine import Simulation
+from .events import EventQueue, MassFailureEvent, ServerJoinEvent, ServerRecoveryEvent
+from .observation import EpochObservation
+from .rng import RngTree
+
+__all__ = [
+    "Action",
+    "Replicate",
+    "Migrate",
+    "Suicide",
+    "EpochClock",
+    "EventQueue",
+    "MassFailureEvent",
+    "ServerRecoveryEvent",
+    "ServerJoinEvent",
+    "EpochObservation",
+    "RngTree",
+    "Simulation",
+]

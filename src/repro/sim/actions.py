@@ -1,0 +1,62 @@
+"""The action vocabulary replication policies emit.
+
+The paper's algorithms differ only in *which* of three primitives they
+invoke, and where (Section II-E decision tree): **replicate** a partition
+onto a server, **migrate** a copy between servers, or **suicide** a copy
+("to avoid maintenance overhead and resource waste ... it will commit
+suicide").  Policies return a list of these dataclasses; the engine
+validates and applies them, charging bandwidth and cost.
+
+Keeping the vocabulary closed makes the four algorithms directly
+comparable: the engine treats an RFH action exactly like a baseline's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["Replicate", "Migrate", "Suicide", "Action"]
+
+
+@dataclass(frozen=True)
+class Replicate:
+    """Create one new copy of ``partition`` on ``target_sid``.
+
+    ``source_sid`` is where the bytes come from (normally the primary
+    holder); it pays the replication bandwidth of Table I and the Eq. 1
+    cost ``c = d * f * s / b``.
+    """
+
+    partition: int
+    source_sid: int
+    target_sid: int
+    #: Free-form tag for metrics/debugging ("availability", "traffic-hub",
+    #: "overload", ...); never interpreted by the engine.
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class Migrate:
+    """Move one copy of ``partition`` from ``source_sid`` to ``target_sid``.
+
+    Pays migration bandwidth (Table I: 100 MB/epoch) and the Eq. 1 cost
+    with the migration bandwidth in the denominator.
+    """
+
+    partition: int
+    source_sid: int
+    target_sid: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class Suicide:
+    """Remove one copy of ``partition`` from ``sid`` (resource reclaim)."""
+
+    partition: int
+    sid: int
+    reason: str = ""
+
+
+Action = Union[Replicate, Migrate, Suicide]

@@ -1,0 +1,64 @@
+"""Epoch clock.
+
+The paper's simulation advances in fixed epochs of 10 seconds (Table I).
+:class:`EpochClock` is a tiny counter that also converts between epochs
+and simulated seconds — the Erlang-B blocking model (Eq. 18) needs
+arrival rates *per second* while the rest of the simulation works in
+queries *per epoch*.
+"""
+
+from __future__ import annotations
+
+from .. import config as _config
+
+__all__ = ["EpochClock"]
+
+
+class EpochClock:
+    """Monotonic epoch counter with second conversion.
+
+    Parameters
+    ----------
+    epoch_seconds:
+        Duration of one epoch in simulated seconds (default: Table I's
+        10 s).
+    """
+
+    def __init__(self, epoch_seconds: float = _config.DEFAULT_EPOCH_SECONDS) -> None:
+        if epoch_seconds <= 0:
+            raise ValueError(f"epoch_seconds must be > 0, got {epoch_seconds}")
+        self._epoch_seconds = float(epoch_seconds)
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """The current epoch index (0-based)."""
+        return self._epoch
+
+    @property
+    def epoch_seconds(self) -> float:
+        """Seconds per epoch."""
+        return self._epoch_seconds
+
+    @property
+    def seconds(self) -> float:
+        """Simulated seconds elapsed at the *start* of the current epoch."""
+        return self._epoch * self._epoch_seconds
+
+    def advance(self, epochs: int = 1) -> int:
+        """Advance the clock by ``epochs`` and return the new epoch index."""
+        if epochs < 0:
+            raise ValueError(f"cannot advance by a negative number of epochs: {epochs}")
+        self._epoch += epochs
+        return self._epoch
+
+    def reset(self) -> None:
+        """Rewind to epoch 0 (used when replaying a recorded trace)."""
+        self._epoch = 0
+
+    def rate_per_second(self, per_epoch: float) -> float:
+        """Convert a per-epoch count into a per-second rate."""
+        return per_epoch / self._epoch_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EpochClock(epoch={self._epoch}, epoch_seconds={self._epoch_seconds})"

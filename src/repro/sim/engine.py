@@ -1,0 +1,531 @@
+"""The epoch-driven simulation engine.
+
+One :class:`Simulation` owns the full world — WAN, cluster, ring,
+replica map, workload, policy, metrics — and advances it epoch by epoch
+(DESIGN.md Section 3):
+
+1. apply due membership events (failures / recoveries / joins) and
+   restore partitions that lost every copy;
+2. generate the epoch's query matrix;
+3. route and serve it through the current replica layout
+   (:func:`repro.core.traffic.serve_epoch` — Eqs. 2–8);
+4. hand the policy an immutable observation, collect its actions;
+5. apply the actions under storage gates, bandwidth budgets and Eq. 1
+   cost accounting;
+6. record every metric series of the paper's figures.
+
+The engine is policy-agnostic: ``policy="rfh" | "random" | "owner" |
+"request"`` builds the corresponding algorithm, and any object
+satisfying :class:`~repro.sim.policy.ReplicationPolicy` is accepted
+directly, which is how ablation experiments plug in variants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.failure import FailureInjector
+from ..consistency.tracker import ConsistencyConfig, ConsistencyTracker
+from ..cluster.replicas import ReplicaMap
+from ..config import SimulationConfig
+from ..core.availability import min_replicas_for_availability
+from ..core.blocking import server_blocking_probabilities
+from ..core.traffic import ServiceResult, serve_epoch
+from ..errors import ActionError, SimulationError
+from ..geo.hierarchy import GeoHierarchy, build_default_hierarchy
+from ..metrics.availability_metric import availability_summary
+from ..metrics.collector import MetricsCollector
+from ..metrics.cost import migration_cost, replication_cost
+from ..metrics.imbalance import replica_load_cv, server_load_imbalance
+from ..metrics.latency import LatencyModel
+from ..metrics.utilization import average_utilization
+from ..net.builder import build_wan
+from ..net.coordinates import INTRA_DATACENTER_KM
+from ..net.graph import WanGraph
+from ..net.routing import Router
+from ..ring.hashring import HashRing
+from ..ring.partition import PartitionMapper
+from ..workload.generator import QueryGenerator
+from ..workload.patterns import UniformPattern
+from .actions import Action, Migrate, Replicate, Suicide
+from .clock import EpochClock
+from .events import (
+    EventQueue,
+    MassFailureEvent,
+    MembershipEvent,
+    ServerFailureEvent,
+    ServerJoinEvent,
+    ServerRecoveryEvent,
+)
+from .observation import EpochObservation
+from .policy import ReplicationPolicy
+from .rng import RngTree
+
+__all__ = ["Simulation"]
+
+#: Something with a ``generate(epoch) -> QueryBatch`` method (a live
+#: :class:`QueryGenerator` or a recorded :class:`WorkloadTrace`).
+WorkloadSource = object
+
+PolicySpec = str | ReplicationPolicy | Callable[["Simulation"], ReplicationPolicy]
+
+
+class Simulation:
+    """A complete, reproducible simulation run.
+
+    Parameters
+    ----------
+    config:
+        Full parameter set (Table I defaults).
+    policy:
+        Algorithm name (``"rfh"``, ``"random"``, ``"owner"``,
+        ``"request"``), a ready policy object, or a factory called with
+        the simulation (for policies that need the mapper / RNG tree).
+    workload:
+        Optional workload source; defaults to a fresh Poisson generator
+        over a :class:`UniformPattern` seeded from the config.  Pass a
+        :class:`~repro.workload.trace.WorkloadTrace` to compare
+        algorithms on identical queries.
+    events:
+        Membership events to schedule up-front.
+    hierarchy / wan:
+        Topology overrides (defaults: the paper's 10-site deployment).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: PolicySpec = "rfh",
+        *,
+        workload: WorkloadSource | None = None,
+        events: Iterable[MembershipEvent] = (),
+        hierarchy: GeoHierarchy | None = None,
+        wan: WanGraph | None = None,
+        latency: LatencyModel | None = None,
+        consistency: ConsistencyConfig | None = None,
+    ) -> None:
+        self.config = config
+        #: Response-time model used for the latency/SLA series (the
+        #: intro's 300 ms bound by default).
+        self.latency = latency if latency is not None else LatencyModel()
+        self.rng_tree = RngTree(config.seed)
+        self.hierarchy = hierarchy if hierarchy is not None else build_default_hierarchy()
+        self.wan = wan if wan is not None else build_wan(self.hierarchy)
+        self.router = Router(self.wan)
+        self.cluster = Cluster(
+            self.hierarchy, config.cluster, self.rng_tree.stream("capacity")
+        )
+        self.ring = HashRing()
+        for server in self.cluster.servers:
+            self.ring.add_server(server.sid)
+        self.mapper = PartitionMapper(config.workload.num_partitions, self.ring)
+        self.replicas = ReplicaMap(
+            self.cluster,
+            config.workload.num_partitions,
+            config.workload.partition_size_mb,
+        )
+        self.replicas.bootstrap(self.mapper.holders())
+        self.injector = FailureInjector(self.cluster, self.rng_tree.stream("failures"))
+        self.clock = EpochClock(config.epoch_seconds)
+        self.metrics = MetricsCollector()
+        self.rmin = min_replicas_for_availability(
+            config.rfh.min_availability, config.rfh.failure_rate
+        )
+        self._events = EventQueue()
+        for event in events:
+            self._events.schedule(event)
+        if workload is None:
+            pattern = UniformPattern(
+                config.workload.num_partitions,
+                self.hierarchy.num_datacenters,
+                config.workload.zipf_exponent,
+            )
+            workload = QueryGenerator(
+                config.workload, pattern, self.rng_tree.stream("workload")
+            )
+        self.workload = workload
+        # Smoothed per-server load feeding the Eq. 18 blocking estimates
+        # (maintained by hand because the server count can grow on joins).
+        self._smoothed_load = np.zeros(self.cluster.num_servers, dtype=np.float64)
+        self._load_initialized = False
+        self.policy = self._resolve_policy(policy)
+        self.last_result: ServiceResult | None = None
+        # Optional consistency extension (the paper's future work; off by
+        # default so every reproduced figure is unaffected).
+        self.consistency: ConsistencyTracker | None = None
+        if consistency is not None:
+            self.consistency = ConsistencyTracker(
+                consistency,
+                self.rng_tree.stream("consistency"),
+                config.workload.partition_size_mb,
+                config.rfh.failure_rate,
+                config.cluster.replication_bandwidth_mb,
+            )
+
+    # ------------------------------------------------------------------
+    # Policy resolution
+    # ------------------------------------------------------------------
+    def _resolve_policy(self, spec: PolicySpec) -> ReplicationPolicy:
+        if isinstance(spec, str):
+            from ..baselines.owner_oriented import OwnerOrientedPolicy
+            from ..baselines.random_policy import RandomPolicy
+            from ..baselines.request_oriented import RequestOrientedPolicy
+            from ..core.policy import RFHPolicy
+
+            builders: dict[str, Callable[[], ReplicationPolicy]] = {
+                "rfh": lambda: RFHPolicy(self.config.rfh),
+                "random": lambda: RandomPolicy(
+                    self.config.rfh, self.mapper, self.rng_tree.stream("policy-random")
+                ),
+                "owner": lambda: OwnerOrientedPolicy(self.config.rfh),
+                "request": lambda: RequestOrientedPolicy(
+                    self.config.rfh, self.rng_tree.stream("policy-request")
+                ),
+            }
+            try:
+                return builders[spec]()
+            except KeyError:
+                raise SimulationError(
+                    f"unknown policy {spec!r}; choose from {sorted(builders)}"
+                ) from None
+        if callable(spec) and not hasattr(spec, "decide"):
+            return spec(self)  # factory
+        return spec  # ready policy object
+
+    # ------------------------------------------------------------------
+    # Event scheduling
+    # ------------------------------------------------------------------
+    def schedule_event(self, event: MembershipEvent) -> None:
+        """Schedule a membership event for a future epoch."""
+        if event.epoch < self.clock.epoch:
+            raise SimulationError(
+                f"cannot schedule an event at past epoch {event.epoch} "
+                f"(now at {self.clock.epoch})"
+            )
+        self._events.schedule(event)
+
+    # ------------------------------------------------------------------
+    # The epoch loop
+    # ------------------------------------------------------------------
+    def run(self, epochs: int) -> MetricsCollector:
+        """Advance ``epochs`` epochs and return the metric collector."""
+        if epochs < 1:
+            raise SimulationError(f"epochs must be >= 1, got {epochs}")
+        for _ in range(epochs):
+            self.step()
+        return self.metrics
+
+    def step(self) -> ServiceResult:
+        """Advance exactly one epoch; returns the epoch's service result."""
+        epoch = self.clock.epoch
+        restored = self._apply_due_events(epoch)
+        self.cluster.reset_epoch_budgets()
+
+        batch = self.workload.generate(epoch)
+        if batch.num_partitions != self.replicas.num_partitions:
+            raise SimulationError(
+                f"workload produces {batch.num_partitions} partitions, "
+                f"world has {self.replicas.num_partitions}"
+            )
+        holder_dc, holder_sid, layouts = self._current_layouts()
+        result = serve_epoch(
+            batch,
+            holder_dc,
+            layouts,
+            self.router,
+            self.cluster.num_servers,
+            holder_sid=holder_sid,
+            latency=self.latency,
+        )
+        self.last_result = result
+
+        blocking = self._update_blocking(result)
+        obs = EpochObservation(
+            epoch=epoch,
+            queries=batch,
+            traffic_dc=result.traffic_dc,
+            served_server=result.served_server,
+            unserved=result.unserved,
+            holder_traffic=result.holder_traffic,
+            blocking_probability=blocking,
+            replicas=self.replicas,
+            cluster=self.cluster,
+            router=self.router,
+            rmin=self.rmin,
+            params=self.config.rfh,
+            partition_size_mb=self.config.workload.partition_size_mb,
+        )
+        actions = self.policy.decide(obs)
+        applied = self._apply_actions(actions)
+
+        consistency = None
+        if self.consistency is not None:
+            consistency = self.consistency.observe(
+                batch.per_partition(),
+                result.served_server,
+                self.replicas,
+                self.cluster,
+                self.router,
+            )
+        self._record_metrics(batch, result, applied, restored, consistency)
+        self.clock.advance()
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _apply_due_events(self, epoch: int) -> int:
+        """Apply membership events due at ``epoch``; returns the number of
+        fully-lost partitions restored afterwards."""
+        for event in self._events.pop_due(epoch):
+            if isinstance(event, MassFailureEvent):
+                victims = self.injector.choose_victims(event.count)
+                self._fail(victims)
+            elif isinstance(event, ServerFailureEvent):
+                self._fail(event.sids)
+            elif isinstance(event, ServerRecoveryEvent):
+                sids = event.sids or tuple(
+                    s.sid for s in self.cluster.servers if not s.alive
+                )
+                for sid in sids:
+                    self.cluster.recover_server(sid)
+                    self.ring.add_server(sid)
+            elif isinstance(event, ServerJoinEvent):
+                for _ in range(event.count):
+                    server = self.cluster.join_server(event.dc)
+                    self.ring.add_server(server.sid)
+            else:  # pragma: no cover - closed union
+                raise SimulationError(f"unknown event type: {event!r}")
+        return self._restore_lost_partitions()
+
+    def _fail(self, sids: Iterable[int]) -> None:
+        for sid in sids:
+            self.cluster.fail_server(sid)
+            self.replicas.drop_server(sid)
+            self.ring.remove_server(sid)
+
+    def _restore_lost_partitions(self) -> int:
+        """Re-create partitions that lost every copy at their current ring
+        owner (a synthetic cold-archive restore; counted in metrics as
+        ``lost_partitions`` for the epoch it happened)."""
+        restored = 0
+        for partition in range(self.replicas.num_partitions):
+            if self.replicas.has_holder(partition):
+                continue
+            owner = self.mapper.holder(partition)  # ring holds alive servers only
+            self.replicas.restore(partition, owner)
+            restored += 1
+        return restored
+
+    def _current_layouts(self):
+        holder_dc: list[int | None] = []
+        holder_sid: list[int | None] = []
+        layouts: list[dict[int, list[tuple[int, float]]]] = []
+        for partition in range(self.replicas.num_partitions):
+            if not self.replicas.has_holder(partition):
+                holder_dc.append(None)
+                holder_sid.append(None)
+                layouts.append({})
+                continue
+            sid = self.replicas.holder(partition)
+            holder_sid.append(sid)
+            holder_dc.append(self.cluster.dc_of(sid))
+            layout: dict[int, list[tuple[int, float]]] = {}
+            for dc, entries in self.replicas.replicas_by_dc(partition).items():
+                layout[dc] = [
+                    (entry_sid, count * self.cluster.server(entry_sid).replica_capacity)
+                    for entry_sid, count in entries
+                    if self.cluster.server(entry_sid).alive
+                ]
+            layouts.append(layout)
+        return holder_dc, holder_sid, layouts
+
+    def _update_blocking(self, result: ServiceResult) -> np.ndarray:
+        load = result.per_server_load
+        if load.shape[0] > self._smoothed_load.shape[0]:
+            grown = np.zeros(load.shape[0], dtype=np.float64)
+            grown[: self._smoothed_load.shape[0]] = self._smoothed_load
+            self._smoothed_load = grown
+        alpha = self.config.rfh.alpha
+        if not self._load_initialized:
+            self._smoothed_load = load.astype(np.float64, copy=True)
+            self._load_initialized = True
+        else:
+            # Same EWMA convention as core.smoothing: alpha weights the
+            # new sample.
+            self._smoothed_load = (1.0 - alpha) * self._smoothed_load + alpha * load
+        return server_blocking_probabilities(self.cluster, self._smoothed_load)
+
+    # ------------------------------------------------------------------
+    # Action application
+    # ------------------------------------------------------------------
+    def _apply_actions(self, actions: list[Action]) -> dict[str, float]:
+        stats = {
+            "replication_count": 0.0,
+            "replication_cost": 0.0,
+            "migration_count": 0.0,
+            "migration_cost": 0.0,
+            "suicide_count": 0.0,
+            "skipped_actions": 0.0,
+        }
+        for action in actions:
+            if isinstance(action, Replicate):
+                self._apply_replicate(action, stats)
+            elif isinstance(action, Migrate):
+                self._apply_migrate(action, stats)
+            elif isinstance(action, Suicide):
+                self._apply_suicide(action, stats)
+            else:  # pragma: no cover - closed union
+                raise ActionError(f"unknown action type: {action!r}")
+        return stats
+
+    def _transfer_distance_km(self, src_dc: int, dst_dc: int) -> float:
+        if src_dc == dst_dc:
+            return INTRA_DATACENTER_KM
+        return self.router.distance_km(src_dc, dst_dc)
+
+    def _apply_replicate(self, action: Replicate, stats: dict[str, float]) -> None:
+        source = self.cluster.server(action.source_sid)
+        target = self.cluster.server(action.target_sid)
+        if not source.alive:
+            raise ActionError(f"replication source {source.sid} is down: {action}")
+        if not target.alive:
+            raise ActionError(f"replication target {target.sid} is down: {action}")
+        if self.replicas.count(action.partition, action.source_sid) < 1:
+            raise ActionError(
+                f"replication source holds no copy of partition "
+                f"{action.partition}: {action}"
+            )
+        size = self.config.workload.partition_size_mb
+        # Resource races between same-epoch actions are skips, not bugs.
+        if not target.storage_gate_open(size, self.config.rfh.phi):
+            stats["skipped_actions"] += 1
+            return
+        if not source.consume_replication_bandwidth(size):
+            stats["skipped_actions"] += 1
+            return
+        self.replicas.add(action.partition, action.target_sid)
+        stats["replication_count"] += 1
+        stats["replication_cost"] += replication_cost(
+            self._transfer_distance_km(source.dc, target.dc),
+            self.config.rfh.failure_rate,
+            size,
+            self.config.cluster.replication_bandwidth_mb,
+        )
+
+    def _apply_migrate(self, action: Migrate, stats: dict[str, float]) -> None:
+        source = self.cluster.server(action.source_sid)
+        target = self.cluster.server(action.target_sid)
+        if action.source_sid == action.target_sid:
+            raise ActionError(f"migration to self: {action}")
+        if not source.alive or not target.alive:
+            raise ActionError(f"migration endpoint is down: {action}")
+        if self.replicas.count(action.partition, action.source_sid) < 1:
+            raise ActionError(
+                f"migration source holds no copy of partition "
+                f"{action.partition}: {action}"
+            )
+        size = self.config.workload.partition_size_mb
+        if not target.storage_gate_open(size, self.config.rfh.phi):
+            stats["skipped_actions"] += 1
+            return
+        if not source.consume_migration_bandwidth(size):
+            stats["skipped_actions"] += 1
+            return
+        self.replicas.move(action.partition, action.source_sid, action.target_sid)
+        stats["migration_count"] += 1
+        stats["migration_cost"] += migration_cost(
+            self._transfer_distance_km(source.dc, target.dc),
+            self.config.rfh.failure_rate,
+            size,
+            self.config.cluster.migration_bandwidth_mb,
+        )
+
+    def _apply_suicide(self, action: Suicide, stats: dict[str, float]) -> None:
+        if self.replicas.count(action.partition, action.sid) < 1:
+            raise ActionError(
+                f"suicide on a server without a copy of partition "
+                f"{action.partition}: {action}"
+            )
+        if self.replicas.replica_count(action.partition) <= 1:
+            stats["skipped_actions"] += 1
+            return
+        self.replicas.remove(action.partition, action.sid)
+        stats["suicide_count"] += 1
+
+    # ------------------------------------------------------------------
+    # Metric recording
+    # ------------------------------------------------------------------
+    def _replica_count_matrix(self) -> np.ndarray:
+        counts = np.zeros(
+            (self.replicas.num_partitions, self.cluster.num_servers), dtype=np.int64
+        )
+        for partition in range(self.replicas.num_partitions):
+            for sid, count in self.replicas.servers_with(partition):
+                counts[partition, sid] = count
+        return counts
+
+    def _record_metrics(
+        self,
+        batch,
+        result: ServiceResult,
+        applied: dict[str, float],
+        restored: int,
+        consistency=None,
+    ) -> None:
+        counts = self._replica_count_matrix()
+        capacities = np.array(
+            [s.replica_capacity for s in self.cluster.servers], dtype=np.float64
+        )
+        alive_mask = np.array([s.alive for s in self.cluster.servers], dtype=bool)
+        summary = availability_summary(
+            self.replicas, self.config.rfh.failure_rate, self.rmin
+        )
+        latency = self.latency.summarize_epoch(
+            result.distance_sum_km,
+            result.hop_sum,
+            result.sla_miss,
+            float(batch.total),
+        )
+        total_replicas = self.replicas.total_replicas()
+        values = {
+                "utilization": average_utilization(
+                    result.served_server, counts, capacities
+                ),
+                "total_replicas": float(total_replicas),
+                "avg_replicas": total_replicas / self.replicas.num_partitions,
+                "replication_count": applied["replication_count"],
+                "replication_cost": applied["replication_cost"],
+                "migration_count": applied["migration_count"],
+                "migration_cost": applied["migration_cost"],
+                "suicide_count": applied["suicide_count"],
+                "load_imbalance": replica_load_cv(result.served_server, counts),
+                "server_load_imbalance": server_load_imbalance(
+                    result.per_server_load, alive_mask
+                ),
+                "path_length": result.mean_path_length,
+                "mean_latency_ms": latency.mean_ms,
+                "sla_attainment": latency.sla_attainment,
+                "unserved": float(result.unserved.sum()),
+                "served": result.total_served,
+                "queries": float(batch.total),
+                "alive_servers": float(len(self.cluster.alive_servers())),
+                "mean_availability": summary.mean_availability,
+                "lost_partitions": float(restored),
+                "skipped_actions": applied["skipped_actions"],
+        }
+        if consistency is not None:
+            values.update(
+                {
+                    "writes": consistency.writes,
+                    "propagation_transfers": consistency.propagation_transfers,
+                    "propagation_cost": consistency.propagation_cost,
+                    "mean_staleness": consistency.mean_staleness,
+                    "stale_replica_fraction": consistency.stale_replica_fraction,
+                    "stale_read_fraction": consistency.stale_read_fraction,
+                }
+            )
+        self.metrics.record_epoch(values)

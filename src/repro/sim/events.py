@@ -1,0 +1,106 @@
+"""Scheduled membership events.
+
+Fig. 10's experiment ("30 servers are randomly removed at epoch 290")
+and the join/recovery goals of Section III-G are driven by events
+scheduled on an :class:`EventQueue` and applied by the engine at epoch
+boundaries, *before* that epoch's queries are generated.
+
+Events carry data only; the engine interprets them.  This keeps the
+queue serialisable and the engine the single place where cluster, ring
+and replica map are mutated together.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+__all__ = [
+    "MassFailureEvent",
+    "ServerFailureEvent",
+    "ServerRecoveryEvent",
+    "ServerJoinEvent",
+    "EventQueue",
+]
+
+
+@dataclass(frozen=True)
+class MassFailureEvent:
+    """Fail ``count`` random alive servers (victims drawn from the
+    failure RNG stream at apply time, so the schedule stays declarative)."""
+
+    epoch: int
+    count: int
+
+
+@dataclass(frozen=True)
+class ServerFailureEvent:
+    """Fail specific servers by id."""
+
+    epoch: int
+    sids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ServerRecoveryEvent:
+    """Recover specific previously-failed servers (empty disks).
+
+    With ``sids=()`` the engine recovers *all* currently-failed servers.
+    """
+
+    epoch: int
+    sids: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ServerJoinEvent:
+    """Add ``count`` brand-new servers to datacenter ``dc``."""
+
+    epoch: int
+    dc: int
+    count: int = 1
+
+
+MembershipEvent = MassFailureEvent | ServerFailureEvent | ServerRecoveryEvent | ServerJoinEvent
+
+
+@dataclass(order=True)
+class _Entry:
+    epoch: int
+    seq: int
+    event: MembershipEvent = field(compare=False)
+
+
+class EventQueue:
+    """A stable priority queue of membership events keyed by epoch.
+
+    Events scheduled for the same epoch are applied in scheduling order
+    (FIFO), which keeps multi-event scenarios deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._seq = 0
+
+    def schedule(self, event: MembershipEvent) -> None:
+        """Add an event; its ``epoch`` must be non-negative."""
+        if event.epoch < 0:
+            raise SimulationError(f"event epoch must be >= 0, got {event.epoch}")
+        heapq.heappush(self._heap, _Entry(event.epoch, self._seq, event))
+        self._seq += 1
+
+    def pop_due(self, epoch: int) -> list[MembershipEvent]:
+        """Remove and return all events scheduled at or before ``epoch``."""
+        due: list[MembershipEvent] = []
+        while self._heap and self._heap[0].epoch <= epoch:
+            due.append(heapq.heappop(self._heap).event)
+        return due
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_epoch(self) -> int | None:
+        """Epoch of the earliest pending event, or None when empty."""
+        return self._heap[0].epoch if self._heap else None

@@ -1,0 +1,37 @@
+"""The replication-policy contract the engine drives.
+
+A policy is a pure observer: once per epoch the engine hands it an
+:class:`~repro.sim.observation.EpochObservation` and the policy returns
+the actions it wants applied.  The engine validates and applies them —
+a policy can *request* anything, but storage gates, bandwidth budgets
+and replica-map invariants are enforced centrally so all four paper
+algorithms play by identical rules.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .actions import Action
+from .observation import EpochObservation
+
+__all__ = ["ReplicationPolicy"]
+
+
+@runtime_checkable
+class ReplicationPolicy(Protocol):
+    """What the engine needs from a replication algorithm."""
+
+    #: Short stable identifier used in metric series and reports
+    #: ("rfh", "random", "owner", "request").
+    name: str
+
+    def decide(self, obs: EpochObservation) -> list[Action]:
+        """Return the actions to apply at the end of ``obs.epoch``.
+
+        Called exactly once per epoch with strictly increasing epochs.
+        Implementations may keep internal state (e.g. EWMA smoothing of
+        Eqs. 10/11) but must never mutate anything reachable from the
+        observation.
+        """
+        ...

@@ -1,0 +1,45 @@
+"""Query-workload substrate (paper Section III-A).
+
+"At each epoch, the number of generated queries follows a Poisson
+distribution with a mean rate λ" (Table I: λ = 300).  Partition
+popularity is Zipf-skewed (hot partitions) and query *origins* follow a
+pattern: uniform ("random and even query rate") or the four-stage flash
+crowd of the evaluation.
+
+* :mod:`repro.workload.query` — the per-epoch query matrix;
+* :mod:`repro.workload.zipf` — truncated Zipf popularity;
+* :mod:`repro.workload.patterns` — origin/popularity patterns, including
+  the exact flash-crowd staging of Section III-A;
+* :mod:`repro.workload.generator` — Poisson sampling into query matrices;
+* :mod:`repro.workload.trace` — record/replay so all four algorithms can
+  be compared on *identical* query sequences.
+"""
+
+from .generator import QueryGenerator
+from .patterns import (
+    FlashCrowdPattern,
+    HotspotPattern,
+    LocationShiftPattern,
+    PopularityShiftPattern,
+    QueryPattern,
+    UniformPattern,
+)
+from .query import QueryBatch
+from .timevarying import BurstyPattern, DiurnalPattern
+from .trace import WorkloadTrace
+from .zipf import zipf_weights
+
+__all__ = [
+    "QueryBatch",
+    "zipf_weights",
+    "QueryPattern",
+    "UniformPattern",
+    "HotspotPattern",
+    "FlashCrowdPattern",
+    "LocationShiftPattern",
+    "PopularityShiftPattern",
+    "DiurnalPattern",
+    "BurstyPattern",
+    "QueryGenerator",
+    "WorkloadTrace",
+]

@@ -1,0 +1,91 @@
+"""The per-epoch query matrix.
+
+All downstream maths (Eqs. 2–13) is expressed over ``q_ijt`` — "the
+number of queries for a partition B_i, during a unit time period, from
+requester j".  :class:`QueryBatch` is exactly that matrix for one epoch:
+``counts[i, j]`` = queries for partition ``i`` raised near datacenter
+``j`` ("we regard queries closest to datacenter j as from requester j").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["QueryBatch"]
+
+
+class QueryBatch:
+    """Immutable (partitions x datacenters) query-count matrix for one epoch."""
+
+    __slots__ = ("_counts", "_epoch")
+
+    def __init__(self, epoch: int, counts: np.ndarray) -> None:
+        if epoch < 0:
+            raise WorkloadError(f"epoch must be >= 0, got {epoch}")
+        counts = np.asarray(counts)
+        if counts.ndim != 2:
+            raise WorkloadError(f"counts must be 2-D, got shape {counts.shape}")
+        if counts.size == 0:
+            raise WorkloadError("counts must be non-empty")
+        if np.any(counts < 0):
+            raise WorkloadError("query counts must be non-negative")
+        if not np.issubdtype(counts.dtype, np.integer):
+            if not np.all(counts == np.floor(counts)):
+                raise WorkloadError("query counts must be integral")
+            counts = counts.astype(np.int64)
+        self._counts = counts.astype(np.int64, copy=True)
+        self._counts.setflags(write=False)
+        self._epoch = epoch
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Epoch this batch belongs to."""
+        return self._epoch
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Read-only ``(P, D)`` count matrix (``q_ijt``)."""
+        return self._counts
+
+    @property
+    def num_partitions(self) -> int:
+        return self._counts.shape[0]
+
+    @property
+    def num_origins(self) -> int:
+        return self._counts.shape[1]
+
+    @property
+    def total(self) -> int:
+        """Total queries this epoch."""
+        return int(self._counts.sum())
+
+    def per_partition(self) -> np.ndarray:
+        """Queries per partition, summed over origins (length P)."""
+        return self._counts.sum(axis=1)
+
+    def per_origin(self) -> np.ndarray:
+        """Queries per origin datacenter, summed over partitions (length D)."""
+        return self._counts.sum(axis=0)
+
+    def system_average_query(self) -> np.ndarray:
+        """Eq. 9: per-partition average over the N requesters,
+        ``q̄_it = Σ_j q_ijt / N``."""
+        return self._counts.sum(axis=1) / self._counts.shape[1]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryBatch):
+            return NotImplemented
+        return self._epoch == other._epoch and np.array_equal(self._counts, other._counts)
+
+    def __hash__(self) -> int:  # batches are value objects
+        return hash((self._epoch, self._counts.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryBatch(epoch={self._epoch}, shape={self._counts.shape}, "
+            f"total={self.total})"
+        )

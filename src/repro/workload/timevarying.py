@@ -1,0 +1,135 @@
+"""Time-varying arrival-rate patterns (diurnal cycles, bursts).
+
+The paper's motivation is rate irregularity — the "Slashdot effect",
+"massive increase in traffic within a few minutes ... pass into silence
+after peak time".  The evaluation itself holds λ constant; these
+patterns extend the workload substrate with the two canonical
+non-stationary shapes so downstream users can stress adaptive
+replication the way production traffic does:
+
+* :class:`DiurnalPattern` — a sinusoidal day/night cycle around the base
+  rate (requests follow the sun);
+* :class:`BurstyPattern` — scheduled multiplicative bursts ("Slashdot"
+  spikes) on top of any base pattern.
+
+A pattern may expose ``rate_multiplier(epoch)``; the generator scales
+the Poisson mean by it (default 1.0 for patterns without one).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .patterns import QueryPattern, UniformPattern
+
+__all__ = ["DiurnalPattern", "BurstyPattern", "rate_multiplier_of"]
+
+
+def rate_multiplier_of(pattern: QueryPattern, epoch: int) -> float:
+    """The pattern's arrival-rate multiplier for an epoch (default 1.0)."""
+    method = getattr(pattern, "rate_multiplier", None)
+    if method is None:
+        return 1.0
+    value = float(method(epoch))
+    if value < 0:
+        raise WorkloadError(f"rate multiplier must be >= 0, got {value}")
+    return value
+
+
+class DiurnalPattern:
+    """A day/night sinusoid over any base pattern.
+
+    ``rate(t) = base_rate * (1 + amplitude * sin(2π t / period))`` —
+    amplitude < 1 keeps the rate strictly positive.  With Table I's 10 s
+    epochs a 24 h day is 8 640 epochs; the default period of 240 epochs
+    is a compressed day so examples and tests see several cycles.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        num_origins: int,
+        zipf_exponent: float,
+        period_epochs: int = 240,
+        amplitude: float = 0.5,
+        base: QueryPattern | None = None,
+    ) -> None:
+        if period_epochs < 2:
+            raise WorkloadError(f"period must be >= 2 epochs, got {period_epochs}")
+        if not 0.0 <= amplitude < 1.0:
+            raise WorkloadError(f"amplitude must be in [0, 1), got {amplitude}")
+        self._base = (
+            base
+            if base is not None
+            else UniformPattern(num_partitions, num_origins, zipf_exponent)
+        )
+        if self._base.num_partitions != num_partitions:
+            raise WorkloadError("base pattern partition count mismatch")
+        self.num_partitions = num_partitions
+        self.num_origins = num_origins
+        self.period_epochs = period_epochs
+        self.amplitude = amplitude
+
+    def partition_weights(self, epoch: int) -> np.ndarray:
+        return self._base.partition_weights(epoch)
+
+    def origin_weights(self, epoch: int) -> np.ndarray:
+        return self._base.origin_weights(epoch)
+
+    def rate_multiplier(self, epoch: int) -> float:
+        """Sinusoidal day/night modulation."""
+        if epoch < 0:
+            raise WorkloadError(f"epoch must be >= 0, got {epoch}")
+        phase = 2.0 * math.pi * epoch / self.period_epochs
+        return 1.0 + self.amplitude * math.sin(phase)
+
+
+class BurstyPattern:
+    """Scheduled multiplicative bursts over any base pattern.
+
+    ``bursts`` maps ``(start_epoch, end_epoch)`` windows (half-open) to
+    rate multipliers, e.g. ``{(100, 120): 4.0}`` quadruples traffic for
+    20 epochs — the flash-crowd *rate* dimension the evaluation's
+    constant-λ flash crowd deliberately leaves out.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        num_origins: int,
+        zipf_exponent: float,
+        bursts: dict[tuple[int, int], float],
+        base: QueryPattern | None = None,
+    ) -> None:
+        for (start, end), factor in bursts.items():
+            if start < 0 or end <= start:
+                raise WorkloadError(f"invalid burst window ({start}, {end})")
+            if factor < 0:
+                raise WorkloadError(f"burst factor must be >= 0, got {factor}")
+        self._base = (
+            base
+            if base is not None
+            else UniformPattern(num_partitions, num_origins, zipf_exponent)
+        )
+        self.num_partitions = num_partitions
+        self.num_origins = num_origins
+        self.bursts = dict(bursts)
+
+    def partition_weights(self, epoch: int) -> np.ndarray:
+        return self._base.partition_weights(epoch)
+
+    def origin_weights(self, epoch: int) -> np.ndarray:
+        return self._base.origin_weights(epoch)
+
+    def rate_multiplier(self, epoch: int) -> float:
+        """Product of all burst windows covering the epoch."""
+        if epoch < 0:
+            raise WorkloadError(f"epoch must be >= 0, got {epoch}")
+        factor = 1.0
+        for (start, end), burst in self.bursts.items():
+            if start <= epoch < end:
+                factor *= burst
+        return factor

@@ -1,0 +1,46 @@
+"""Truncated Zipf popularity weights.
+
+The paper's motivation is hot partitions ("Datacenter A holds a hot
+partition, which is frequently requested") and "Slashdot-effect" skew;
+web-object popularity is classically Zipf-distributed.  We use a
+truncated Zipf over the partition set: weight of rank ``r`` (1-based) is
+``r^(-s)``, normalised.  Exponent 0 degenerates to uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["zipf_weights", "rotate_ranks"]
+
+
+def zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Normalised Zipf weights for ``n`` items, hottest first.
+
+    ``zipf_weights(n, 0.0)`` is exactly uniform; larger exponents
+    concentrate mass on the first items.
+    """
+    if n < 1:
+        raise WorkloadError(f"n must be >= 1, got {n}")
+    if exponent < 0:
+        raise WorkloadError(f"exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def rotate_ranks(weights: np.ndarray, shift: int) -> np.ndarray:
+    """Rotate which item is hottest (popularity-shift surges).
+
+    Rank weights stay the same; item ``shift`` becomes the hottest, the
+    previous hottest moves down.  Used by
+    :class:`~repro.workload.patterns.PopularityShiftPattern` to model "a
+    hot partition in Datacenter A may become cool while another cool
+    partition ... becomes hot" (Section II-F).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise WorkloadError("weights must be a non-empty 1-D array")
+    return np.roll(weights, shift % weights.size)

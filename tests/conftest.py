@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ReplicaMap
+from repro.config import ClusterParameters, SimulationConfig, WorkloadParameters
+from repro.geo import build_default_hierarchy
+from repro.net import Router, build_default_wan, build_wan
+from repro.ring import HashRing, PartitionMapper
+from repro.sim.rng import RngTree
+
+
+@pytest.fixture
+def config() -> SimulationConfig:
+    """Table I defaults with a fixed seed."""
+    return SimulationConfig(seed=1234)
+
+
+@pytest.fixture
+def small_config() -> SimulationConfig:
+    """A small, fast configuration for integration tests."""
+    return SimulationConfig(
+        seed=1234,
+        workload=WorkloadParameters(
+            queries_per_epoch_mean=120.0, num_partitions=16, zipf_exponent=0.9
+        ),
+    )
+
+
+@pytest.fixture
+def hierarchy():
+    return build_default_hierarchy()
+
+
+@pytest.fixture
+def wan(hierarchy):
+    return build_wan(hierarchy)
+
+
+@pytest.fixture
+def router(wan) -> Router:
+    return Router(wan)
+
+
+@pytest.fixture
+def rng_tree() -> RngTree:
+    return RngTree(1234)
+
+
+@pytest.fixture
+def cluster(hierarchy, rng_tree) -> Cluster:
+    return Cluster(hierarchy, ClusterParameters(), rng_tree.stream("capacity"))
+
+
+@pytest.fixture
+def ring(cluster) -> HashRing:
+    ring = HashRing()
+    for server in cluster.servers:
+        ring.add_server(server.sid)
+    return ring
+
+
+@pytest.fixture
+def mapper(ring) -> PartitionMapper:
+    return PartitionMapper(64, ring)
+
+
+@pytest.fixture
+def replica_map(cluster, mapper) -> ReplicaMap:
+    rm = ReplicaMap(cluster, 64, 0.5)
+    rm.bootstrap(mapper.holders())
+    return rm
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)

@@ -1,0 +1,76 @@
+"""Ablation machinery at reduced scale."""
+
+import pytest
+
+from repro.config import SimulationConfig, WorkloadParameters
+from repro.experiments.ablations import (
+    RandomPlacementRFHPolicy,
+    alpha_sweep,
+    placement_ablation,
+    threshold_sweep,
+)
+from repro.sim import Simulation
+from repro.sim.rng import RngTree
+
+
+@pytest.fixture
+def cfg() -> SimulationConfig:
+    return SimulationConfig(
+        seed=13,
+        workload=WorkloadParameters(
+            queries_per_epoch_mean=120.0, num_partitions=16, zipf_exponent=0.9
+        ),
+    )
+
+
+class TestAlphaSweep:
+    def test_every_alpha_produces_a_summary(self, cfg):
+        results = alpha_sweep(cfg, alphas=(0.2, 0.8), epochs=80)
+        assert set(results) == {0.2, 0.8}
+        for row in results.values():
+            assert 0 <= row["utilization"] <= 1
+            assert row["total_replicas"] >= 16
+            assert row["churn"] == row["replication_total"] + row["suicide_total"]
+
+
+class TestThresholdSweep:
+    def test_grid_covered(self, cfg):
+        results = threshold_sweep(cfg, betas=(1.5, 3.0), deltas=(0.2,), epochs=60)
+        assert set(results) == {(1.5, 0.2), (3.0, 0.2)}
+
+    def test_lazier_beta_never_needs_more_replicas(self, cfg):
+        results = threshold_sweep(cfg, betas=(1.5, 3.0), deltas=(0.2,), epochs=120)
+        eager = results[(1.5, 0.2)]["total_replicas"]
+        lazy = results[(3.0, 0.2)]["total_replicas"]
+        assert lazy <= eager * 1.15  # allow noise, forbid inversion at scale
+
+
+class TestPlacementAblation:
+    def test_both_variants_run(self, cfg):
+        results = placement_ablation(cfg, epochs=80)
+        assert set(results) == {"lowest-blocking", "random-in-dc"}
+        for row in results.values():
+            assert row["load_imbalance"] >= 0
+
+    def test_random_placement_policy_is_deterministic(self, cfg):
+        def run():
+            sim = Simulation(
+                cfg,
+                policy=lambda s: RandomPlacementRFHPolicy(
+                    s.config.rfh, s.rng_tree.stream("ablation-placement")
+                ),
+            )
+            return list(sim.run(40).array("total_replicas"))
+
+        assert run() == run()
+
+    def test_random_placement_differs_from_blocking(self, cfg):
+        base = Simulation(cfg, policy="rfh").run(60)
+        blind = Simulation(
+            cfg,
+            policy=lambda s: RandomPlacementRFHPolicy(
+                s.config.rfh, s.rng_tree.stream("ablation-placement")
+            ),
+        ).run(60)
+        # Same decision tree, different server picks: trajectories diverge.
+        assert list(base.array("served")) != list(blind.array("served"))

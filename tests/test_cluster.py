@@ -1,0 +1,189 @@
+"""Physical cluster substrate: servers, datacenters, membership."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterParameters
+from repro.errors import CapacityError, SimulationError, TopologyError
+from repro.geo.labels import GeoLabel
+from repro.sim.rng import RngTree
+
+
+class TestServerBasics:
+    def test_default_cluster_has_100_servers(self, cluster):
+        assert cluster.num_servers == 100
+        assert cluster.num_datacenters == 10
+        for dc in range(10):
+            assert len(cluster.alive_in_dc(dc)) == 10
+
+    def test_sids_are_dense_and_ordered(self, cluster):
+        assert [s.sid for s in cluster.servers] == list(range(100))
+
+    def test_labels_are_unique_and_well_formed(self, cluster):
+        labels = {str(s.label) for s in cluster.servers}
+        assert len(labels) == 100
+        for s in cluster.servers:
+            assert isinstance(s.label, GeoLabel)
+
+    def test_capacities_are_heterogeneous(self, cluster):
+        caps = {round(s.replica_capacity, 6) for s in cluster.servers}
+        assert len(caps) > 50  # "their capacities are different from each other"
+
+    def test_capacities_within_jitter_band(self, cluster):
+        params = ClusterParameters()
+        lo = params.replica_capacity_mean * (1 - params.capacity_jitter)
+        hi = params.replica_capacity_mean * (1 + params.capacity_jitter)
+        for s in cluster.servers:
+            assert lo <= s.replica_capacity <= hi
+
+    def test_cluster_is_seed_deterministic(self, hierarchy):
+        a = Cluster(hierarchy, ClusterParameters(), RngTree(5).stream("capacity"))
+        b = Cluster(hierarchy, ClusterParameters(), RngTree(5).stream("capacity"))
+        assert [s.replica_capacity for s in a.servers] == [
+            s.replica_capacity for s in b.servers
+        ]
+
+    def test_dc_of(self, cluster):
+        assert cluster.dc_of(0) == 0
+        assert cluster.dc_of(99) == 9
+
+    def test_unknown_server_raises(self, cluster):
+        with pytest.raises(TopologyError):
+            cluster.server(100)
+        with pytest.raises(TopologyError):
+            cluster.datacenter(10)
+
+
+class TestStorage:
+    def test_store_and_release(self, cluster):
+        s = cluster.server(0)
+        s.store(100.0)
+        assert s.storage_used_mb == 100.0
+        assert 0 < s.storage_utilization < 1
+        s.release(40.0)
+        assert s.storage_used_mb == pytest.approx(60.0)
+
+    def test_store_beyond_capacity_raises(self, cluster):
+        s = cluster.server(0)
+        with pytest.raises(CapacityError):
+            s.store(s.storage_capacity_mb + 1)
+
+    def test_release_more_than_stored_raises(self, cluster):
+        s = cluster.server(0)
+        s.store(1.0)
+        with pytest.raises(SimulationError):
+            s.release(2.0)
+
+    def test_negative_sizes_rejected(self, cluster):
+        s = cluster.server(0)
+        with pytest.raises(CapacityError):
+            s.store(-1.0)
+        with pytest.raises(CapacityError):
+            s.release(-1.0)
+
+    def test_storage_gate_eq19(self, cluster):
+        """Eq. 19: a server at or above phi refuses new data."""
+        s = cluster.server(0)
+        phi = 0.7
+        s.store(0.69 * s.storage_capacity_mb)
+        assert s.storage_gate_open(0.001, phi)
+        s.store(0.01 * s.storage_capacity_mb)
+        assert not s.storage_gate_open(0.5, phi)
+
+    def test_store_on_dead_server_raises(self, cluster):
+        s = cluster.server(0)
+        s.fail()
+        with pytest.raises(CapacityError):
+            s.store(1.0)
+
+
+class TestBandwidthBudgets:
+    def test_budgets_start_full(self, cluster):
+        s = cluster.server(0)
+        assert s.replication_budget_mb == 300.0
+        assert s.migration_budget_mb == 100.0
+
+    def test_consume_and_refuse(self, cluster):
+        s = cluster.server(0)
+        assert s.consume_replication_bandwidth(299.0)
+        assert not s.consume_replication_bandwidth(2.0)
+        assert s.consume_migration_bandwidth(100.0)
+        assert not s.consume_migration_bandwidth(0.5)
+
+    def test_reset_refills(self, cluster):
+        s = cluster.server(0)
+        s.consume_replication_bandwidth(300.0)
+        s.consume_migration_bandwidth(100.0)
+        s.reset_epoch_budgets()
+        assert s.replication_budget_mb == 300.0
+        assert s.migration_budget_mb == 100.0
+
+
+class TestFailureRecovery:
+    def test_fail_wipes_storage(self, cluster):
+        s = cluster.server(3)
+        s.store(50.0)
+        cluster.fail_server(3)
+        assert not s.alive
+        assert s.storage_used_mb == 0.0
+
+    def test_double_fail_raises(self, cluster):
+        cluster.fail_server(3)
+        with pytest.raises(SimulationError):
+            cluster.fail_server(3)
+
+    def test_recover_restores_empty(self, cluster):
+        cluster.fail_server(3)
+        cluster.recover_server(3)
+        s = cluster.server(3)
+        assert s.alive and s.storage_used_mb == 0.0
+
+    def test_recover_alive_server_raises(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.recover_server(3)
+
+    def test_alive_lists_shrink(self, cluster):
+        cluster.fail_server(0)
+        assert 0 not in cluster.alive_server_ids()
+        assert len(cluster.alive_in_dc(0)) == 9
+        assert len(cluster.alive_servers()) == 99
+
+
+class TestJoin:
+    def test_join_extends_cluster(self, cluster):
+        before = cluster.num_servers
+        server = cluster.join_server(4)
+        assert server.sid == before
+        assert cluster.num_servers == before + 1
+        assert server.dc == 4
+        assert server in cluster.datacenter(4).servers
+
+    def test_joined_server_label_in_expansion_room(self, cluster):
+        server = cluster.join_server(0)
+        assert server.label.room == "C02"  # default has one room: C01
+
+    def test_join_unknown_dc_raises(self, cluster):
+        with pytest.raises(TopologyError):
+            cluster.join_server(10)
+
+
+class TestDatacenter:
+    def test_total_replica_capacity_counts_alive_only(self, cluster):
+        dc = cluster.datacenter(0)
+        before = dc.total_replica_capacity()
+        lost = cluster.server(0).replica_capacity
+        cluster.fail_server(0)
+        assert dc.total_replica_capacity() == pytest.approx(before - lost)
+
+    def test_num_alive(self, cluster):
+        dc = cluster.datacenter(0)
+        assert dc.num_alive == 10
+        cluster.fail_server(1)
+        assert dc.num_alive == 9
+
+    def test_wrong_dc_server_rejected(self, cluster, hierarchy):
+        from repro.cluster.datacenter import Datacenter
+
+        wrong = cluster.server(50)  # lives in DC 5
+        with pytest.raises(TopologyError):
+            Datacenter(hierarchy.site(0), [wrong])

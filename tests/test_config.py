@@ -1,0 +1,151 @@
+"""Table I round-trip (experiment T1) and configuration validation."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_EPOCH_SECONDS,
+    ClusterParameters,
+    RFHParameters,
+    SimulationConfig,
+    WorkloadParameters,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTableIDefaults:
+    """Every Table I value must be the library default (experiment T1)."""
+
+    def test_storage_capacity_is_10gb(self):
+        assert ClusterParameters().storage_capacity_mb == 10 * 1024
+
+    def test_storage_rate_limit_is_70_percent(self):
+        assert RFHParameters().phi == 0.70
+
+    def test_replication_bandwidth_300mb_per_epoch(self):
+        assert ClusterParameters().replication_bandwidth_mb == 300.0
+
+    def test_migration_bandwidth_100mb_per_epoch(self):
+        assert ClusterParameters().migration_bandwidth_mb == 100.0
+
+    def test_epoch_is_10_seconds(self):
+        assert DEFAULT_EPOCH_SECONDS == 10.0
+        assert SimulationConfig().epoch_seconds == 10.0
+
+    def test_poisson_mean_300_queries_per_epoch(self):
+        assert WorkloadParameters().queries_per_epoch_mean == 300.0
+
+    def test_64_partitions_of_512kb(self):
+        wl = WorkloadParameters()
+        assert wl.num_partitions == 64
+        assert wl.partition_size_mb == pytest.approx(0.5)
+
+    def test_failure_rate_and_min_availability(self):
+        rfh = RFHParameters()
+        assert rfh.failure_rate == 0.1
+        assert rfh.min_availability == 0.8
+
+    def test_greek_letters(self):
+        rfh = RFHParameters()
+        assert (rfh.alpha, rfh.beta, rfh.gamma, rfh.delta, rfh.mu) == (
+            0.2,
+            2.0,
+            1.5,
+            0.2,
+            1.0,
+        )
+
+    def test_cluster_shape_matches_section_iii(self):
+        cl = ClusterParameters()
+        assert cl.rooms_per_datacenter == 1
+        assert cl.racks_per_room == 2
+        assert cl.servers_per_rack == 5
+        assert cl.servers_per_datacenter == 10
+
+
+class TestValidation:
+    def test_alpha_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            RFHParameters(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            RFHParameters(alpha=1.0)
+
+    def test_beta_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            RFHParameters(beta=1.0)
+
+    def test_gamma_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            RFHParameters(gamma=0.9)
+
+    def test_delta_must_be_fractional(self):
+        with pytest.raises(ConfigurationError):
+            RFHParameters(delta=1.5)
+
+    def test_mu_positive(self):
+        with pytest.raises(ConfigurationError):
+            RFHParameters(mu=0.0)
+
+    def test_phi_range(self):
+        with pytest.raises(ConfigurationError):
+            RFHParameters(phi=0.0)
+        with pytest.raises(ConfigurationError):
+            RFHParameters(phi=1.2)
+
+    def test_failure_rate_range(self):
+        with pytest.raises(ConfigurationError):
+            RFHParameters(failure_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            RFHParameters(failure_rate=1.0)
+
+    def test_hub_fanout_positive(self):
+        with pytest.raises(ConfigurationError):
+            RFHParameters(hub_fanout=0)
+
+    def test_cluster_shape_positive(self):
+        with pytest.raises(ConfigurationError):
+            ClusterParameters(servers_per_rack=0)
+        with pytest.raises(ConfigurationError):
+            ClusterParameters(racks_per_room=0)
+
+    def test_capacity_jitter_range(self):
+        with pytest.raises(ConfigurationError):
+            ClusterParameters(capacity_jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            ClusterParameters(capacity_jitter=-0.1)
+
+    def test_workload_positive(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadParameters(queries_per_epoch_mean=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadParameters(num_partitions=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadParameters(partition_size_mb=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadParameters(zipf_exponent=-0.1)
+
+    def test_epoch_seconds_positive(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(epoch_seconds=0)
+
+    def test_seed_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(seed=-1)
+
+
+class TestReplace:
+    def test_replace_top_level(self):
+        cfg = SimulationConfig(seed=1)
+        other = cfg.replace(seed=2)
+        assert other.seed == 2
+        assert cfg.seed == 1  # original untouched
+
+    def test_replace_nested_group(self):
+        cfg = SimulationConfig()
+        other = cfg.replace(rfh=RFHParameters(alpha=0.5))
+        assert other.rfh.alpha == 0.5
+        assert cfg.rfh.alpha == 0.2
+
+    def test_configs_are_frozen(self):
+        cfg = SimulationConfig()
+        with pytest.raises(AttributeError):
+            cfg.seed = 7  # type: ignore[misc]

@@ -1,0 +1,209 @@
+"""Consistency tracker: versions, propagation, staleness scoring."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ReplicaMap
+from repro.config import SimulationConfig, WorkloadParameters
+from repro.consistency import ConsistencyConfig, ConsistencyTracker
+from repro.errors import ConfigurationError
+from repro.sim import Simulation
+
+
+@pytest.fixture
+def tracker_world(cluster, router):
+    replicas = ReplicaMap(cluster, num_partitions=2, partition_size_mb=0.5)
+    replicas.bootstrap([0, 10])
+
+    def make(write_ratio=1.0, fanout=1, seed=5) -> ConsistencyTracker:
+        return ConsistencyTracker(
+            ConsistencyConfig(write_ratio=write_ratio, fanout=fanout),
+            np.random.default_rng(seed),
+            partition_size_mb=0.5,
+            failure_rate=0.1,
+            replication_bandwidth_mb=300.0,
+        )
+
+    return replicas, make
+
+
+def _observe(tracker, replicas, cluster, router, queries=(4, 0), served=None):
+    q = np.asarray(queries, dtype=np.float64)
+    s = served if served is not None else np.zeros((2, cluster.num_servers))
+    return tracker.observe(q, s, replicas, cluster, router)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConsistencyConfig(write_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            ConsistencyConfig(fanout=0)
+
+    def test_eager_is_none_fanout(self):
+        assert ConsistencyConfig(fanout=None).fanout is None
+
+
+class TestVersions:
+    def test_writes_bump_versions(self, tracker_world, cluster, router):
+        replicas, make = tracker_world
+        tracker = make(write_ratio=1.0)
+        summary = _observe(tracker, replicas, cluster, router, queries=(4, 0))
+        assert summary.writes == 4.0
+        assert tracker.version(0) == 4
+        assert tracker.version(1) == 0
+
+    def test_holder_is_always_current(self, tracker_world, cluster, router):
+        replicas, make = tracker_world
+        tracker = make()
+        _observe(tracker, replicas, cluster, router)
+        holder = replicas.holder(0)
+        assert tracker.replica_version(0, holder) == tracker.version(0)
+
+    def test_new_replica_is_fresh(self, tracker_world, cluster, router):
+        replicas, make = tracker_world
+        tracker = make()
+        _observe(tracker, replicas, cluster, router)  # version now 4
+        replicas.add(0, 50)
+        summary = _observe(tracker, replicas, cluster, router, queries=(0, 0))
+        assert tracker.replica_version(0, 50) == tracker.version(0)
+        assert summary.mean_staleness == 0.0
+
+    def test_departed_replica_forgotten(self, tracker_world, cluster, router):
+        replicas, make = tracker_world
+        tracker = make()
+        replicas.add(0, 50)
+        _observe(tracker, replicas, cluster, router)
+        replicas.remove(0, 50)
+        _observe(tracker, replicas, cluster, router, queries=(0, 0))
+        assert tracker.replica_version(0, 50) is None
+
+
+class TestPropagation:
+    def test_fanout_limits_refreshes(self, tracker_world, cluster, router):
+        replicas, make = tracker_world
+        tracker = make(write_ratio=1.0, fanout=1)
+        for sid in (50, 60, 70):
+            replicas.add(0, sid)
+        _observe(tracker, replicas, cluster, router, queries=(0, 0))  # all fresh
+        # One write epoch: three replicas go stale, only one refreshed.
+        summary = _observe(tracker, replicas, cluster, router, queries=(5, 0))
+        assert summary.propagation_transfers == 1.0
+        assert summary.stale_replica_fraction == pytest.approx(2 / 3)
+
+    def test_eager_refreshes_everything(self, tracker_world, cluster, router):
+        replicas, make = tracker_world
+        tracker = make(write_ratio=1.0, fanout=None)
+        for sid in (50, 60, 70):
+            replicas.add(0, sid)
+        _observe(tracker, replicas, cluster, router, queries=(0, 0))
+        summary = _observe(tracker, replicas, cluster, router, queries=(5, 0))
+        assert summary.propagation_transfers == 3.0
+        assert summary.stale_replica_fraction == 0.0
+        assert summary.mean_staleness == 0.0
+
+    def test_propagation_cost_positive_for_remote(self, tracker_world, cluster, router):
+        replicas, make = tracker_world
+        tracker = make(write_ratio=1.0, fanout=None)
+        replicas.add(0, 95)  # far datacenter
+        _observe(tracker, replicas, cluster, router, queries=(0, 0))
+        summary = _observe(tracker, replicas, cluster, router, queries=(5, 0))
+        assert summary.propagation_cost > 0
+
+    def test_stalest_replica_refreshed_first(self, tracker_world, cluster, router):
+        replicas, make = tracker_world
+        tracker = make(write_ratio=1.0, fanout=1)
+        replicas.add(0, 50)
+        _observe(tracker, replicas, cluster, router, queries=(0, 0))
+        _observe(tracker, replicas, cluster, router, queries=(3, 0))  # 50 refreshed
+        replicas.add(0, 60)  # fresh at current version
+        _observe(tracker, replicas, cluster, router, queries=(0, 0))
+        # New write: both stale with equal lag -> lower sid (50) first.
+        _observe(tracker, replicas, cluster, router, queries=(2, 0))
+        assert tracker.replica_version(0, 50) == tracker.version(0)
+
+
+class TestScoring:
+    def test_stale_reads_detected(self, tracker_world, cluster, router):
+        replicas, make = tracker_world
+        tracker = make(write_ratio=1.0, fanout=1)
+        replicas.add(0, 50)
+        replicas.add(0, 60)
+        _observe(tracker, replicas, cluster, router, queries=(0, 0))
+        served = np.zeros((2, cluster.num_servers))
+        served[0, 50] = 2.0
+        served[0, 60] = 2.0
+        summary = _observe(
+            tracker, replicas, cluster, router, queries=(5, 0), served=served
+        )
+        # One of the two got refreshed this epoch; the other served stale.
+        assert summary.stale_read_fraction == pytest.approx(0.5)
+
+    def test_no_writes_no_staleness(self, tracker_world, cluster, router):
+        replicas, make = tracker_world
+        tracker = make(write_ratio=0.0)
+        replicas.add(0, 50)
+        summary = _observe(tracker, replicas, cluster, router, queries=(10, 10))
+        assert summary.writes == 0.0
+        assert summary.mean_staleness == 0.0
+        assert summary.stale_read_fraction == 0.0
+
+
+class TestEngineIntegration:
+    def _cfg(self):
+        return SimulationConfig(
+            seed=3,
+            workload=WorkloadParameters(queries_per_epoch_mean=80.0, num_partitions=8),
+        )
+
+    def test_series_recorded_when_enabled(self):
+        sim = Simulation(
+            self._cfg(), policy="rfh", consistency=ConsistencyConfig(write_ratio=0.2)
+        )
+        m = sim.run(25)
+        for name in (
+            "writes",
+            "propagation_transfers",
+            "propagation_cost",
+            "mean_staleness",
+            "stale_replica_fraction",
+            "stale_read_fraction",
+        ):
+            assert name in m, name
+        assert m.array("writes").sum() > 0
+
+    def test_series_absent_when_disabled(self):
+        m = Simulation(self._cfg(), policy="rfh").run(5)
+        assert "writes" not in m
+
+    def test_eager_beats_lazy_on_staleness(self):
+        lazy = Simulation(
+            self._cfg(),
+            policy="rfh",
+            consistency=ConsistencyConfig(write_ratio=0.3, fanout=1),
+        ).run(60)
+        eager = Simulation(
+            self._cfg(),
+            policy="rfh",
+            consistency=ConsistencyConfig(write_ratio=0.3, fanout=None),
+        ).run(60)
+        assert (
+            eager.series("stale_read_fraction").tail_mean(20)
+            <= lazy.series("stale_read_fraction").tail_mean(20)
+        )
+        assert (
+            eager.series("propagation_transfers").tail_mean(20)
+            >= lazy.series("propagation_transfers").tail_mean(20)
+        )
+
+    def test_reproduced_figures_unaffected(self):
+        """The tracker must be a pure observer: enabling it cannot change
+        any placement dynamics."""
+        base = Simulation(self._cfg(), policy="rfh").run(30)
+        tracked = Simulation(
+            self._cfg(), policy="rfh", consistency=ConsistencyConfig(write_ratio=0.5)
+        ).run(30)
+        assert list(base.array("total_replicas")) == list(
+            tracked.array("total_replicas")
+        )
+        assert list(base.array("served")) == list(tracked.array("served"))

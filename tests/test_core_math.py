@@ -1,0 +1,227 @@
+"""Core mathematical pieces: smoothing, thresholds, availability, Erlang-B."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Ewma, erlang_b
+from repro.core.availability import (
+    availability_all_alive,
+    availability_at_least_one,
+    inclusion_exclusion_sum,
+    min_replicas_for_availability,
+)
+from repro.core.blocking import offered_load, server_blocking_probabilities
+from repro.core.thresholds import (
+    blocked_tolerance,
+    is_blocked,
+    is_holder_overloaded,
+    is_suicide_candidate,
+    is_traffic_hub,
+    migration_benefit_met,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEwma:
+    def test_first_update_initialises(self):
+        s = Ewma(0.2)
+        assert s.update(10.0) == 10.0
+
+    def test_alpha_weights_new_sample(self):
+        s = Ewma(0.2)
+        s.update(10.0)
+        assert s.update(0.0) == pytest.approx(8.0)
+
+    def test_array_stream(self):
+        s = Ewma(0.5)
+        s.update(np.array([2.0, 4.0]))
+        out = s.update(np.array([0.0, 0.0]))
+        assert list(out) == [1.0, 2.0]
+
+    def test_converges_to_constant_input(self):
+        s = Ewma(0.2)
+        for _ in range(100):
+            value = s.update(5.0)
+        assert value == pytest.approx(5.0)
+
+    def test_shape_change_rejected(self):
+        s = Ewma(0.5)
+        s.update(np.zeros(3))
+        with pytest.raises(ValueError):
+            s.update(np.zeros(4))
+
+    def test_type_change_rejected(self):
+        s = Ewma(0.5)
+        s.update(1.0)
+        with pytest.raises(ValueError):
+            s.update(np.zeros(2))
+
+    def test_value_before_update_raises(self):
+        with pytest.raises(ValueError):
+            Ewma(0.5).value
+
+    def test_reset(self):
+        s = Ewma(0.5)
+        s.update(3.0)
+        s.reset()
+        assert not s.initialized
+
+    def test_invalid_alpha(self):
+        for alpha in (0.0, 1.0, -0.5):
+            with pytest.raises(ConfigurationError):
+                Ewma(alpha)
+
+    def test_returned_array_is_a_copy(self):
+        s = Ewma(0.5)
+        out = s.update(np.array([1.0]))
+        out[0] = 99.0
+        assert float(np.asarray(s.value)[0]) == 1.0
+
+
+class TestThresholds:
+    def test_eq12_holder_overload_inclusive(self):
+        assert is_holder_overloaded(2.0, 1.0, beta=2.0)  # equality counts
+        assert not is_holder_overloaded(1.99, 1.0, beta=2.0)
+
+    def test_eq13_traffic_hub_inclusive(self):
+        assert is_traffic_hub(1.5, 1.0, gamma=1.5)
+        assert not is_traffic_hub(1.49, 1.0, gamma=1.5)
+
+    def test_eq15_suicide_inclusive(self):
+        assert is_suicide_candidate(0.2, 1.0, delta=0.2)
+        assert not is_suicide_candidate(0.21, 1.0, delta=0.2)
+
+    def test_eq16_migration_benefit(self):
+        # tr_j - tr_k >= mu * mean
+        assert migration_benefit_met(5.0, 1.0, 4.0, mu=1.0)
+        assert not migration_benefit_met(5.0, 2.0, 4.0, mu=1.0)
+
+    def test_blocked_tolerance_scales_with_demand(self):
+        assert blocked_tolerance(0.1) == 0.5  # floor
+        assert blocked_tolerance(10.0) == 5.0  # 0.5 * avg query
+
+    def test_is_blocked(self):
+        assert is_blocked(0.6, 0.1)
+        assert not is_blocked(0.4, 0.1)
+        assert not is_blocked(4.0, 10.0)
+
+
+class TestAvailability:
+    def test_inclusion_exclusion_identity(self):
+        """The literal Eq. 14 sum equals 1 - (1-f)^r for all small r."""
+        for r in range(0, 8):
+            for f in (0.05, 0.1, 0.5):
+                assert inclusion_exclusion_sum(r, f) == pytest.approx(
+                    1.0 - (1.0 - f) ** r
+                )
+
+    def test_all_alive_is_complement(self):
+        assert availability_all_alive(3, 0.1) == pytest.approx(0.9**3)
+
+    def test_at_least_one(self):
+        assert availability_at_least_one(0, 0.1) == 0.0
+        assert availability_at_least_one(1, 0.1) == pytest.approx(0.9)
+        assert availability_at_least_one(3, 0.1) == pytest.approx(1 - 1e-3)
+
+    def test_monotone_in_replicas(self):
+        values = [availability_at_least_one(r, 0.2) for r in range(1, 10)]
+        assert values == sorted(values)
+
+    def test_paper_worked_example(self):
+        """'if the system requires a minimum availability of 0.8 and the
+        failure probability is 0.1, then the minimum replica number is 2'."""
+        assert min_replicas_for_availability(0.8, 0.1) == 2
+
+    def test_stricter_floors_need_more_replicas(self):
+        assert min_replicas_for_availability(0.999, 0.1) == 3
+        assert min_replicas_for_availability(0.9999, 0.1) == 4
+        assert min_replicas_for_availability(0.99, 0.5) == 7
+
+    def test_floor_is_two(self):
+        # Even a trivially low requirement keeps two copies.
+        assert min_replicas_for_availability(0.1, 0.1) == 2
+
+    def test_result_always_satisfies_requirement(self):
+        for a in (0.5, 0.8, 0.99, 0.9999):
+            for f in (0.01, 0.1, 0.3, 0.7):
+                r = min_replicas_for_availability(a, f)
+                assert availability_at_least_one(r, f) >= a
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            min_replicas_for_availability(1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            min_replicas_for_availability(0.8, 0.0)
+        with pytest.raises(ConfigurationError):
+            availability_at_least_one(-1, 0.1)
+
+
+class TestErlangB:
+    def test_zero_load_never_blocks(self):
+        assert erlang_b(0.0, 4) == 0.0
+
+    def test_closed_form_small_cases(self):
+        # B(a, 1) = a / (1 + a)
+        for a in (0.1, 1.0, 5.0):
+            assert erlang_b(a, 1) == pytest.approx(a / (1 + a))
+        # B(a, 2) = a^2/2 / (1 + a + a^2/2)
+        a = 2.0
+        assert erlang_b(a, 2) == pytest.approx((a**2 / 2) / (1 + a + a**2 / 2))
+
+    def test_matches_factorial_formula(self):
+        """The recurrence equals Eq. 18's factorial form."""
+        a, c = 3.7, 6
+        denom = sum(a**k / math.factorial(k) for k in range(c + 1))
+        expected = (a**c / math.factorial(c)) / denom
+        assert erlang_b(a, c) == pytest.approx(expected)
+
+    def test_monotone_in_load(self):
+        values = [erlang_b(a, 4) for a in np.linspace(0.1, 20, 30)]
+        assert values == sorted(values)
+
+    def test_monotone_in_servers(self):
+        values = [erlang_b(5.0, c) for c in range(1, 12)]
+        assert values == sorted(values, reverse=True)
+
+    def test_stable_for_huge_load(self):
+        bp = erlang_b(1e6, 8)
+        assert 0.99 < bp <= 1.0
+
+    def test_probability_bounds(self):
+        for a in (0.0, 0.5, 3.0, 50.0):
+            for c in (1, 4, 16):
+                assert 0.0 <= erlang_b(a, c) <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            erlang_b(-1.0, 4)
+        with pytest.raises(ConfigurationError):
+            erlang_b(1.0, 0)
+
+    def test_offered_load(self):
+        assert offered_load(6.0, 2.0, 8) == 3.0
+        with pytest.raises(ConfigurationError):
+            offered_load(1.0, 0.0, 8)
+        with pytest.raises(ConfigurationError):
+            offered_load(-1.0, 1.0, 8)
+
+
+class TestServerBlocking:
+    def test_dead_servers_block_everything(self, cluster):
+        cluster.fail_server(0)
+        load = np.zeros(cluster.num_servers)
+        bp = server_blocking_probabilities(cluster, load)
+        assert bp[0] == 1.0
+        assert np.all(bp[1:] == 0.0)
+
+    def test_busier_server_blocks_more(self, cluster):
+        load = np.zeros(cluster.num_servers)
+        load[1] = 50.0
+        bp = server_blocking_probabilities(cluster, load)
+        assert bp[1] > bp[2]
+
+    def test_shape_checked(self, cluster):
+        with pytest.raises(ConfigurationError):
+            server_blocking_probabilities(cluster, np.zeros(3))

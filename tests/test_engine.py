@@ -1,0 +1,268 @@
+"""Engine integration: the epoch loop, action application, events."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, WorkloadParameters
+from repro.errors import ActionError, SimulationError
+from repro.sim import (
+    MassFailureEvent,
+    Migrate,
+    Replicate,
+    ServerJoinEvent,
+    ServerRecoveryEvent,
+    Simulation,
+    Suicide,
+)
+from repro.sim.events import ServerFailureEvent
+
+
+def make_sim(policy="rfh", seed=5, **wl) -> Simulation:
+    defaults = dict(queries_per_epoch_mean=120.0, num_partitions=16, zipf_exponent=0.9)
+    defaults.update(wl)
+    cfg = SimulationConfig(seed=seed, workload=WorkloadParameters(**defaults))
+    return Simulation(cfg, policy=policy)
+
+
+class _ScriptedPolicy:
+    """Emits a fixed action list once, then nothing."""
+
+    name = "scripted"
+
+    def __init__(self, actions):
+        self._actions = list(actions)
+
+    def decide(self, obs):
+        actions, self._actions = self._actions, []
+        return actions
+
+
+class TestConstruction:
+    def test_world_is_bootstrapped(self):
+        sim = make_sim()
+        assert sim.cluster.num_servers == 100
+        assert sim.replicas.total_replicas() == 16
+        assert sim.rmin == 2
+
+    def test_unknown_policy_rejected(self):
+        cfg = SimulationConfig()
+        with pytest.raises(SimulationError):
+            Simulation(cfg, policy="nope")
+
+    def test_policy_factory(self):
+        cfg = SimulationConfig()
+        captured = {}
+
+        def factory(sim):
+            captured["sim"] = sim
+            return _ScriptedPolicy([])
+
+        sim = Simulation(cfg, policy=factory)
+        assert captured["sim"] is sim
+
+    def test_policy_object_accepted(self):
+        cfg = SimulationConfig()
+        policy = _ScriptedPolicy([])
+        sim = Simulation(cfg, policy=policy)
+        assert sim.policy is policy
+
+
+class TestEpochLoop:
+    def test_run_records_all_series(self):
+        sim = make_sim()
+        metrics = sim.run(5)
+        assert metrics.num_epochs == 5
+        for name in metrics.STANDARD_SERIES:
+            assert name in metrics, name
+            assert len(metrics.series(name)) == 5
+
+    def test_conservation_every_epoch(self):
+        sim = make_sim()
+        m = sim.run(20)
+        served = m.array("served")
+        unserved = m.array("unserved")
+        queries = m.array("queries")
+        assert np.allclose(served + unserved, queries)
+
+    def test_step_returns_service_result(self):
+        sim = make_sim()
+        result = sim.step()
+        assert result.query_count == int(sim.metrics.array("queries")[0])
+
+    def test_run_requires_positive_epochs(self):
+        with pytest.raises(SimulationError):
+            make_sim().run(0)
+
+    def test_determinism_end_to_end(self):
+        a, b = make_sim(seed=77), make_sim(seed=77)
+        ma, mb = a.run(30), b.run(30)
+        for name in ma.STANDARD_SERIES:
+            assert list(ma.array(name)) == list(mb.array(name)), name
+
+    def test_different_seeds_differ(self):
+        ma = make_sim(seed=1).run(20)
+        mb = make_sim(seed=2).run(20)
+        assert list(ma.array("served")) != list(mb.array("served"))
+
+
+class TestActionApplication:
+    def test_replicate_applied_with_cost(self):
+        sim = make_sim()
+        holder = sim.replicas.holder(0)
+        target = (holder + 50) % 100
+        sim.policy = _ScriptedPolicy([Replicate(0, holder, target)])
+        sim.step()
+        assert sim.replicas.count(0, target) == 1
+        assert sim.metrics.array("replication_count")[0] == 1
+        assert sim.metrics.array("replication_cost")[0] > 0
+
+    def test_same_dc_replication_is_cheap_but_not_free(self):
+        sim = make_sim()
+        holder = sim.replicas.holder(0)
+        dc = sim.cluster.dc_of(holder)
+        neighbour = next(
+            s.sid for s in sim.cluster.alive_in_dc(dc) if s.sid != holder
+        )
+        sim.policy = _ScriptedPolicy([Replicate(0, holder, neighbour)])
+        sim.step()
+        cost = sim.metrics.array("replication_cost")[0]
+        assert 0 < cost < 0.001  # intra-DC kilometre
+
+    def test_migrate_applied(self):
+        sim = make_sim()
+        holder = sim.replicas.holder(0)
+        a, b = (holder + 11) % 100, (holder + 57) % 100
+        sim.policy = _ScriptedPolicy([Replicate(0, holder, a)])
+        sim.step()
+        sim.policy = _ScriptedPolicy([Migrate(0, a, b)])
+        sim.step()
+        assert sim.replicas.count(0, a) == 0
+        assert sim.replicas.count(0, b) == 1
+        assert sim.metrics.array("migration_cost")[1] > 0
+
+    def test_suicide_applied(self):
+        sim = make_sim()
+        holder = sim.replicas.holder(0)
+        a = (holder + 11) % 100
+        sim.policy = _ScriptedPolicy([Replicate(0, holder, a)])
+        sim.step()
+        sim.policy = _ScriptedPolicy([Suicide(0, a)])
+        sim.step()
+        assert sim.replicas.count(0, a) == 0
+        assert sim.metrics.array("suicide_count")[1] == 1
+
+    def test_suicide_of_last_copy_skipped(self):
+        sim = make_sim()
+        holder = sim.replicas.holder(0)
+        sim.policy = _ScriptedPolicy([Suicide(0, holder)])
+        sim.step()
+        assert sim.replicas.replica_count(0) == 1
+        assert sim.metrics.array("skipped_actions")[0] == 1
+
+    def test_replicate_from_copyless_source_raises(self):
+        sim = make_sim()
+        holder = sim.replicas.holder(0)
+        wrong_source = (holder + 1) % 100
+        sim.policy = _ScriptedPolicy([Replicate(0, wrong_source, (holder + 2) % 100)])
+        with pytest.raises(ActionError):
+            sim.step()
+
+    def test_migrate_to_self_raises(self):
+        sim = make_sim()
+        holder = sim.replicas.holder(0)
+        sim.policy = _ScriptedPolicy([Migrate(0, holder, holder)])
+        with pytest.raises(ActionError):
+            sim.step()
+
+    def test_storage_gate_race_is_skipped_not_fatal(self):
+        sim = make_sim()
+        holder = sim.replicas.holder(0)
+        target = (holder + 50) % 100
+        server = sim.cluster.server(target)
+        server.store(0.71 * server.storage_capacity_mb)
+        sim.policy = _ScriptedPolicy([Replicate(0, holder, target)])
+        sim.step()
+        assert sim.replicas.count(0, target) == 0
+        assert sim.metrics.array("skipped_actions")[0] == 1
+
+
+class TestEvents:
+    def test_mass_failure_drops_servers_and_replicas(self):
+        sim = make_sim()
+        sim.schedule_event(MassFailureEvent(epoch=2, count=30))
+        m = sim.run(4)
+        alive = m.array("alive_servers")
+        assert alive[1] == 100 and alive[2] == 70
+
+    def test_specific_failure_event(self):
+        sim = make_sim()
+        sim.schedule_event(ServerFailureEvent(epoch=1, sids=(0, 1, 2)))
+        sim.run(2)
+        assert not sim.cluster.server(0).alive
+
+    def test_recovery_event_restores_all(self):
+        sim = make_sim()
+        sim.schedule_event(MassFailureEvent(epoch=1, count=20))
+        sim.schedule_event(ServerRecoveryEvent(epoch=3))
+        m = sim.run(5)
+        alive = m.array("alive_servers")
+        assert alive[1] == 80 and alive[3] == 100
+
+    def test_join_event_grows_cluster(self):
+        sim = make_sim()
+        sim.schedule_event(ServerJoinEvent(epoch=1, dc=4, count=3))
+        m = sim.run(3)
+        assert m.array("alive_servers")[1] == 103
+        assert sim.cluster.num_servers == 103
+        assert sim.ring.members == tuple(range(103))
+
+    def test_lost_partitions_are_restored(self):
+        """Killing every holder of some partition forces a cold-archive
+        restore, surfaced via the lost_partitions series."""
+        sim = make_sim()
+        sim.policy = _ScriptedPolicy([])  # no replication interference
+        holders = tuple(sid for sid, _ in sim.replicas.servers_with(0))
+        sim.schedule_event(ServerFailureEvent(epoch=1, sids=holders))
+        m = sim.run(3)
+        assert sim.replicas.has_holder(0)
+        assert m.array("lost_partitions").sum() >= 1
+
+    def test_past_event_rejected(self):
+        sim = make_sim()
+        sim.run(3)
+        with pytest.raises(SimulationError):
+            sim.schedule_event(MassFailureEvent(epoch=1, count=1))
+
+
+class TestBandwidthBudget:
+    def test_replication_bandwidth_limits_actions(self):
+        """A source can only push bandwidth/size replications per epoch."""
+        # 20 MB partitions against a 300 MB/epoch budget -> 15 transfers.
+        sim = make_sim(partition_size_mb=20.0)
+        holder = sim.replicas.holder(0)
+        budget = int(
+            sim.config.cluster.replication_bandwidth_mb
+            / sim.config.workload.partition_size_mb
+        )
+        assert budget == 15
+        targets = [sid for sid in range(100) if sid != holder][: budget + 10]
+        sim.policy = _ScriptedPolicy([Replicate(0, holder, t) for t in targets])
+        sim.step()
+        assert sim.metrics.array("replication_count")[0] == budget
+        assert sim.metrics.array("skipped_actions")[0] == 10
+
+    def test_migration_bandwidth_is_per_source_and_separate(self):
+        sim = make_sim(partition_size_mb=60.0)
+        holder = sim.replicas.holder(0)
+        a = (holder + 7) % 100
+        # Two copies on server a (multiplicity is legal).
+        sim.policy = _ScriptedPolicy([Replicate(0, holder, a), Replicate(0, holder, a)])
+        sim.step()
+        assert sim.replicas.count(0, a) == 2
+        # Migration budget is 100 MB/epoch per source: one 60 MB move
+        # from `a` fits, the second is skipped.
+        b, c = (holder + 21) % 100, (holder + 33) % 100
+        sim.policy = _ScriptedPolicy([Migrate(0, a, b), Migrate(0, a, c)])
+        sim.step()
+        assert sim.metrics.array("migration_count")[1] == 1
+        assert sim.metrics.array("skipped_actions")[1] == 1

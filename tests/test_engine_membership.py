@@ -1,0 +1,113 @@
+"""Engine + policies across membership churn (join, recover, rebuild)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, WorkloadParameters
+from repro.sim import (
+    MassFailureEvent,
+    ServerJoinEvent,
+    ServerRecoveryEvent,
+    Simulation,
+)
+
+
+def make_sim(policy="rfh", seed=17):
+    cfg = SimulationConfig(
+        seed=seed,
+        workload=WorkloadParameters(
+            queries_per_epoch_mean=120.0, num_partitions=16, zipf_exponent=0.9
+        ),
+    )
+    return Simulation(cfg, policy=policy)
+
+
+class TestJoinedServers:
+    def test_rfh_uses_joined_servers(self):
+        """New capacity in a hot datacenter gets adopted by placement."""
+        sim = make_sim()
+        sim.run(40)
+        hot_dc = int(np.argmax(sim.last_result.traffic_dc.sum(axis=0)))
+        sim.schedule_event(ServerJoinEvent(epoch=40, dc=hot_dc, count=5))
+        sim.run(80)
+        new_sids = set(range(100, 105))
+        used = {
+            sid
+            for p in range(16)
+            for sid, _ in sim.replicas.servers_with(p)
+            if sid in new_sids
+        }
+        # At least some of the new servers host replicas by now.
+        assert used
+
+    def test_metrics_width_tracks_growth(self):
+        sim = make_sim()
+        sim.schedule_event(ServerJoinEvent(epoch=5, dc=0, count=2))
+        sim.run(10)
+        assert sim.last_result.served_server.shape[1] == 102
+
+    def test_every_policy_survives_churn(self):
+        for policy in ("rfh", "random", "owner", "request"):
+            sim = make_sim(policy=policy)
+            sim.schedule_event(MassFailureEvent(epoch=10, count=20))
+            sim.schedule_event(ServerJoinEvent(epoch=20, dc=3, count=4))
+            sim.schedule_event(ServerRecoveryEvent(epoch=30))
+            metrics = sim.run(50)
+            assert metrics.num_epochs == 50
+            alive = metrics.array("alive_servers")
+            assert alive[10] == 80
+            assert alive[20] == 84
+            assert alive[30] == 104
+
+
+class TestRecoveryDynamics:
+    def test_recovered_servers_rejoin_ring(self):
+        sim = make_sim()
+        sim.schedule_event(MassFailureEvent(epoch=5, count=30))
+        sim.schedule_event(ServerRecoveryEvent(epoch=15))
+        sim.run(20)
+        assert len(sim.ring.members) == 100
+
+    def test_failure_storage_accounting_consistent(self):
+        """After arbitrary churn, total stored MB equals copies x size."""
+        sim = make_sim()
+        sim.schedule_event(MassFailureEvent(epoch=10, count=25))
+        sim.schedule_event(ServerRecoveryEvent(epoch=25))
+        sim.run(60)
+        total_mb = sum(s.storage_used_mb for s in sim.cluster.servers)
+        expected = sim.replicas.total_replicas() * sim.config.workload.partition_size_mb
+        assert total_mb == pytest.approx(expected)
+
+    def test_availability_floor_restored_after_failure(self):
+        sim = make_sim()
+        sim.schedule_event(MassFailureEvent(epoch=20, count=40))
+        sim.run(80)
+        counts = sim.replicas.per_partition_counts()
+        assert all(c >= sim.rmin for c in counts)
+
+    def test_mean_availability_dips_then_recovers(self):
+        sim = make_sim()
+        sim.schedule_event(MassFailureEvent(epoch=30, count=40))
+        m = sim.run(100)
+        avail = m.array("mean_availability")
+        assert avail[30] <= avail[29]  # the hit
+        assert avail[-1] >= avail[29] - 1e-9  # healed
+
+
+class TestCrossPolicyDeterminism:
+    def test_shared_trace_isolation(self):
+        """Two policies on one trace see identical queries but leave the
+        trace object unchanged for the next consumer."""
+        from repro.experiments import random_query_scenario
+
+        cfg = SimulationConfig(
+            seed=23,
+            workload=WorkloadParameters(
+                queries_per_epoch_mean=120.0, num_partitions=16
+            ),
+        )
+        scenario = random_query_scenario(cfg, epochs=30)
+        total_before = scenario.trace.total_queries()
+        Simulation(cfg, policy="rfh", workload=scenario.trace).run(30)
+        Simulation(cfg, policy="random", workload=scenario.trace).run(30)
+        assert scenario.trace.total_queries() == total_before

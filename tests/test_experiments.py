@@ -1,0 +1,139 @@
+"""Experiment harness: scenarios, runner, comparison, report rendering.
+
+Full-scale figure regeneration lives in the benchmark suite; these tests
+exercise the machinery at reduced scale so the unit suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, WorkloadParameters
+from repro.experiments import (
+    compare_policies,
+    failure_recovery_scenario,
+    fig10_failure_recovery,
+    flash_crowd_scenario,
+    random_query_scenario,
+    run_experiment,
+)
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import render_figure, render_report
+
+
+@pytest.fixture
+def cfg() -> SimulationConfig:
+    return SimulationConfig(
+        seed=21,
+        workload=WorkloadParameters(
+            queries_per_epoch_mean=120.0, num_partitions=16, zipf_exponent=0.9
+        ),
+    )
+
+
+class TestScenarios:
+    def test_random_query_scenario(self, cfg):
+        sc = random_query_scenario(cfg, epochs=30)
+        assert sc.name == "random-query"
+        assert len(sc.trace) == 30
+        assert sc.events == ()
+
+    def test_flash_crowd_scenario_origins_shift(self, cfg):
+        sc = flash_crowd_scenario(cfg, epochs=80)
+        early = sum(sc.trace.generate(e).per_origin() for e in range(10))
+        late = sum(sc.trace.generate(e).per_origin() for e in range(25, 35))
+        assert early[[7, 8, 9]].sum() > 0.6 * early.sum()  # H/I/J hot
+        assert late[[0, 1, 2]].sum() > 0.6 * late.sum()  # A/B/C hot
+
+    def test_failure_scenario_events(self, cfg):
+        sc = failure_recovery_scenario(
+            cfg, epochs=40, failure_epoch=20, failure_count=10, recovery_epoch=30
+        )
+        assert len(sc.events) == 2
+
+    def test_recovery_must_follow_failure(self, cfg):
+        with pytest.raises(ValueError):
+            failure_recovery_scenario(
+                cfg, epochs=40, failure_epoch=20, recovery_epoch=10
+            )
+
+    def test_scenario_epoch_bounds_checked(self, cfg):
+        sc = random_query_scenario(cfg, epochs=30)
+        from repro.experiments.scenarios import Scenario
+
+        with pytest.raises(ValueError):
+            Scenario("x", cfg, sc.trace, epochs=31)
+
+
+class TestRunner:
+    def test_run_experiment(self, cfg):
+        sc = random_query_scenario(cfg, epochs=25)
+        res = run_experiment("rfh", sc)
+        assert res.policy == "rfh"
+        assert len(res.series("utilization")) == 25
+        assert res.final("total_replicas") >= 16
+        assert res.cumulative("replication_count")[-1] >= 0
+
+    def test_runs_are_reproducible(self, cfg):
+        sc = random_query_scenario(cfg, epochs=25)
+        a = run_experiment("rfh", sc)
+        b = run_experiment("rfh", sc)
+        assert list(a.series("served")) == list(b.series("served"))
+
+
+class TestComparison:
+    def test_compare_all_policies(self, cfg):
+        sc = random_query_scenario(cfg, epochs=25)
+        cmp = compare_policies(sc)
+        assert set(cmp.policies()) == {"rfh", "random", "owner", "request"}
+        table = cmp.steady_table("utilization", tail=5)
+        assert all(0 <= v <= 1 for v in table.values())
+
+    def test_identical_workload_across_policies(self, cfg):
+        sc = random_query_scenario(cfg, epochs=25)
+        cmp = compare_policies(sc, policies=("rfh", "random"))
+        assert list(cmp["rfh"].series("queries")) == list(
+            cmp["random"].series("queries")
+        )
+
+    def test_ranking(self, cfg):
+        sc = random_query_scenario(cfg, epochs=30)
+        cmp = compare_policies(sc, policies=("rfh", "random"))
+        ranking = cmp.ranking("total_replicas")
+        assert ranking[0] == "random"  # random always needs more replicas
+
+
+class TestFigureHarness:
+    def test_fig10_small_scale(self, cfg):
+        result = fig10_failure_recovery(cfg, epochs=140, failure_epoch=80, failure_count=20)
+        assert result.figure == "fig10"
+        assert "10" in result.panels
+        assert result.checks["10 servers actually removed"]
+        assert result.checks["10 sharp drop at the failure epoch"]
+
+    def test_figure_result_api(self):
+        result = FigureResult(
+            "figX", {"p": {"rfh": np.zeros(3)}}, {"ok": True, "bad": False}
+        )
+        assert not result.passed
+        assert result.failed_checks() == ("bad",)
+
+
+class TestReport:
+    def test_render_figure(self):
+        result = FigureResult(
+            "fig3", {"3a": {}}, {"claim holds": True}, notes={"steady": 0.5}
+        )
+        text = render_figure(result)
+        assert "fig3" in text
+        assert "claim holds" in text
+        assert "0.500" in text
+
+    def test_render_report_counts_checks(self):
+        results = {
+            "fig3": FigureResult("fig3", {}, {"a": True, "b": False}),
+            "fig4": FigureResult("fig4", {}, {"c": True}),
+        }
+        text = render_report(results, header="# Title")
+        assert "2/3" in text
+        assert text.startswith("# Title")
+        assert "**NO**" in text

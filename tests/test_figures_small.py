@@ -1,0 +1,74 @@
+"""Figure harnesses at reduced scale (full scale runs in benchmarks/).
+
+These confirm each figN function produces its panels, notes and checks
+on a small world; the *shape assertions* at paper scale live in the
+benchmark suite where the full epoch counts run.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig, WorkloadParameters
+from repro.experiments import (
+    fig3_utilization,
+    fig4_replica_number,
+    fig5_replication_cost,
+    fig6_migration_times,
+    fig7_migration_cost,
+    fig8_load_imbalance,
+    fig9_path_length,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg() -> SimulationConfig:
+    return SimulationConfig(
+        seed=31,
+        workload=WorkloadParameters(
+            queries_per_epoch_mean=120.0, num_partitions=16, zipf_exponent=0.9
+        ),
+    )
+
+
+SMALL = dict(epochs_random=80, epochs_flash=120)
+
+
+class TestPanelsAndNotes:
+    def test_fig3_panels(self, cfg):
+        result = fig3_utilization(cfg, **SMALL)
+        assert set(result.panels) == {"3a", "3b"}
+        for panel in result.panels.values():
+            assert set(panel) == {"rfh", "random", "owner", "request"}
+        assert len(result.panels["3a"]["rfh"]) == 80
+        assert len(result.panels["3b"]["rfh"]) == 120
+
+    def test_fig4_panels(self, cfg):
+        result = fig4_replica_number(cfg, **SMALL)
+        assert set(result.panels) == {"4a", "4b", "4c", "4d"}
+        # Average panel == total / partitions.
+        total = result.panels["4a"]["rfh"]
+        avg = result.panels["4b"]["rfh"]
+        assert (total / 16 == avg).all()
+
+    def test_fig5_cumulative_monotone(self, cfg):
+        result = fig5_replication_cost(cfg, epochs_random=60, epochs_flash=120)
+        for policy, series in result.panels["5a"].items():
+            assert (series[1:] >= series[:-1]).all(), policy
+
+    def test_fig6_counts_cumulative(self, cfg):
+        result = fig6_migration_times(cfg, **SMALL)
+        assert (result.panels["6a"]["random"] == 0).all()
+
+    def test_fig7_costs(self, cfg):
+        result = fig7_migration_cost(cfg, epochs_random=60, epochs_flash=120)
+        assert (result.panels["7a"]["owner"] == 0).all()
+
+    def test_fig8_series_nonnegative(self, cfg):
+        result = fig8_load_imbalance(cfg, epochs_random=60, epochs_flash=120)
+        for panel in result.panels.values():
+            for series in panel.values():
+                assert (series >= 0).all()
+
+    def test_fig9_notes_contain_steady_values(self, cfg):
+        result = fig9_path_length(cfg, epochs_random=60, epochs_flash=120)
+        assert "9a steady owner" in result.notes
+        assert "9b steady rfh" in result.notes

@@ -1,0 +1,154 @@
+"""Geographic hierarchy: labels, availability levels, default sites."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.geo import (
+    AvailabilityLevel,
+    GeoLabel,
+    availability_level,
+    build_default_hierarchy,
+)
+from repro.geo.hierarchy import DatacenterSite, GeoHierarchy
+
+
+class TestGeoLabel:
+    def test_parse_paper_example(self):
+        label = GeoLabel.parse("NA-USA-GA1-C01-R02-S5")
+        assert label.continent == "NA"
+        assert label.country == "USA"
+        assert label.datacenter == "GA1"
+        assert label.room == "C01"
+        assert label.rack == "R02"
+        assert label.server == "S5"
+
+    def test_round_trip(self):
+        text = "EU-CHE-F-C01-R01-S3"
+        assert str(GeoLabel.parse(text)) == text
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(TopologyError):
+            GeoLabel.parse("NA-USA-GA1-C01-R02")
+        with pytest.raises(TopologyError):
+            GeoLabel.parse("NA-USA-GA1-C01-R02-S5-extra")
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(TopologyError):
+            GeoLabel("NA", "", "GA1", "C01", "R02", "S5")
+
+    def test_dash_in_component_rejected(self):
+        with pytest.raises(TopologyError):
+            GeoLabel("NA", "U-SA", "GA1", "C01", "R02", "S5")
+
+    def test_shared_prefix_depth(self):
+        a = GeoLabel.parse("NA-USA-GA1-C01-R02-S5")
+        assert a.shared_prefix_depth(a) == 6
+        b = a.with_server("S6")
+        assert a.shared_prefix_depth(b) == 5
+        c = GeoLabel.parse("NA-USA-GA1-C01-R03-S5")
+        assert a.shared_prefix_depth(c) == 4
+        d = GeoLabel.parse("EU-CHE-F-C01-R02-S5")
+        assert a.shared_prefix_depth(d) == 0
+
+    def test_same_datacenter_and_rack(self):
+        a = GeoLabel.parse("NA-USA-GA1-C01-R02-S5")
+        assert a.same_datacenter(GeoLabel.parse("NA-USA-GA1-C09-R09-S9"))
+        assert not a.same_datacenter(GeoLabel.parse("NA-USA-GA2-C01-R02-S5"))
+        assert a.same_rack(a.with_server("S1"))
+        assert not a.same_rack(GeoLabel.parse("NA-USA-GA1-C01-R03-S5"))
+
+    def test_labels_sort_deterministically(self):
+        a = GeoLabel.parse("AS-CHN-H-C01-R01-S1")
+        b = GeoLabel.parse("NA-USA-A-C01-R01-S1")
+        assert sorted([b, a]) == [a, b]
+
+
+class TestAvailabilityLevel:
+    def test_same_server_is_level_1(self):
+        a = GeoLabel.parse("NA-USA-GA1-C01-R02-S5")
+        assert availability_level(a, a) == AvailabilityLevel.SAME_SERVER
+
+    def test_same_rack_is_level_2(self):
+        a = GeoLabel.parse("NA-USA-GA1-C01-R02-S5")
+        assert availability_level(a, a.with_server("S6")) == AvailabilityLevel.SAME_RACK
+
+    def test_same_room_is_level_3(self):
+        a = GeoLabel.parse("NA-USA-GA1-C01-R02-S5")
+        b = GeoLabel.parse("NA-USA-GA1-C01-R03-S5")
+        assert availability_level(a, b) == AvailabilityLevel.SAME_ROOM
+
+    def test_same_datacenter_is_level_4(self):
+        a = GeoLabel.parse("NA-USA-GA1-C01-R02-S5")
+        b = GeoLabel.parse("NA-USA-GA1-C02-R02-S5")
+        assert availability_level(a, b) == AvailabilityLevel.SAME_DATACENTER
+
+    def test_different_datacenter_is_level_5(self):
+        a = GeoLabel.parse("NA-USA-GA1-C01-R02-S5")
+        for other in ("NA-USA-GA2-C01-R02-S5", "NA-CAN-D-C01-R02-S5", "AS-CHN-H-C01-R02-S5"):
+            assert (
+                availability_level(a, GeoLabel.parse(other))
+                == AvailabilityLevel.DIFFERENT_DATACENTER
+            )
+
+    def test_symmetry(self):
+        a = GeoLabel.parse("NA-USA-GA1-C01-R02-S5")
+        b = GeoLabel.parse("NA-USA-GA1-C02-R01-S1")
+        assert availability_level(a, b) == availability_level(b, a)
+
+    def test_higher_level_means_safer(self):
+        assert AvailabilityLevel.DIFFERENT_DATACENTER > AvailabilityLevel.SAME_DATACENTER
+        assert AvailabilityLevel.SAME_DATACENTER > AvailabilityLevel.SAME_ROOM
+        assert AvailabilityLevel.SAME_ROOM > AvailabilityLevel.SAME_RACK
+        assert AvailabilityLevel.SAME_RACK > AvailabilityLevel.SAME_SERVER
+
+
+class TestDefaultHierarchy:
+    def test_ten_datacenters_lettered_a_to_j(self):
+        h = build_default_hierarchy()
+        assert h.num_datacenters == 10
+        assert [s.name for s in h.sites] == list("ABCDEFGHIJ")
+
+    def test_country_mix_matches_section_iii(self):
+        """3 US, 2 Canada, 2 Switzerland, 3 China/Japan."""
+        h = build_default_hierarchy()
+        assert len(h.indices_by_country("USA")) == 3
+        assert len(h.indices_by_country("CAN")) == 2
+        assert len(h.indices_by_country("CHE")) == 2
+        assert len(h.indices_by_country("CHN")) + len(h.indices_by_country("JPN")) == 3
+
+    def test_continent_lookup(self):
+        h = build_default_hierarchy()
+        assert h.indices_by_continent("NA") == (0, 1, 2, 3, 4)
+        assert h.indices_by_continent("EU") == (5, 6)
+        assert h.indices_by_continent("AS") == (7, 8, 9)
+
+    def test_by_name_and_site(self):
+        h = build_default_hierarchy()
+        assert h.by_name("A").index == 0
+        assert h.site(9).name == "J"
+        with pytest.raises(TopologyError):
+            h.by_name("Z")
+        with pytest.raises(TopologyError):
+            h.site(10)
+
+    def test_server_label_style(self):
+        h = build_default_hierarchy()
+        label = h.server_label(0, room=0, rack=1, server=4)
+        assert str(label) == "NA-USA-A-C01-R02-S5"
+
+    def test_duplicate_names_rejected(self):
+        site = DatacenterSite(0, "A", "NA", "USA", "X", 0.0, 0.0)
+        dup = DatacenterSite(1, "A", "NA", "USA", "Y", 1.0, 1.0)
+        with pytest.raises(TopologyError):
+            GeoHierarchy((site, dup))
+
+    def test_out_of_order_indices_rejected(self):
+        s0 = DatacenterSite(1, "A", "NA", "USA", "X", 0.0, 0.0)
+        with pytest.raises(TopologyError):
+            GeoHierarchy((s0,))
+
+    def test_bad_coordinates_rejected(self):
+        with pytest.raises(TopologyError):
+            DatacenterSite(0, "A", "NA", "USA", "X", 91.0, 0.0)
+        with pytest.raises(TopologyError):
+            DatacenterSite(0, "A", "NA", "USA", "X", 0.0, 181.0)

@@ -1,0 +1,127 @@
+"""Latency model, SLA accounting, and the SLA experiment."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, WorkloadParameters
+from repro.core.traffic import serve_epoch
+from repro.errors import ConfigurationError
+from repro.metrics.latency import FIBRE_KM_PER_MS, LatencyModel
+from repro.net import Router, WanGraph
+from repro.sim import Simulation
+from repro.workload import QueryBatch
+
+
+class TestLatencyModel:
+    def test_response_time_components(self):
+        model = LatencyModel(service_ms=5.0, hop_overhead_ms=2.0)
+        # 2000 km round trip at 200 km/ms = 20 ms + 2 hops * 2 + 5.
+        assert model.response_ms(2000.0, 2) == pytest.approx(29.0)
+
+    def test_zero_distance_is_service_only(self):
+        model = LatencyModel(service_ms=5.0, hop_overhead_ms=2.0)
+        assert model.response_ms(0.0, 0) == 5.0
+
+    def test_monotone_in_distance(self):
+        model = LatencyModel()
+        assert model.response_ms(5000.0, 1) > model.response_ms(100.0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(service_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(sla_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            LatencyModel().response_ms(-1.0, 0)
+
+    def test_summarize_idle_epoch(self):
+        summary = LatencyModel().summarize_epoch(0.0, 0.0, 0.0, 0.0)
+        assert summary.mean_ms == 0.0
+        assert summary.sla_attainment == 1.0
+
+    def test_summarize_with_misses(self):
+        summary = LatencyModel().summarize_epoch(1000.0, 10.0, 3.0, 10.0)
+        assert summary.sla_attainment == pytest.approx(0.7)
+
+
+class TestKernelSlaAccounting:
+    _router = Router(WanGraph(2, [(0, 1, 40000.0)]))  # absurdly long link
+
+    def test_far_served_queries_miss_sla(self):
+        """A 40,000 km link costs 400 ms RTT > 300 ms: every query from
+        DC 0 served at DC 1 misses."""
+        batch = QueryBatch(0, np.array([[4, 0]]))
+        layout = {1: [(1, 10.0)]}
+        model = LatencyModel()
+        result = serve_epoch(batch, [1], [layout], self._router, 2, latency=model)
+        assert result.sla_miss == 4.0
+
+    def test_local_queries_meet_sla(self):
+        batch = QueryBatch(0, np.array([[4, 0]]))
+        layout = {0: [(0, 10.0)]}
+        result = serve_epoch(batch, [1], [layout], self._router, 2, latency=LatencyModel())
+        assert result.sla_miss == 0.0
+
+    def test_blocked_queries_always_miss(self):
+        batch = QueryBatch(0, np.array([[0, 4]]))  # local to the holder
+        layout = {1: [(1, 1.0)]}
+        result = serve_epoch(batch, [1], [layout], self._router, 2, latency=LatencyModel())
+        assert result.sla_miss == 3.0  # 1 served locally in time, 3 blocked
+
+    def test_no_model_no_misses(self):
+        batch = QueryBatch(0, np.array([[4, 0]]))
+        result = serve_epoch(batch, [1], [{}], self._router, 2)
+        assert result.sla_miss == 0.0
+
+    def test_distance_sum_accounting(self):
+        batch = QueryBatch(0, np.array([[2, 0]]))
+        layout = {1: [(1, 10.0)]}
+        result = serve_epoch(batch, [1], [layout], self._router, 2)
+        assert result.distance_sum_km == pytest.approx(2 * 40000.0)
+
+
+class TestEngineSeries:
+    def test_latency_series_recorded(self):
+        cfg = SimulationConfig(
+            seed=3,
+            workload=WorkloadParameters(queries_per_epoch_mean=80.0, num_partitions=8),
+        )
+        m = Simulation(cfg, policy="rfh").run(20)
+        assert "mean_latency_ms" in m
+        assert "sla_attainment" in m
+        lat = m.array("mean_latency_ms")
+        sla = m.array("sla_attainment")
+        assert np.all(lat >= 0)
+        assert np.all((sla >= 0) & (sla <= 1))
+
+    def test_custom_latency_model(self):
+        cfg = SimulationConfig(
+            seed=3,
+            workload=WorkloadParameters(queries_per_epoch_mean=80.0, num_partitions=8),
+        )
+        strict = Simulation(
+            cfg, policy="rfh", latency=LatencyModel(sla_ms=1.0)
+        ).run(15)
+        lax = Simulation(cfg, policy="rfh", latency=LatencyModel(sla_ms=10_000.0)).run(15)
+        assert strict.series("sla_attainment").mean() <= lax.series(
+            "sla_attainment"
+        ).mean()
+
+    def test_fibre_speed_constant(self):
+        # 2/3 of c in km/ms.
+        assert FIBRE_KM_PER_MS == pytest.approx(200.0)
+
+
+class TestSlaExperiment:
+    def test_small_scale_sla_comparison(self):
+        from repro.experiments.sla import sla_comparison
+
+        cfg = SimulationConfig(
+            seed=9,
+            workload=WorkloadParameters(
+                queries_per_epoch_mean=120.0, num_partitions=16, zipf_exponent=0.9
+            ),
+        )
+        result = sla_comparison(cfg, epochs=120, full_service_floor=0.9)
+        assert set(result.attainment) == {"rfh", "request", "owner", "random"}
+        assert result.passed, result.failed_checks()

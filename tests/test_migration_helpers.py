@@ -1,0 +1,55 @@
+"""Migration planning helpers (Eqs. 16–17)."""
+
+import numpy as np
+
+from repro.core.migration import (
+    coldest_replica_dc,
+    mean_partition_traffic,
+    pick_hub_target,
+    replica_sid_in_dc,
+)
+
+
+class TestMeanTraffic:
+    def test_eq17_average_over_all_nodes(self):
+        assert mean_partition_traffic(np.array([2.0, 4.0, 0.0, 2.0])) == 2.0
+
+
+class TestColdestReplica:
+    def test_picks_minimum_traffic(self):
+        traffic = np.array([5.0, 1.0, 3.0, 0.5])
+        assert coldest_replica_dc(traffic, [0, 1, 2]) == 1
+
+    def test_exclusion(self):
+        traffic = np.array([5.0, 1.0, 3.0])
+        assert coldest_replica_dc(traffic, [0, 1, 2], exclude=[1]) == 2
+
+    def test_tie_breaks_by_index(self):
+        traffic = np.array([1.0, 1.0, 1.0])
+        assert coldest_replica_dc(traffic, [2, 0, 1]) == 0
+
+    def test_none_when_empty(self):
+        assert coldest_replica_dc(np.array([1.0]), [], exclude=[]) is None
+
+
+class TestHubTarget:
+    def test_prefers_hub_without_replica(self):
+        traffic = np.array([9.0, 8.0, 7.0])
+        # Hub 0 is hottest but already holds a replica.
+        assert pick_hub_target([0, 1, 2], traffic, replica_dcs=[0]) == 1
+
+    def test_falls_back_to_hottest_when_all_covered(self):
+        traffic = np.array([9.0, 8.0, 7.0])
+        assert pick_hub_target([0, 1, 2], traffic, replica_dcs=[0, 1, 2]) == 0
+
+    def test_none_on_empty_hub_list(self):
+        assert pick_hub_target([], np.array([1.0]), []) is None
+
+
+class TestReplicaSid:
+    def test_lowest_sid_in_dc(self):
+        layout = {3: [(31, 1), (35, 2)]}
+        assert replica_sid_in_dc(layout, 3) == 31
+
+    def test_none_for_uncovered_dc(self):
+        assert replica_sid_in_dc({3: [(31, 1)]}, 4) is None

@@ -1,0 +1,114 @@
+"""Observation helpers, action dataclasses, and error hierarchy."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    ActionError,
+    CapacityError,
+    ConfigurationError,
+    ReproError,
+    RingError,
+    SimulationError,
+    TopologyError,
+    WorkloadError,
+)
+from repro.sim import Migrate, Replicate, Simulation, Suicide
+from repro.config import SimulationConfig, WorkloadParameters
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            TopologyError,
+            RingError,
+            CapacityError,
+            ActionError,
+            SimulationError,
+            WorkloadError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_one_except_clause_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise WorkloadError("x")
+
+
+class TestActions:
+    def test_actions_are_frozen_value_objects(self):
+        a = Replicate(1, 2, 3, reason="r")
+        assert a == Replicate(1, 2, 3, reason="r")
+        with pytest.raises(AttributeError):
+            a.partition = 5  # type: ignore[misc]
+
+    def test_action_union_members(self):
+        for cls in (Replicate, Migrate, Suicide):
+            assert cls.__dataclass_fields__["partition"]
+
+
+class TestObservationHelpers:
+    def _obs(self):
+        cfg = SimulationConfig(
+            seed=3,
+            workload=WorkloadParameters(queries_per_epoch_mean=80.0, num_partitions=8),
+        )
+        sim = Simulation(cfg, policy="rfh")
+        captured = {}
+        orig = sim.policy.decide
+
+        def wrapped(obs):
+            captured["obs"] = obs
+            return orig(obs)
+
+        sim.policy.decide = wrapped  # type: ignore[method-assign]
+        sim.step()
+        return sim, captured["obs"]
+
+    def test_dimensions(self):
+        sim, obs = self._obs()
+        assert obs.num_partitions == 8
+        assert obs.num_datacenters == 10
+        assert obs.served_server.shape == (8, sim.cluster.num_servers)
+
+    def test_holder_dc_matches_cluster(self):
+        sim, obs = self._obs()
+        for p in range(8):
+            assert obs.holder_dc(p) == sim.cluster.dc_of(sim.replicas.holder(p))
+
+    def test_partition_traffic_mean_is_eq17(self):
+        _, obs = self._obs()
+        for p in range(8):
+            assert obs.partition_traffic_mean(p) == pytest.approx(
+                float(np.mean(obs.traffic_dc[p]))
+            )
+
+    def test_system_average_query_matches_batch(self):
+        _, obs = self._obs()
+        assert np.allclose(obs.system_average_query(), obs.queries.system_average_query())
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_docstring_snippet_runs(self):
+        """The __init__ docstring's quickstart must actually work."""
+        from repro import Simulation, SimulationConfig
+
+        sim = Simulation(
+            SimulationConfig(
+                seed=7,
+                workload=WorkloadParameters(
+                    queries_per_epoch_mean=50.0, num_partitions=4
+                ),
+            ),
+            policy="rfh",
+        )
+        metrics = sim.run(epochs=10)
+        assert 0.0 <= metrics.series("utilization").tail_mean(5) <= 1.0

@@ -1,0 +1,68 @@
+"""Placement helpers: storage gate, blocking-probability choice."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import (
+    choose_lowest_blocking,
+    choose_random_server,
+    eligible_servers,
+)
+
+
+class TestEligibleServers:
+    def test_all_eligible_initially(self, cluster):
+        sids = eligible_servers(cluster, 0, 0.5, 0.7)
+        assert sids == list(range(10))
+
+    def test_storage_gate_excludes(self, cluster):
+        server = cluster.server(0)
+        server.store(0.71 * server.storage_capacity_mb)
+        assert 0 not in eligible_servers(cluster, 0, 0.5, 0.7)
+
+    def test_dead_servers_excluded(self, cluster):
+        cluster.fail_server(3)
+        assert 3 not in eligible_servers(cluster, 0, 0.5, 0.7)
+
+    def test_explicit_exclusion(self, cluster):
+        assert 5 not in eligible_servers(cluster, 0, 0.5, 0.7, exclude=[5])
+
+
+class TestLowestBlocking:
+    def test_picks_minimum_bp(self, cluster):
+        bp = np.zeros(cluster.num_servers)
+        bp[:10] = np.linspace(0.9, 0.0, 10)  # sid 9 has the lowest BP
+        assert choose_lowest_blocking(cluster, 0, bp, 0.5, 0.7) == 9
+
+    def test_tie_breaks_by_sid(self, cluster):
+        bp = np.zeros(cluster.num_servers)
+        assert choose_lowest_blocking(cluster, 0, bp, 0.5, 0.7) == 0
+
+    def test_none_when_dc_full(self, cluster):
+        for server in cluster.alive_in_dc(0):
+            server.store(0.71 * server.storage_capacity_mb)
+        bp = np.zeros(cluster.num_servers)
+        assert choose_lowest_blocking(cluster, 0, bp, 0.5, 0.7) is None
+
+    def test_respects_exclusion(self, cluster):
+        bp = np.zeros(cluster.num_servers)
+        chosen = choose_lowest_blocking(cluster, 0, bp, 0.5, 0.7, exclude=[0])
+        assert chosen == 1
+
+
+class TestRandomChoice:
+    def test_uniform_over_eligible(self, cluster, rng):
+        picks = {
+            choose_random_server(cluster, 0, rng, 0.5, 0.7) for _ in range(200)
+        }
+        assert picks == set(range(10))
+
+    def test_none_when_empty(self, cluster, rng):
+        assert (
+            choose_random_server(cluster, 0, rng, 0.5, 0.7, exclude=range(10)) is None
+        )
+
+    def test_deterministic_given_stream(self, cluster):
+        a = choose_random_server(cluster, 0, np.random.default_rng(5), 0.5, 0.7)
+        b = choose_random_server(cluster, 0, np.random.default_rng(5), 0.5, 0.7)
+        assert a == b

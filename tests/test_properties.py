@@ -1,0 +1,301 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.availability import (
+    availability_at_least_one,
+    inclusion_exclusion_sum,
+    min_replicas_for_availability,
+)
+from repro.core.blocking import erlang_b
+from repro.core.smoothing import Ewma
+from repro.core.traffic import serve_epoch
+from repro.metrics.imbalance import replica_load_cv, replica_load_imbalance
+from repro.metrics.utilization import average_utilization
+from repro.net import Router, WanGraph
+from repro.ring import HASH_SPACE_SIZE, HashRing, ring_distance, stable_hash
+from repro.workload import QueryBatch, zipf_weights
+
+# ----------------------------------------------------------------------
+# Hash ring
+# ----------------------------------------------------------------------
+server_sets = st.sets(st.integers(min_value=0, max_value=500), min_size=1, max_size=40)
+
+
+class TestRingProperties:
+    @given(sids=server_sets, key=st.integers(min_value=0, max_value=HASH_SPACE_SIZE - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_owner_is_always_a_member(self, sids, key):
+        ring = HashRing(tokens_per_server=4)
+        for sid in sids:
+            ring.add_server(sid)
+        assert ring.owner(key) in sids
+
+    @given(sids=server_sets, key=st.integers(min_value=0, max_value=HASH_SPACE_SIZE - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_removal_never_moves_unrelated_keys(self, sids, key):
+        ring = HashRing(tokens_per_server=4)
+        for sid in sids:
+            ring.add_server(sid)
+        owner = ring.owner(key)
+        victim = min(sids)
+        if victim == owner or len(sids) == 1:
+            return
+        ring.remove_server(victim)
+        assert ring.owner(key) == owner
+
+    @given(
+        a=st.integers(min_value=0, max_value=HASH_SPACE_SIZE - 1),
+        b=st.integers(min_value=0, max_value=HASH_SPACE_SIZE - 1),
+    )
+    def test_ring_distance_complement(self, a, b):
+        if a == b:
+            assert ring_distance(a, b) == 0
+        else:
+            assert ring_distance(a, b) + ring_distance(b, a) == HASH_SPACE_SIZE
+
+    @given(key=st.text(max_size=40))
+    def test_stable_hash_range(self, key):
+        assert 0 <= stable_hash(key) < HASH_SPACE_SIZE
+
+
+# ----------------------------------------------------------------------
+# Availability (Eq. 14)
+# ----------------------------------------------------------------------
+class TestAvailabilityProperties:
+    @given(
+        r=st.integers(min_value=0, max_value=30),
+        f=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_inclusion_exclusion_equals_complement(self, r, f):
+        # The alternating sum cancels catastrophically for large r, so
+        # the tolerance scales with the largest binomial term.
+        import math as _math
+
+        scale = max(1.0, _math.comb(r, r // 2) * f ** (r // 2))
+        assert inclusion_exclusion_sum(r, f) == pytest.approx(
+            1.0 - (1.0 - f) ** r, abs=1e-12 * scale + 1e-9
+        )
+
+    @given(
+        a=st.floats(min_value=0.01, max_value=0.999999),
+        f=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_rmin_is_minimal_and_sufficient(self, a, f):
+        r = min_replicas_for_availability(a, f)
+        assert availability_at_least_one(r, f) >= a
+        if r > 2:  # below the fault-tolerance floor minimality is waived
+            assert availability_at_least_one(r - 1, f) < a
+
+    @given(
+        r=st.integers(min_value=1, max_value=20),
+        f=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_availability_in_unit_interval(self, r, f):
+        # f^r underflows to exactly 0.0 for large r, so 1.0 is reachable.
+        assert 0.0 < availability_at_least_one(r, f) <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Erlang-B (Eq. 18)
+# ----------------------------------------------------------------------
+class TestErlangProperties:
+    @given(
+        a=st.floats(min_value=0.0, max_value=1e4),
+        c=st.integers(min_value=1, max_value=64),
+    )
+    def test_probability_bounds(self, a, c):
+        assert 0.0 <= erlang_b(a, c) <= 1.0
+
+    @given(
+        a=st.floats(min_value=0.01, max_value=100.0),
+        c=st.integers(min_value=1, max_value=32),
+    )
+    def test_more_servers_never_block_more(self, a, c):
+        assert erlang_b(a, c + 1) <= erlang_b(a, c) + 1e-12
+
+    @given(
+        a=st.floats(min_value=0.01, max_value=100.0),
+        c=st.integers(min_value=1, max_value=32),
+    )
+    def test_more_load_never_blocks_less(self, a, c):
+        assert erlang_b(a * 1.1, c) >= erlang_b(a, c) - 1e-12
+
+
+# ----------------------------------------------------------------------
+# EWMA (Eqs. 10-11)
+# ----------------------------------------------------------------------
+class TestEwmaProperties:
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=0.99),
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50
+        ),
+    )
+    def test_stays_within_observed_range(self, alpha, values):
+        s = Ewma(alpha)
+        for v in values:
+            out = s.update(v)
+        assert min(values) - 1e-6 <= out <= max(values) + 1e-6
+
+    @given(alpha=st.floats(min_value=0.01, max_value=0.99))
+    def test_fixed_point_on_constant_stream(self, alpha):
+        s = Ewma(alpha)
+        for _ in range(5):
+            out = s.update(3.5)
+        assert out == pytest.approx(3.5)
+
+
+# ----------------------------------------------------------------------
+# Zipf
+# ----------------------------------------------------------------------
+class TestZipfProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=256),
+        s=st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_normalised_nonincreasing(self, n, s):
+        w = zipf_weights(n, s)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(w) <= 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Traffic kernel (Eqs. 2-8)
+# ----------------------------------------------------------------------
+@st.composite
+def traffic_cases(draw):
+    num_partitions = draw(st.integers(min_value=1, max_value=4))
+    counts = draw(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=20), min_size=4, max_size=4),
+            min_size=num_partitions,
+            max_size=num_partitions,
+        )
+    )
+    holders = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=3),
+            min_size=num_partitions,
+            max_size=num_partitions,
+        )
+    )
+    layouts = []
+    for _ in range(num_partitions):
+        layout = {}
+        for dc in draw(st.sets(st.integers(min_value=0, max_value=3), max_size=3)):
+            layout[dc] = [(dc, draw(st.floats(min_value=0.0, max_value=15.0)))]
+        layouts.append(layout)
+    return counts, holders, layouts
+
+
+class TestTrafficProperties:
+    _router = Router(WanGraph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]))
+
+    @given(case=traffic_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_query_conservation(self, case):
+        counts, holders, layouts = case
+        batch = QueryBatch(0, np.asarray(counts, dtype=np.int64))
+        result = serve_epoch(batch, holders, layouts, self._router, 4)
+        assert result.total_served + result.unserved.sum() == pytest.approx(
+            batch.total
+        )
+
+    @given(case=traffic_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_served_never_exceeds_capacity(self, case):
+        counts, holders, layouts = case
+        batch = QueryBatch(0, np.asarray(counts, dtype=np.int64))
+        result = serve_epoch(batch, holders, layouts, self._router, 4)
+        capacity = np.zeros(4)
+        for layout in layouts:
+            for entries in layout.values():
+                for sid, cap in entries:
+                    capacity[sid] += cap
+        assert np.all(result.served_server.sum(axis=0) <= capacity + 1e-9)
+
+    @given(case=traffic_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_traffic_nonincreasing_along_path(self, case):
+        """Eq. 2: downstream traffic never exceeds upstream traffic."""
+        counts, holders, layouts = case
+        batch = QueryBatch(0, np.asarray(counts, dtype=np.int64))
+        result = serve_epoch(batch, holders, layouts, self._router, 4)
+        for p, holder in enumerate(holders):
+            row = np.asarray(counts[p])
+            for origin in range(4):
+                if row[origin] == 0:
+                    continue
+                path = self._router.path(origin, holder)
+                if len(path) < 2:
+                    continue
+                # A single-origin sanity bound: traffic at the origin is
+                # at least the origin's own contribution.
+                assert result.traffic_dc[p, origin] >= row[origin] - 1e-9
+
+    @given(case=traffic_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_everything_nonnegative(self, case):
+        counts, holders, layouts = case
+        batch = QueryBatch(0, np.asarray(counts, dtype=np.int64))
+        result = serve_epoch(batch, holders, layouts, self._router, 4)
+        assert np.all(result.served_server >= 0)
+        assert np.all(result.traffic_dc >= 0)
+        assert np.all(result.unserved >= 0)
+        assert result.hop_sum >= 0
+
+
+# ----------------------------------------------------------------------
+# Utilization / imbalance metrics
+# ----------------------------------------------------------------------
+@st.composite
+def metric_matrices(draw):
+    p = draw(st.integers(min_value=1, max_value=4))
+    s = draw(st.integers(min_value=1, max_value=6))
+    counts = np.array(
+        draw(
+            st.lists(
+                st.lists(st.integers(min_value=0, max_value=3), min_size=s, max_size=s),
+                min_size=p,
+                max_size=p,
+            )
+        )
+    )
+    caps = np.array(
+        draw(st.lists(st.floats(min_value=0.5, max_value=5.0), min_size=s, max_size=s))
+    )
+    fractions = np.array(
+        draw(
+            st.lists(
+                st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=s, max_size=s),
+                min_size=p,
+                max_size=p,
+            )
+        )
+    )
+    served = fractions * counts * caps  # within capacity by construction
+    return served, counts, caps
+
+
+class TestMetricProperties:
+    @given(case=metric_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_utilization_in_unit_interval(self, case):
+        served, counts, caps = case
+        u = average_utilization(served, counts, caps)
+        assert 0.0 <= u <= 1.0 + 1e-9
+
+    @given(case=metric_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_imbalance_nonnegative_and_cv_scale_free(self, case):
+        served, counts, caps = case
+        assert replica_load_imbalance(served, counts) >= 0.0
+        cv = replica_load_cv(served, counts)
+        assert cv >= 0.0
+        assert replica_load_cv(served * 7.0, counts) == pytest.approx(cv, abs=1e-6)

@@ -1,0 +1,174 @@
+"""Replica map: placement state, storage coupling, failure handling."""
+
+import pytest
+
+from repro.cluster import Cluster, ReplicaMap
+from repro.config import ClusterParameters
+from repro.errors import ActionError, SimulationError
+from repro.sim.rng import RngTree
+
+
+@pytest.fixture
+def rm(cluster) -> ReplicaMap:
+    rm = ReplicaMap(cluster, num_partitions=8, partition_size_mb=0.5)
+    rm.bootstrap([0, 10, 20, 30, 40, 50, 60, 70])
+    return rm
+
+
+class TestBootstrap:
+    def test_one_copy_per_partition(self, rm):
+        assert rm.total_replicas() == 8
+        assert rm.per_partition_counts() == [1] * 8
+        assert rm.holder(0) == 0 and rm.holder(7) == 70
+
+    def test_bootstrap_charges_storage(self, cluster, rm):
+        assert cluster.server(0).storage_used_mb == pytest.approx(0.5)
+
+    def test_double_bootstrap_rejected(self, rm):
+        with pytest.raises(SimulationError):
+            rm.bootstrap([0] * 8)
+
+    def test_wrong_holder_count_rejected(self, cluster):
+        rm = ReplicaMap(cluster, 4, 0.5)
+        with pytest.raises(ActionError):
+            rm.bootstrap([0, 1])
+
+
+class TestAddRemove:
+    def test_add_increments_and_stores(self, cluster, rm):
+        rm.add(0, 5)
+        assert rm.count(0, 5) == 1
+        assert rm.replica_count(0) == 2
+        assert cluster.server(5).storage_used_mb == pytest.approx(0.5)
+
+    def test_multiplicity_allowed(self, rm):
+        rm.add(0, 5)
+        rm.add(0, 5)
+        assert rm.count(0, 5) == 2
+        assert rm.replica_count(0) == 3
+
+    def test_remove_releases_storage(self, cluster, rm):
+        rm.add(0, 5)
+        rm.remove(0, 5)
+        assert rm.count(0, 5) == 0
+        assert cluster.server(5).storage_used_mb == 0.0
+
+    def test_remove_last_copy_refused(self, rm):
+        with pytest.raises(ActionError):
+            rm.remove(0, 0)
+
+    def test_remove_from_copyless_server_refused(self, rm):
+        rm.add(0, 5)
+        with pytest.raises(ActionError):
+            rm.remove(0, 6)
+
+    def test_add_to_dead_server_refused(self, cluster, rm):
+        cluster.fail_server(5)
+        with pytest.raises(ActionError):
+            rm.add(0, 5)
+
+    def test_unknown_partition_rejected(self, rm):
+        with pytest.raises(ActionError):
+            rm.add(99, 0)
+
+    def test_holder_follows_when_holder_copy_removed(self, rm):
+        rm.add(0, 5)
+        rm.remove(0, 0)  # remove the original holder copy
+        assert rm.holder(0) == 5
+
+
+class TestMove:
+    def test_move_transfers_one_copy(self, cluster, rm):
+        rm.add(0, 5)
+        rm.move(0, 5, 9)
+        assert rm.count(0, 5) == 0
+        assert rm.count(0, 9) == 1
+        assert cluster.server(9).storage_used_mb == pytest.approx(0.5)
+        assert cluster.server(5).storage_used_mb == 0.0
+
+    def test_move_to_self_rejected(self, rm):
+        rm.add(0, 5)
+        with pytest.raises(ActionError):
+            rm.move(0, 5, 5)
+
+    def test_move_never_loses_last_copy(self, rm):
+        # Moving the only copy is allowed because add happens first.
+        rm.move(0, 0, 5)
+        assert rm.replica_count(0) == 1
+        assert rm.holder(0) == 5
+
+
+class TestLayoutQueries:
+    def test_replicas_by_dc_grouping(self, rm, cluster):
+        rm.add(0, 5)  # dc 0
+        rm.add(0, 15)  # dc 1
+        layout = rm.replicas_by_dc(0)
+        assert layout[0] == [(0, 1), (5, 1)]
+        assert layout[1] == [(15, 1)]
+
+    def test_layout_cache_invalidation(self, rm):
+        layout1 = rm.replicas_by_dc(0)
+        rm.add(0, 5)
+        layout2 = rm.replicas_by_dc(0)
+        assert layout1 != layout2
+
+    def test_partitions_on(self, rm):
+        rm.add(3, 5)
+        assert rm.partitions_on(5) == (3,)
+        assert rm.partitions_on(0) == (0,)
+
+    def test_servers_with_sorted(self, rm):
+        rm.add(0, 9)
+        rm.add(0, 5)
+        assert rm.servers_with(0) == ((0, 1), (5, 1), (9, 1))
+
+
+class TestFailureHandling:
+    def test_drop_server_erases_copies(self, cluster, rm):
+        rm.add(0, 5)
+        cluster.fail_server(5)
+        affected = rm.drop_server(5)
+        assert affected == (0,)
+        assert rm.count(0, 5) == 0
+
+    def test_holder_promotion_on_drop(self, cluster, rm):
+        rm.add(0, 5)
+        cluster.fail_server(0)
+        rm.drop_server(0)
+        assert rm.holder(0) == 5
+
+    def test_total_loss_clears_holder(self, cluster, rm):
+        cluster.fail_server(0)
+        rm.drop_server(0)
+        assert not rm.has_holder(0)
+        with pytest.raises(SimulationError):
+            rm.holder(0)
+
+    def test_restore_recreates(self, cluster, rm):
+        cluster.fail_server(0)
+        rm.drop_server(0)
+        rm.restore(0, 42)
+        assert rm.holder(0) == 42
+        assert rm.replica_count(0) == 1
+        assert cluster.server(42).storage_used_mb == pytest.approx(0.5)
+
+    def test_restore_with_holder_present_rejected(self, rm):
+        with pytest.raises(SimulationError):
+            rm.restore(0, 42)
+
+    def test_set_holder_requires_copy(self, rm):
+        rm.add(0, 5)
+        rm.set_holder(0, 5)
+        assert rm.holder(0) == 5
+        with pytest.raises(ActionError):
+            rm.set_holder(0, 6)
+
+
+class TestStorageConsistency:
+    def test_storage_tracks_total_copies(self, cluster, hierarchy):
+        rm = ReplicaMap(cluster, 4, 0.5)
+        rm.bootstrap([0, 1, 2, 3])
+        for _ in range(10):
+            rm.add(0, 50)
+        total_mb = sum(s.storage_used_mb for s in cluster.servers)
+        assert total_mb == pytest.approx(0.5 * rm.total_replicas())

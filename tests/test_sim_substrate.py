@@ -1,0 +1,150 @@
+"""Simulation substrate: RNG tree, clock, events, failure injection."""
+
+import pytest
+
+from repro.cluster import FailureInjector, ReplicaMap
+from repro.errors import SimulationError
+from repro.sim import EpochClock, EventQueue, MassFailureEvent
+from repro.sim.events import ServerFailureEvent, ServerJoinEvent, ServerRecoveryEvent
+from repro.sim.rng import RngTree, stable_hash32
+
+
+class TestRngTree:
+    def test_same_seed_same_streams(self):
+        a = RngTree(42).stream("x")
+        b = RngTree(42).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_are_independent(self):
+        tree = RngTree(42)
+        a = tree.stream("x").random()
+        b = tree.stream("y").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        tree = RngTree(42)
+        assert tree.stream("x") is tree.stream("x")
+
+    def test_fresh_restarts_sequence(self):
+        tree = RngTree(42)
+        first = tree.stream("x").random()
+        fresh = tree.fresh("x").random()
+        assert first == fresh
+
+    def test_consuming_one_stream_leaves_others_untouched(self):
+        baseline = RngTree(42).stream("b").random()
+        tree = RngTree(42)
+        tree.stream("a").random(size=1000)  # burn a lot of "a"
+        assert tree.stream("b").random() == baseline
+
+    def test_child_trees_differ(self):
+        tree = RngTree(42)
+        assert tree.child("rep1").root_seed != tree.child("rep2").root_seed
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngTree(-1)
+
+    def test_stable_hash32_is_stable(self):
+        assert stable_hash32("workload") == stable_hash32("workload")
+        assert stable_hash32("a") != stable_hash32("b")
+
+
+class TestEpochClock:
+    def test_advance_and_seconds(self):
+        clock = EpochClock(epoch_seconds=10.0)
+        assert clock.epoch == 0 and clock.seconds == 0.0
+        clock.advance()
+        assert clock.epoch == 1 and clock.seconds == 10.0
+        clock.advance(4)
+        assert clock.epoch == 5
+
+    def test_negative_advance_rejected(self):
+        clock = EpochClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_rate_conversion(self):
+        clock = EpochClock(epoch_seconds=10.0)
+        assert clock.rate_per_second(300.0) == 30.0
+
+    def test_reset(self):
+        clock = EpochClock()
+        clock.advance(7)
+        clock.reset()
+        assert clock.epoch == 0
+
+    def test_invalid_epoch_seconds(self):
+        with pytest.raises(ValueError):
+            EpochClock(epoch_seconds=0.0)
+
+
+class TestEventQueue:
+    def test_pop_due_returns_in_schedule_order(self):
+        q = EventQueue()
+        e1 = MassFailureEvent(epoch=5, count=1)
+        e2 = ServerJoinEvent(epoch=5, dc=0)
+        e3 = ServerRecoveryEvent(epoch=3)
+        q.schedule(e1)
+        q.schedule(e2)
+        q.schedule(e3)
+        assert q.pop_due(4) == [e3]
+        assert q.pop_due(5) == [e1, e2]  # FIFO within an epoch
+        assert q.pop_due(100) == []
+
+    def test_len_and_peek(self):
+        q = EventQueue()
+        assert len(q) == 0 and q.peek_epoch() is None
+        q.schedule(MassFailureEvent(epoch=9, count=1))
+        assert len(q) == 1 and q.peek_epoch() == 9
+
+    def test_negative_epoch_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(MassFailureEvent(epoch=-1, count=1))
+
+
+class TestFailureInjector:
+    def test_choose_victims_distinct_and_alive(self, cluster, rng_tree):
+        injector = FailureInjector(cluster, rng_tree.stream("failures"))
+        victims = injector.choose_victims(30)
+        assert len(set(victims)) == 30
+        alive = set(cluster.alive_server_ids())
+        assert set(victims) <= alive
+
+    def test_choose_too_many_raises(self, cluster, rng_tree):
+        injector = FailureInjector(cluster, rng_tree.stream("failures"))
+        with pytest.raises(SimulationError):
+            injector.choose_victims(101)
+
+    def test_fail_random_drops_replicas(self, cluster, mapper, rng_tree):
+        rm = ReplicaMap(cluster, 64, 0.5)
+        rm.bootstrap(mapper.holders())
+        injector = FailureInjector(cluster, rng_tree.stream("failures"))
+        before = rm.total_replicas()
+        affected = injector.fail_random(rm, 30)
+        assert len(affected) == 30
+        assert rm.total_replicas() <= before
+        assert len(cluster.alive_servers()) == 70
+
+    def test_recover(self, cluster, rng_tree):
+        injector = FailureInjector(cluster, rng_tree.stream("failures"))
+        victims = injector.choose_victims(5)
+        rm = ReplicaMap(cluster, 4, 0.5)
+        rm.bootstrap([90, 91, 92, 93])
+        injector.fail(rm, victims)
+        injector.recover(victims)
+        assert len(cluster.alive_servers()) == 100
+
+    def test_victim_choice_is_deterministic(self, cluster):
+        a = FailureInjector(cluster, RngTree(9).stream("f")).choose_victims(10)
+        # Fresh cluster with same membership -> same choice for same stream.
+        b = FailureInjector(cluster, RngTree(9).stream("f")).choose_victims(10)
+        assert a == b
+
+
+class TestServerFailureEvent:
+    def test_dataclasses_are_frozen(self):
+        event = ServerFailureEvent(epoch=1, sids=(1, 2))
+        with pytest.raises(AttributeError):
+            event.epoch = 2  # type: ignore[misc]

@@ -1,0 +1,132 @@
+"""Time-varying workload patterns (diurnal, bursty) and surge experiments."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, WorkloadParameters
+from repro.errors import WorkloadError
+from repro.sim.rng import RngTree
+from repro.workload import (
+    BurstyPattern,
+    DiurnalPattern,
+    HotspotPattern,
+    QueryGenerator,
+    UniformPattern,
+)
+from repro.workload.timevarying import rate_multiplier_of
+
+
+class TestRateMultiplier:
+    def test_default_is_one(self):
+        pattern = UniformPattern(4, 4, 0.0)
+        assert rate_multiplier_of(pattern, 5) == 1.0
+
+    def test_negative_multiplier_rejected(self):
+        class Bad:
+            num_partitions = 4
+            num_origins = 4
+
+            def rate_multiplier(self, epoch):
+                return -1.0
+
+        with pytest.raises(WorkloadError):
+            rate_multiplier_of(Bad(), 0)
+
+
+class TestDiurnal:
+    def test_sinusoid_shape(self):
+        p = DiurnalPattern(4, 4, 0.0, period_epochs=100, amplitude=0.5)
+        assert p.rate_multiplier(0) == pytest.approx(1.0)
+        assert p.rate_multiplier(25) == pytest.approx(1.5)
+        assert p.rate_multiplier(75) == pytest.approx(0.5)
+
+    def test_strictly_positive(self):
+        p = DiurnalPattern(4, 4, 0.0, period_epochs=40, amplitude=0.9)
+        assert all(p.rate_multiplier(e) > 0 for e in range(200))
+
+    def test_wraps_periodically(self):
+        p = DiurnalPattern(4, 4, 0.0, period_epochs=60)
+        assert p.rate_multiplier(10) == pytest.approx(p.rate_multiplier(70))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            DiurnalPattern(4, 4, 0.0, period_epochs=1)
+        with pytest.raises(WorkloadError):
+            DiurnalPattern(4, 4, 0.0, amplitude=1.0)
+        with pytest.raises(WorkloadError):
+            DiurnalPattern(4, 4, 0.0).rate_multiplier(-1)
+
+    def test_base_pattern_weights_pass_through(self):
+        base = HotspotPattern(4, 4, 0.0, hot_origins=(0,), hot_share=0.9)
+        p = DiurnalPattern(4, 4, 0.0, base=base)
+        assert p.origin_weights(3)[0] == pytest.approx(0.9)
+
+    def test_generator_follows_the_cycle(self):
+        params = WorkloadParameters(queries_per_epoch_mean=400.0, num_partitions=8)
+        pattern = DiurnalPattern(8, 10, 0.0, period_epochs=40, amplitude=0.8)
+        gen = QueryGenerator(params, pattern, RngTree(3).stream("d"))
+        totals = [gen.generate(e).total for e in range(40)]
+        peak = np.mean(totals[5:15])  # around epoch 10 (peak)
+        trough = np.mean(totals[25:35])  # around epoch 30 (trough)
+        assert peak > 2.0 * trough
+
+
+class TestBursty:
+    def test_burst_windows(self):
+        p = BurstyPattern(4, 4, 0.0, bursts={(10, 20): 4.0})
+        assert p.rate_multiplier(9) == 1.0
+        assert p.rate_multiplier(10) == 4.0
+        assert p.rate_multiplier(19) == 4.0
+        assert p.rate_multiplier(20) == 1.0
+
+    def test_overlapping_bursts_multiply(self):
+        p = BurstyPattern(4, 4, 0.0, bursts={(0, 10): 2.0, (5, 15): 3.0})
+        assert p.rate_multiplier(7) == 6.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BurstyPattern(4, 4, 0.0, bursts={(10, 10): 2.0})
+        with pytest.raises(WorkloadError):
+            BurstyPattern(4, 4, 0.0, bursts={(0, 10): -1.0})
+
+    def test_rfh_absorbs_a_burst(self):
+        """End-to-end: a 3x burst raises blocking transiently, and RFH
+        grows replicas in response."""
+        from repro.sim import Simulation
+        from repro.workload import WorkloadTrace
+
+        wl = WorkloadParameters(queries_per_epoch_mean=120.0, num_partitions=16)
+        pattern = BurstyPattern(16, 10, 0.9, bursts={(60, 80): 3.0})
+        gen = QueryGenerator(wl, pattern, RngTree(5).stream("b"))
+        trace = WorkloadTrace.record(gen, 140)
+        cfg = SimulationConfig(seed=5, workload=wl)
+        sim = Simulation(cfg, policy="rfh", workload=trace)
+        m = sim.run(140)
+        replicas = m.array("total_replicas")
+        assert replicas[85:100].mean() > replicas[40:55].mean()
+
+
+class TestSurgeExperimentsSmall:
+    def test_location_shift_small(self):
+        from repro.experiments.surges import location_shift_surge
+
+        cfg = SimulationConfig(
+            seed=9,
+            workload=WorkloadParameters(
+                queries_per_epoch_mean=120.0, num_partitions=16, zipf_exponent=0.9
+            ),
+        )
+        result = location_shift_surge(cfg, epochs=160, shift_start=70, shift_end=90)
+        assert result.passed, result.failed_checks()
+
+    def test_popularity_shift_small(self):
+        from repro.experiments.surges import popularity_shift_surge
+
+        cfg = SimulationConfig(
+            seed=9,
+            workload=WorkloadParameters(
+                queries_per_epoch_mean=120.0, num_partitions=16, zipf_exponent=0.9
+            ),
+        )
+        result = popularity_shift_surge(cfg, epochs=200, shift_epoch=100, rotate_by=8)
+        assert result.passed, result.failed_checks()

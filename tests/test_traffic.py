@@ -1,0 +1,146 @@
+"""The traffic-determination kernel (Eqs. 2–8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.traffic import serve_epoch
+from repro.errors import SimulationError
+from repro.net import Router, WanGraph
+from repro.workload import QueryBatch
+
+
+@pytest.fixture
+def line_router() -> Router:
+    """A 4-node line 0-1-2-3: unambiguous paths for hand-checks."""
+    return Router(WanGraph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]))
+
+
+def _batch(counts) -> QueryBatch:
+    return QueryBatch(0, np.asarray(counts, dtype=np.int64))
+
+
+class TestOverflowRecursion:
+    def test_eq5_traffic_at_origin_is_full_query(self, line_router):
+        """tr_ijj = q_ij (Eq. 5)."""
+        batch = _batch([[7, 0, 0, 0]])
+        result = serve_epoch(batch, [3], [{}], line_router, num_servers=4)
+        assert result.traffic_dc[0, 0] == 7.0
+
+    def test_unreplicated_flow_reaches_holder_untouched(self, line_router):
+        batch = _batch([[5, 0, 0, 0]])
+        result = serve_epoch(batch, [3], [{3: [(3, 10.0)]}], line_router, 4)
+        # Flow arrives at every DC on the path with full strength.
+        assert list(result.traffic_dc[0]) == [5.0, 5.0, 5.0, 5.0]
+        assert result.served_server[0, 3] == 5.0
+        assert result.unserved[0] == 0.0
+
+    def test_eq2_downstream_traffic_is_overflow(self, line_router):
+        """A replica of capacity C at node k reduces the next node's
+        traffic to max(0, q - C)."""
+        batch = _batch([[5, 0, 0, 0]])
+        layout = {1: [(1, 2.0)], 3: [(3, 10.0)]}
+        result = serve_epoch(batch, [3], [layout], line_router, 4)
+        assert list(result.traffic_dc[0]) == [5.0, 5.0, 3.0, 3.0]
+        assert result.served_server[0, 1] == 2.0
+        assert result.served_server[0, 3] == 3.0
+
+    def test_full_absorption_zeroes_downstream(self, line_router):
+        batch = _batch([[5, 0, 0, 0]])
+        layout = {0: [(0, 10.0)], 3: [(3, 10.0)]}
+        result = serve_epoch(batch, [3], [layout], line_router, 4)
+        assert list(result.traffic_dc[0]) == [5.0, 0.0, 0.0, 0.0]
+        assert result.served_server[0, 0] == 5.0
+        assert result.mean_path_length == 0.0
+
+    def test_blocked_queries_counted_unserved(self, line_router):
+        batch = _batch([[5, 0, 0, 0]])
+        layout = {3: [(3, 2.0)]}
+        result = serve_epoch(batch, [3], [layout], line_router, 4)
+        assert result.unserved[0] == 3.0
+        assert result.total_served == 2.0
+
+    def test_flows_merge_and_share_capacity(self, line_router):
+        """Two flows crossing one replica site share its capacity —
+        the DESIGN.md refinement of the per-path closed form."""
+        batch = _batch([[3, 3, 0, 0]])
+        layout = {2: [(2, 4.0)], 3: [(3, 100.0)]}
+        result = serve_epoch(batch, [3], [layout], line_router, 4)
+        assert result.served_server[0, 2] == 4.0  # shared, not 2x4
+        assert result.served_server[0, 3] == 2.0
+
+    def test_query_conservation(self, line_router):
+        """served + unserved == total queries, always."""
+        batch = _batch([[4, 1, 2, 3], [5, 0, 1, 0]])
+        layouts = [{1: [(1, 2.0)], 3: [(3, 1.0)]}, {0: [(0, 3.0)]}]
+        result = serve_epoch(batch, [3, 0], layouts, line_router, 4)
+        assert result.total_served + result.unserved.sum() == pytest.approx(batch.total)
+
+    def test_holder_traffic_is_post_colocated_interception(self, line_router):
+        """Replicas co-located with the holder drain first (Eq. 12's
+        holder-server feedback)."""
+        batch = _batch([[6, 0, 0, 0]])
+        # Holder is server 3; server 30 is another server in DC 3.
+        layout = {3: [(3, 2.0), (30, 3.0)]}
+        result = serve_epoch(batch, [3], [layout], line_router, 31, holder_sid=[3])
+        assert result.served_server[0, 30] == 3.0  # co-located first
+        assert result.served_server[0, 3] == 2.0  # holder last
+        assert result.unserved[0] == 1.0
+        assert result.holder_traffic[0] == 3.0  # 2 served + 1 blocked
+
+    def test_holder_traffic_zero_without_holder_sid(self, line_router):
+        batch = _batch([[6, 0, 0, 0]])
+        result = serve_epoch(batch, [3], [{3: [(3, 10.0)]}], line_router, 4)
+        assert result.holder_traffic[0] == 0.0
+
+    def test_lost_partition_all_unserved(self, line_router):
+        batch = _batch([[4, 0, 0, 1]])
+        result = serve_epoch(batch, [None], [{}], line_router, 4)
+        assert result.unserved[0] == 5.0
+        assert result.traffic_dc[0, 0] == 4.0
+
+    def test_path_length_accounting(self, line_router):
+        """Hops are charged where queries are served; blocked queries pay
+        the full path."""
+        batch = _batch([[4, 0, 0, 0]])
+        layout = {1: [(1, 1.0)], 3: [(3, 1.0)]}
+        result = serve_epoch(batch, [3], [layout], line_router, 4)
+        # 1 query served at hop 1, 1 at hop 3, 2 blocked at hop 3.
+        assert result.hop_sum == pytest.approx(1 * 1 + 1 * 3 + 2 * 3)
+        assert result.mean_path_length == pytest.approx(10 / 4)
+
+    def test_deterministic_across_runs(self, line_router):
+        batch = _batch([[4, 1, 2, 3], [5, 0, 1, 0]])
+        layouts = [{1: [(1, 2.0)], 3: [(3, 1.0)]}, {0: [(0, 3.0)]}]
+        r1 = serve_epoch(batch, [3, 0], layouts, line_router, 4)
+        r2 = serve_epoch(batch, [3, 0], layouts, line_router, 4)
+        assert np.array_equal(r1.served_server, r2.served_server)
+        assert np.array_equal(r1.traffic_dc, r2.traffic_dc)
+
+
+class TestValidation:
+    def test_holder_list_length_checked(self, line_router):
+        with pytest.raises(SimulationError):
+            serve_epoch(_batch([[1, 0, 0, 0]]), [3, 3], [{}], line_router, 4)
+
+    def test_layout_list_length_checked(self, line_router):
+        with pytest.raises(SimulationError):
+            serve_epoch(_batch([[1, 0, 0, 0]]), [3], [{}, {}], line_router, 4)
+
+    def test_negative_capacity_rejected(self, line_router):
+        with pytest.raises(SimulationError):
+            serve_epoch(
+                _batch([[1, 0, 0, 0]]), [3], [{3: [(3, -1.0)]}], line_router, 4
+            )
+
+
+class TestOnDefaultWan:
+    def test_hub_replica_intercepts_asia_traffic(self, router):
+        """A replica at E (the Pacific hub) intercepts flows from H/I/J
+        heading for A — the Fig. 1 scenario."""
+        counts = np.zeros((1, 10), dtype=np.int64)
+        counts[0, 7] = counts[0, 8] = counts[0, 9] = 10  # H, I, J
+        batch = QueryBatch(0, counts)
+        layout = {4: [(40, 25.0)], 0: [(0, 100.0)]}  # E hub + holder A
+        result = serve_epoch(batch, [0], [layout], router, 100, holder_sid=[0])
+        assert result.served_server[0, 40] == 25.0
+        assert result.holder_traffic[0] == pytest.approx(5.0)
