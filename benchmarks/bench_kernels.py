@@ -72,3 +72,24 @@ def test_full_epoch_step(benchmark):
 
     result = benchmark.pedantic(step, rounds=20, iterations=1)
     assert result.query_count >= 0
+
+
+def test_full_epoch_step_phase_attribution(benchmark):
+    """The same epoch loop under the phase profiler: prints where the
+    wall-time goes (membership/workload/serve/observe/apply/record) so a
+    regression in ``test_full_epoch_step`` can be pinned to a phase."""
+    from repro.obs import ENGINE_PHASES, PhaseProfiler
+
+    profiler = PhaseProfiler()
+    sim = Simulation(SimulationConfig(seed=7), policy="rfh", profiler=profiler)
+    sim.run(50)
+    profiler.reset()  # attribute the timed epochs only
+
+    def step():
+        return sim.step()
+
+    result = benchmark.pedantic(step, rounds=20, iterations=1)
+    assert result.query_count >= 0
+    timings = profiler.phase_timings()
+    assert tuple(timings) == ENGINE_PHASES
+    print("\n" + profiler.render_table())

@@ -73,6 +73,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="workload scenario",
         )
 
+    def observability(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-out",
+            metavar="PATH.jsonl",
+            help="stream a per-event JSONL trace (actions, membership, "
+            "restores, SLA violations) to this file",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="time the six engine phases and print a per-phase table",
+        )
+
     run_p = sub.add_parser("run", help="run one policy and print headline metrics")
     common(run_p)
     run_p.add_argument(
@@ -80,9 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--csv", help="export the metric series to this CSV file")
     run_p.add_argument("--json", help="export the metric series to this JSON file")
+    observability(run_p)
 
     cmp_p = sub.add_parser("compare", help="run all four algorithms on one trace")
     common(cmp_p)
+    observability(cmp_p)
 
     fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
     fig_p.add_argument("--seed", type=int, default=7)
@@ -114,9 +129,37 @@ def _scenario(args: argparse.Namespace) -> Scenario:
     return _SCENARIOS[args.scenario](_config(args), epochs=args.epochs)
 
 
+def _make_tracer(args: argparse.Namespace):
+    """Open the JSONL sink eagerly so a bad path fails before the run."""
+    if getattr(args, "trace_out", None):
+        from .obs.trace import JsonlTracer
+
+        try:
+            return JsonlTracer(args.trace_out)
+        except OSError as exc:
+            raise SystemExit(f"cannot open --trace-out {args.trace_out!r}: {exc}")
+    return None
+
+
+def _make_profiler(args: argparse.Namespace):
+    if getattr(args, "profile", False):
+        from .obs.profiler import PhaseProfiler
+
+        return PhaseProfiler()
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
-    result = run_experiment(args.policy, scenario)
+    tracer = _make_tracer(args)
+    profiler = _make_profiler(args)
+    try:
+        result = run_experiment(
+            args.policy, scenario, tracer=tracer, profiler=profiler
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(f"policy={args.policy} scenario={scenario.name} epochs={args.epochs}")
     for name, fmt in _HEADLINE:
         print(f"  {name:<18} {fmt.format(result.steady(name))}")
@@ -132,12 +175,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         to_json(result.metrics, args.json)
         print(f"wrote {args.json}")
+    if tracer is not None:
+        print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
+    if profiler is not None:
+        print("\nphase timings:")
+        print(profiler.render_table())
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
-    cmp = compare_policies(scenario)
+    tracer = _make_tracer(args)
+    profile = getattr(args, "profile", False)
+    if profile:
+        from .obs.profiler import PhaseProfiler
+
+        profiler_factory = PhaseProfiler
+    else:
+        profiler_factory = None
+    try:
+        cmp = compare_policies(
+            scenario, tracer=tracer, profiler_factory=profiler_factory
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     header = f"{'policy':>9} | " + " ".join(f"{name:>16}" for name, _ in _HEADLINE)
     print(f"scenario={scenario.name} epochs={args.epochs} seed={args.seed}")
     print(header)
@@ -149,6 +211,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
         print(f"{policy:>9} | {cells}")
     print("\nutilization ranking:", " > ".join(cmp.ranking("utilization")))
+    if tracer is not None:
+        print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
+    if profile:
+        for policy in cmp.policies():
+            print(f"\nphase timings ({policy}):")
+            print(cmp[policy].simulation.profiler.render_table())
     return 0
 
 

@@ -132,7 +132,6 @@ class RFHDecision:
         layout_by_dc = replicas.replicas_by_dc(partition)
         replica_dcs = list(layout_by_dc)
         replica_count = replicas.replica_count(partition)
-        params = self._params
 
         actions: list[Action] = []
         grow = self._growth_action(

@@ -55,8 +55,27 @@ class ComparisonResult:
 
 
 def compare_policies(
-    scenario: Scenario, policies: tuple[str, ...] = POLICIES
+    scenario: Scenario,
+    policies: tuple[str, ...] = POLICIES,
+    *,
+    tracer=None,
+    profiler_factory=None,
 ) -> ComparisonResult:
-    """Run every policy on the scenario's shared trace."""
-    results = {policy: run_experiment(policy, scenario) for policy in policies}
+    """Run every policy on the scenario's shared trace.
+
+    ``tracer`` is shared across runs (every record carries a ``policy``
+    field, so one JSONL file can hold all four algorithms);
+    ``profiler_factory`` is called once per policy because phase timings
+    must not mix runs.  Per-policy profilers stay reachable through
+    ``result[policy].simulation.profiler``.
+    """
+    results = {
+        policy: run_experiment(
+            policy,
+            scenario,
+            tracer=tracer,
+            profiler=profiler_factory() if profiler_factory is not None else None,
+        )
+        for policy in policies
+    }
     return ComparisonResult(scenario=scenario.name, results=results)

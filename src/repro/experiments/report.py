@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+from ..obs.registry import InstrumentRegistry
 from .figures import FigureResult
 
-__all__ = ["render_figure", "render_report"]
+__all__ = ["render_figure", "render_instruments", "render_report"]
 
 #: What the paper reports per figure, quoted/condensed for the table.
 PAPER_CLAIMS: dict[str, str] = {
@@ -64,8 +65,50 @@ def render_figure(result: FigureResult) -> str:
     return "\n".join(lines)
 
 
-def render_report(results: dict[str, FigureResult], header: str = "") -> str:
-    """Full markdown report over all figures."""
+def _fmt_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def render_instruments(registry: InstrumentRegistry) -> str:
+    """Markdown section over a registry snapshot (counters, gauges,
+    histogram summaries) for inclusion in experiment reports."""
+    snap = registry.snapshot()
+    lines = ["### Instruments", ""]
+    scalar_rows = [
+        (row["name"], row["labels"], row["value"])
+        for row in [*snap["counters"], *snap["gauges"]]
+    ]
+    if scalar_rows:
+        lines += ["| instrument | value |", "|---|---|"]
+        for name, labels, value in scalar_rows:
+            lines.append(f"| `{name}{_fmt_labels(labels)}` | {value:g} |")
+        lines.append("")
+    if snap["histograms"]:
+        lines += [
+            "| histogram | count | mean | p50 | p95 | max |",
+            "|---|---|---|---|---|---|",
+        ]
+        for row in snap["histograms"]:
+            lines.append(
+                f"| `{row['name']}{_fmt_labels(row['labels'])}` | {row['count']} "
+                f"| {row['mean']:.2f} | {row['p50']:.2f} | {row['p95']:.2f} "
+                f"| {row['max']:.2f} |"
+            )
+        lines.append("")
+    if len(lines) == 2:
+        lines += ["(no instruments recorded)", ""]
+    return "\n".join(lines)
+
+
+def render_report(
+    results: dict[str, FigureResult],
+    header: str = "",
+    instruments: InstrumentRegistry | None = None,
+) -> str:
+    """Full markdown report over all figures, plus the instrument
+    snapshot when a registry is supplied."""
     total = sum(len(r.checks) for r in results.values())
     held = sum(sum(r.checks.values()) for r in results.values())
     lines = []
@@ -74,4 +117,6 @@ def render_report(results: dict[str, FigureResult], header: str = "") -> str:
     lines += [f"**Shape checks held: {held}/{total}**", ""]
     for key in sorted(results):
         lines.append(render_figure(results[key]))
+    if instruments is not None:
+        lines.append(render_instruments(instruments))
     return "\n".join(lines)

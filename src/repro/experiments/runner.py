@@ -39,17 +39,30 @@ class ExperimentResult:
         return self.metrics.series(name).last()
 
 
-def run_experiment(policy: str, scenario: Scenario) -> ExperimentResult:
+def run_experiment(
+    policy: str,
+    scenario: Scenario,
+    *,
+    tracer=None,
+    profiler=None,
+    instruments=None,
+) -> ExperimentResult:
     """Run ``policy`` over the scenario's recorded trace and events.
 
     Every run constructs a fresh :class:`Simulation` from the scenario's
-    config, so repeated calls are bit-identical.
+    config, so repeated calls are bit-identical.  The optional
+    ``tracer`` / ``profiler`` / ``instruments`` hooks (see
+    :mod:`repro.obs`) pass straight through to the simulation and stay
+    reachable afterwards via ``result.simulation``.
     """
     sim = Simulation(
         scenario.config,
         policy=policy,
         workload=scenario.trace,
         events=scenario.events,
+        tracer=tracer,
+        profiler=profiler,
+        instruments=instruments,
     )
     metrics = sim.run(scenario.epochs)
     return ExperimentResult(

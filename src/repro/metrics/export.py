@@ -15,7 +15,7 @@ import pathlib
 from ..errors import SimulationError
 from .collector import MetricsCollector
 
-__all__ = ["to_csv", "to_json", "from_json"]
+__all__ = ["to_csv", "from_csv", "to_json", "from_json"]
 
 
 def to_csv(metrics: MetricsCollector, path: str | pathlib.Path) -> None:
@@ -31,12 +31,39 @@ def to_csv(metrics: MetricsCollector, path: str | pathlib.Path) -> None:
             writer.writerow((epoch, *(column[epoch] for column in columns)))
 
 
+def from_csv(path: str | pathlib.Path) -> MetricsCollector:
+    """Rebuild a collector from :func:`to_csv` output."""
+    with open(pathlib.Path(path), newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SimulationError(f"{path} is empty, not an exported CSV") from None
+        if not header or header[0] != "epoch":
+            raise SimulationError(
+                f"{path} is not an exported metrics CSV (header {header!r})"
+            )
+        names = header[1:]
+        collector = MetricsCollector()
+        for row in reader:
+            if len(row) != len(header):
+                raise SimulationError(
+                    f"{path}: row has {len(row)} cells for {len(header)} columns"
+                )
+            collector.record_epoch(
+                {name: float(cell) for name, cell in zip(names, row[1:])}
+            )
+    if collector.num_epochs == 0:
+        raise SimulationError(f"{path} holds a header but no epochs")
+    return collector
+
+
 def to_json(metrics: MetricsCollector, path: str | pathlib.Path) -> None:
-    """Write ``{"epochs": N, "series": {name: [...]}}``."""
+    """Write ``{"epochs": N, "series": {name: [...]}}`` (newline-terminated)."""
     if metrics.num_epochs == 0:
         raise SimulationError("refusing to export an empty collector")
     payload = {"epochs": metrics.num_epochs, "series": metrics.as_dict()}
-    pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+    pathlib.Path(path).write_text(json.dumps(payload, indent=1) + "\n")
 
 
 def from_json(path: str | pathlib.Path) -> MetricsCollector:

@@ -1,0 +1,163 @@
+"""Labelled instruments: counters, gauges and histograms.
+
+A :class:`InstrumentRegistry` is the aggregate companion to the event
+trace — cheap running totals you can snapshot at any point without
+replaying events.  The naming convention follows the de-facto metrics
+standard: a family name plus a label set, e.g.::
+
+    registry.counter("actions_total", kind="migrate", policy="rfh").inc()
+    registry.histogram("replica_lifetime_epochs").observe(132.0)
+
+Instruments are get-or-create: asking for the same (name, labels) twice
+returns the same object, and differing label values create distinct
+children under one family.  ``snapshot()`` renders everything to plain
+JSON-able dicts; ``reset()`` zeroes state for test isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = ["Counter", "Gauge", "Histogram", "InstrumentRegistry"]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: dict[str, str]) -> None:
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (e.g. live replica count)."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: dict[str, str]) -> None:
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Streaming distribution summary (count/sum/min/max + raw samples).
+
+    Samples are kept so snapshots can report true quantiles; the engine
+    only feeds low-rate signals here (one observation per replica
+    death), so memory stays proportional to event counts, not epochs.
+    """
+
+    __slots__ = ("labels", "samples")
+
+    def __init__(self, labels: dict[str, str]) -> None:
+        self.labels = labels
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    def summary(self) -> dict[str, float]:
+        if not self.samples:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0}
+        ordered = sorted(self.samples)
+        n = len(ordered)
+
+        def pct(q: float) -> float:
+            return ordered[min(n - 1, max(0, round(q * (n - 1))))]
+
+        total = sum(ordered)
+        return {
+            "count": n,
+            "sum": total,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": total / n,
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+        }
+
+
+class InstrumentRegistry:
+    """Families of labelled counters/gauges/histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, dict[LabelKey, Counter]] = {}
+        self._gauges: dict[str, dict[LabelKey, Gauge]] = {}
+        self._histograms: dict[str, dict[LabelKey, Histogram]] = {}
+
+    # -- get-or-create accessors ---------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        family = self._counters.setdefault(name, {})
+        key = _label_key(labels)
+        inst = family.get(key)
+        if inst is None:
+            inst = family[key] = Counter({k: v for k, v in key})
+        return inst
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        family = self._gauges.setdefault(name, {})
+        key = _label_key(labels)
+        inst = family.get(key)
+        if inst is None:
+            inst = family[key] = Gauge({k: v for k, v in key})
+        return inst
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        family = self._histograms.setdefault(name, {})
+        key = _label_key(labels)
+        inst = family.get(key)
+        if inst is None:
+            inst = family[key] = Histogram({k: v for k, v in key})
+        return inst
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> dict[str, list[dict[str, object]]]:
+        """Everything as plain dicts: ``{counters: [...], gauges: [...],
+        histograms: [...]}``, each entry ``{name, labels, ...}``."""
+
+        def rows(families, render):
+            out = []
+            for name in sorted(families):
+                for key in sorted(families[name]):
+                    inst = families[name][key]
+                    out.append({"name": name, "labels": dict(inst.labels), **render(inst)})
+            return out
+
+        return {
+            "counters": rows(self._counters, lambda c: {"value": c.value}),
+            "gauges": rows(self._gauges, lambda g: {"value": g.value}),
+            "histograms": rows(self._histograms, lambda h: h.summary()),
+        }
+
+    def to_json(self, path: str | pathlib.Path) -> None:
+        """Write :meth:`snapshot` to ``path`` (pretty-printed, newline-terminated)."""
+        pathlib.Path(path).write_text(json.dumps(self.snapshot(), indent=1) + "\n")
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -46,6 +46,9 @@ from ..net.builder import build_wan
 from ..net.coordinates import INTRA_DATACENTER_KM
 from ..net.graph import WanGraph
 from ..net.routing import Router
+from ..obs.profiler import NullProfiler, PhaseProfiler
+from ..obs.registry import InstrumentRegistry
+from ..obs.trace import NullTracer, TraceEvent, Tracer
 from ..ring.hashring import HashRing
 from ..ring.partition import PartitionMapper
 from ..workload.generator import QueryGenerator
@@ -93,6 +96,19 @@ class Simulation:
         Membership events to schedule up-front.
     hierarchy / wan:
         Topology overrides (defaults: the paper's 10-site deployment).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; every membership
+        event, restore, applied/skipped action and SLA violation emits
+        one typed record.  Defaults to a :class:`NullTracer` whose cost
+        is one attribute check per emission site.
+    profiler:
+        Optional :class:`~repro.obs.profiler.PhaseProfiler` timing the
+        six phases of :meth:`step`.  Defaults to a no-op.
+    instruments:
+        Optional :class:`~repro.obs.registry.InstrumentRegistry`; when
+        given, the engine maintains labelled counters
+        (``actions_total{kind=..., reason=..., policy=...}``), gauges
+        and the ``replica_lifetime_epochs`` histogram.
     """
 
     def __init__(
@@ -106,8 +122,14 @@ class Simulation:
         wan: WanGraph | None = None,
         latency: LatencyModel | None = None,
         consistency: ConsistencyConfig | None = None,
+        tracer: Tracer | None = None,
+        profiler: PhaseProfiler | None = None,
+        instruments: InstrumentRegistry | None = None,
     ) -> None:
         self.config = config
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self.profiler = profiler if profiler is not None else NullProfiler()
+        self.instruments = instruments
         #: Response-time model used for the latency/SLA series (the
         #: intro's 300 ms bound by default).
         self.latency = latency if latency is not None else LatencyModel()
@@ -152,6 +174,17 @@ class Simulation:
         self._smoothed_load = np.zeros(self.cluster.num_servers, dtype=np.float64)
         self._load_initialized = False
         self.policy = self._resolve_policy(policy)
+        #: Policy tag stamped on every trace record and instrument label.
+        self.policy_name: str = getattr(
+            self.policy, "name", type(self.policy).__name__
+        )
+        # Birth epochs of live copies, feeding the replica-lifetime
+        # histogram; only maintained when instruments are attached.
+        self._replica_birth: dict[tuple[int, int], int] = {}
+        if self.instruments is not None:
+            for partition in range(self.replicas.num_partitions):
+                for sid, _count in self.replicas.servers_with(partition):
+                    self._replica_birth[(partition, sid)] = 0
         self.last_result: ServiceResult | None = None
         # Optional consistency extension (the paper's future work; off by
         # default so every reproduced figure is unaffected).
@@ -221,57 +254,89 @@ class Simulation:
     def step(self) -> ServiceResult:
         """Advance exactly one epoch; returns the epoch's service result."""
         epoch = self.clock.epoch
-        restored = self._apply_due_events(epoch)
-        self.cluster.reset_epoch_budgets()
+        profiler = self.profiler
+        with profiler.phase("membership"):
+            restored = self._apply_due_events(epoch)
+            self.cluster.reset_epoch_budgets()
 
-        batch = self.workload.generate(epoch)
-        if batch.num_partitions != self.replicas.num_partitions:
-            raise SimulationError(
-                f"workload produces {batch.num_partitions} partitions, "
-                f"world has {self.replicas.num_partitions}"
-            )
-        holder_dc, holder_sid, layouts = self._current_layouts()
-        result = serve_epoch(
-            batch,
-            holder_dc,
-            layouts,
-            self.router,
-            self.cluster.num_servers,
-            holder_sid=holder_sid,
-            latency=self.latency,
-        )
-        self.last_result = result
+        with profiler.phase("workload"):
+            batch = self.workload.generate(epoch)
+            if batch.num_partitions != self.replicas.num_partitions:
+                raise SimulationError(
+                    f"workload produces {batch.num_partitions} partitions, "
+                    f"world has {self.replicas.num_partitions}"
+                )
 
-        blocking = self._update_blocking(result)
-        obs = EpochObservation(
-            epoch=epoch,
-            queries=batch,
-            traffic_dc=result.traffic_dc,
-            served_server=result.served_server,
-            unserved=result.unserved,
-            holder_traffic=result.holder_traffic,
-            blocking_probability=blocking,
-            replicas=self.replicas,
-            cluster=self.cluster,
-            router=self.router,
-            rmin=self.rmin,
-            params=self.config.rfh,
-            partition_size_mb=self.config.workload.partition_size_mb,
-        )
-        actions = self.policy.decide(obs)
-        applied = self._apply_actions(actions)
-
-        consistency = None
-        if self.consistency is not None:
-            consistency = self.consistency.observe(
-                batch.per_partition(),
-                result.served_server,
-                self.replicas,
-                self.cluster,
+        with profiler.phase("serve"):
+            holder_dc, holder_sid, layouts = self._current_layouts()
+            result = serve_epoch(
+                batch,
+                holder_dc,
+                layouts,
                 self.router,
+                self.cluster.num_servers,
+                holder_sid=holder_sid,
+                latency=self.latency,
             )
-        self._record_metrics(batch, result, applied, restored, consistency)
-        self.clock.advance()
+            self.last_result = result
+
+        with profiler.phase("observe"):
+            blocking = self._update_blocking(result)
+            obs = EpochObservation(
+                epoch=epoch,
+                queries=batch,
+                traffic_dc=result.traffic_dc,
+                served_server=result.served_server,
+                unserved=result.unserved,
+                holder_traffic=result.holder_traffic,
+                blocking_probability=blocking,
+                replicas=self.replicas,
+                cluster=self.cluster,
+                router=self.router,
+                rmin=self.rmin,
+                params=self.config.rfh,
+                partition_size_mb=self.config.workload.partition_size_mb,
+            )
+            actions = self.policy.decide(obs)
+
+        with profiler.phase("apply"):
+            applied = self._apply_actions(actions, epoch)
+
+        with profiler.phase("record"):
+            if self.tracer.enabled and result.sla_miss > 0:
+                self.tracer.emit(
+                    TraceEvent(
+                        epoch=epoch,
+                        kind="sla_violation",
+                        reason="latency-bound-exceeded",
+                        policy=self.policy_name,
+                        extra={
+                            "count": float(result.sla_miss),
+                            "queries": float(batch.total),
+                        },
+                    )
+                )
+            if self.instruments is not None:
+                self.instruments.counter(
+                    "sla_miss_total", policy=self.policy_name
+                ).inc(float(result.sla_miss))
+                self.instruments.gauge(
+                    "total_replicas", policy=self.policy_name
+                ).set(float(self.replicas.total_replicas()))
+                self.instruments.gauge(
+                    "alive_servers", policy=self.policy_name
+                ).set(float(len(self.cluster.alive_servers())))
+            consistency = None
+            if self.consistency is not None:
+                consistency = self.consistency.observe(
+                    batch.per_partition(),
+                    result.served_server,
+                    self.replicas,
+                    self.cluster,
+                    self.router,
+                )
+            self._record_metrics(batch, result, applied, restored, consistency)
+            self.clock.advance()
         return result
 
     # ------------------------------------------------------------------
@@ -283,9 +348,9 @@ class Simulation:
         for event in self._events.pop_due(epoch):
             if isinstance(event, MassFailureEvent):
                 victims = self.injector.choose_victims(event.count)
-                self._fail(victims)
+                self._fail(victims, epoch, cause="mass-failure")
             elif isinstance(event, ServerFailureEvent):
-                self._fail(event.sids)
+                self._fail(event.sids, epoch, cause="server-failure")
             elif isinstance(event, ServerRecoveryEvent):
                 sids = event.sids or tuple(
                     s.sid for s in self.cluster.servers if not s.alive
@@ -293,21 +358,53 @@ class Simulation:
                 for sid in sids:
                     self.cluster.recover_server(sid)
                     self.ring.add_server(sid)
+                    self._trace_membership(epoch, "server_recovery", sid, "recovery")
             elif isinstance(event, ServerJoinEvent):
                 for _ in range(event.count):
                     server = self.cluster.join_server(event.dc)
                     self.ring.add_server(server.sid)
+                    self._trace_membership(
+                        epoch, "server_join", server.sid, "join", dc=event.dc
+                    )
             else:  # pragma: no cover - closed union
                 raise SimulationError(f"unknown event type: {event!r}")
-        return self._restore_lost_partitions()
+        return self._restore_lost_partitions(epoch)
 
-    def _fail(self, sids: Iterable[int]) -> None:
+    def _trace_membership(
+        self, epoch: int, kind: str, sid: int, reason: str, **extra: object
+    ) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TraceEvent(
+                    epoch=epoch,
+                    kind=kind,
+                    server=sid,
+                    reason=reason,
+                    policy=self.policy_name,
+                    extra=dict(extra),
+                )
+            )
+        if self.instruments is not None:
+            self.instruments.counter("membership_events_total", kind=kind).inc()
+
+    def _fail(self, sids: Iterable[int], epoch: int, cause: str) -> None:
         for sid in sids:
             self.cluster.fail_server(sid)
-            self.replicas.drop_server(sid)
+            dropped = self.replicas.drop_server(sid)
             self.ring.remove_server(sid)
+            self._trace_membership(
+                epoch, "server_failure", sid, cause, replicas_lost=len(dropped)
+            )
+            if self.instruments is not None:
+                lifetimes = self.instruments.histogram(
+                    "replica_lifetime_epochs", policy=self.policy_name
+                )
+                for partition in dropped:
+                    born = self._replica_birth.pop((partition, sid), None)
+                    if born is not None:
+                        lifetimes.observe(float(epoch - born))
 
-    def _restore_lost_partitions(self) -> int:
+    def _restore_lost_partitions(self, epoch: int) -> int:
         """Re-create partitions that lost every copy at their current ring
         owner (a synthetic cold-archive restore; counted in metrics as
         ``lost_partitions`` for the epoch it happened)."""
@@ -318,6 +415,20 @@ class Simulation:
             owner = self.mapper.holder(partition)  # ring holds alive servers only
             self.replicas.restore(partition, owner)
             restored += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    TraceEvent(
+                        epoch=epoch,
+                        kind="partition_restore",
+                        server=owner,
+                        partition=partition,
+                        reason="all-copies-lost",
+                        policy=self.policy_name,
+                    )
+                )
+            if self.instruments is not None:
+                self.instruments.counter("partitions_restored_total").inc()
+                self._replica_birth[(partition, owner)] = epoch
         return restored
 
     def _current_layouts(self):
@@ -362,7 +473,7 @@ class Simulation:
     # ------------------------------------------------------------------
     # Action application
     # ------------------------------------------------------------------
-    def _apply_actions(self, actions: list[Action]) -> dict[str, float]:
+    def _apply_actions(self, actions: list[Action], epoch: int) -> dict[str, float]:
         stats = {
             "replication_count": 0.0,
             "replication_cost": 0.0,
@@ -373,21 +484,87 @@ class Simulation:
         }
         for action in actions:
             if isinstance(action, Replicate):
-                self._apply_replicate(action, stats)
+                self._apply_replicate(action, stats, epoch)
             elif isinstance(action, Migrate):
-                self._apply_migrate(action, stats)
+                self._apply_migrate(action, stats, epoch)
             elif isinstance(action, Suicide):
-                self._apply_suicide(action, stats)
+                self._apply_suicide(action, stats, epoch)
             else:  # pragma: no cover - closed union
                 raise ActionError(f"unknown action type: {action!r}")
         return stats
+
+    def _trace_action(
+        self,
+        epoch: int,
+        kind: str,
+        action: Action,
+        server: int,
+        partition: int,
+        cost: float = 0.0,
+        **extra: object,
+    ) -> None:
+        """One record per applied action, tagged with the policy's reason."""
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TraceEvent(
+                    epoch=epoch,
+                    kind=kind,
+                    server=server,
+                    partition=partition,
+                    reason=action.reason,
+                    cost=cost,
+                    policy=self.policy_name,
+                    extra=dict(extra),
+                )
+            )
+        if self.instruments is not None:
+            self.instruments.counter(
+                "actions_total",
+                kind=kind,
+                reason=action.reason,
+                policy=self.policy_name,
+            ).inc()
+
+    def _skip_action(
+        self, epoch: int, kind: str, action: Action, cause: str, stats: dict[str, float]
+    ) -> None:
+        """A gate refused the action: count it and say which gate."""
+        stats["skipped_actions"] += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TraceEvent(
+                    epoch=epoch,
+                    kind="action_skipped",
+                    server=getattr(action, "target_sid", getattr(action, "sid", None)),
+                    partition=action.partition,
+                    reason=action.reason,
+                    policy=self.policy_name,
+                    extra={"action": kind, "cause": cause},
+                )
+            )
+        if self.instruments is not None:
+            self.instruments.counter(
+                "actions_skipped_total", kind=kind, cause=cause
+            ).inc()
+
+    def _observe_replica_death(self, epoch: int, partition: int, sid: int) -> None:
+        """Feed the lifetime histogram when a copy is deliberately removed."""
+        if self.instruments is None:
+            return
+        born = self._replica_birth.pop((partition, sid), None)
+        if born is not None:
+            self.instruments.histogram(
+                "replica_lifetime_epochs", policy=self.policy_name
+            ).observe(float(epoch - born))
 
     def _transfer_distance_km(self, src_dc: int, dst_dc: int) -> float:
         if src_dc == dst_dc:
             return INTRA_DATACENTER_KM
         return self.router.distance_km(src_dc, dst_dc)
 
-    def _apply_replicate(self, action: Replicate, stats: dict[str, float]) -> None:
+    def _apply_replicate(
+        self, action: Replicate, stats: dict[str, float], epoch: int
+    ) -> None:
         source = self.cluster.server(action.source_sid)
         target = self.cluster.server(action.target_sid)
         if not source.alive:
@@ -402,21 +579,35 @@ class Simulation:
         size = self.config.workload.partition_size_mb
         # Resource races between same-epoch actions are skips, not bugs.
         if not target.storage_gate_open(size, self.config.rfh.phi):
-            stats["skipped_actions"] += 1
+            self._skip_action(epoch, "replicate", action, "storage-gate", stats)
             return
         if not source.consume_replication_bandwidth(size):
-            stats["skipped_actions"] += 1
+            self._skip_action(epoch, "replicate", action, "bandwidth", stats)
             return
         self.replicas.add(action.partition, action.target_sid)
         stats["replication_count"] += 1
-        stats["replication_cost"] += replication_cost(
+        cost = replication_cost(
             self._transfer_distance_km(source.dc, target.dc),
             self.config.rfh.failure_rate,
             size,
             self.config.cluster.replication_bandwidth_mb,
         )
+        stats["replication_cost"] += cost
+        if self.instruments is not None:
+            self._replica_birth[(action.partition, action.target_sid)] = epoch
+        self._trace_action(
+            epoch,
+            "replicate",
+            action,
+            action.target_sid,
+            action.partition,
+            cost=cost,
+            source=action.source_sid,
+        )
 
-    def _apply_migrate(self, action: Migrate, stats: dict[str, float]) -> None:
+    def _apply_migrate(
+        self, action: Migrate, stats: dict[str, float], epoch: int
+    ) -> None:
         source = self.cluster.server(action.source_sid)
         target = self.cluster.server(action.target_sid)
         if action.source_sid == action.target_sid:
@@ -430,31 +621,48 @@ class Simulation:
             )
         size = self.config.workload.partition_size_mb
         if not target.storage_gate_open(size, self.config.rfh.phi):
-            stats["skipped_actions"] += 1
+            self._skip_action(epoch, "migrate", action, "storage-gate", stats)
             return
         if not source.consume_migration_bandwidth(size):
-            stats["skipped_actions"] += 1
+            self._skip_action(epoch, "migrate", action, "bandwidth", stats)
             return
         self.replicas.move(action.partition, action.source_sid, action.target_sid)
         stats["migration_count"] += 1
-        stats["migration_cost"] += migration_cost(
+        cost = migration_cost(
             self._transfer_distance_km(source.dc, target.dc),
             self.config.rfh.failure_rate,
             size,
             self.config.cluster.migration_bandwidth_mb,
         )
+        stats["migration_cost"] += cost
+        if self.instruments is not None:
+            self._observe_replica_death(epoch, action.partition, action.source_sid)
+            self._replica_birth[(action.partition, action.target_sid)] = epoch
+        self._trace_action(
+            epoch,
+            "migrate",
+            action,
+            action.target_sid,
+            action.partition,
+            cost=cost,
+            source=action.source_sid,
+        )
 
-    def _apply_suicide(self, action: Suicide, stats: dict[str, float]) -> None:
+    def _apply_suicide(
+        self, action: Suicide, stats: dict[str, float], epoch: int
+    ) -> None:
         if self.replicas.count(action.partition, action.sid) < 1:
             raise ActionError(
                 f"suicide on a server without a copy of partition "
                 f"{action.partition}: {action}"
             )
         if self.replicas.replica_count(action.partition) <= 1:
-            stats["skipped_actions"] += 1
+            self._skip_action(epoch, "suicide", action, "last-copy", stats)
             return
         self.replicas.remove(action.partition, action.sid)
         stats["suicide_count"] += 1
+        self._observe_replica_death(epoch, action.partition, action.sid)
+        self._trace_action(epoch, "suicide", action, action.sid, action.partition)
 
     # ------------------------------------------------------------------
     # Metric recording

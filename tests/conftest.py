@@ -8,7 +8,7 @@ import pytest
 from repro.cluster import Cluster, ReplicaMap
 from repro.config import ClusterParameters, SimulationConfig, WorkloadParameters
 from repro.geo import build_default_hierarchy
-from repro.net import Router, build_default_wan, build_wan
+from repro.net import Router, build_wan
 from repro.ring import HashRing, PartitionMapper
 from repro.sim.rng import RngTree
 

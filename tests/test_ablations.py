@@ -10,7 +10,6 @@ from repro.experiments.ablations import (
     threshold_sweep,
 )
 from repro.sim import Simulation
-from repro.sim.rng import RngTree
 
 
 @pytest.fixture

@@ -1,11 +1,7 @@
 """Baseline policies: behavioural contracts from Section II-A."""
 
-import numpy as np
-import pytest
-
-from repro.baselines import OwnerOrientedPolicy, RandomPolicy, RequestOrientedPolicy
 from repro.config import SimulationConfig, WorkloadParameters
-from repro.sim import Migrate, Replicate, Simulation, Suicide
+from repro.sim import Simulation
 from repro.sim.rng import RngTree
 from repro.workload import HotspotPattern, QueryGenerator, WorkloadTrace
 

@@ -8,7 +8,7 @@ import pytest
 from repro.cli import build_parser, main
 from repro.errors import SimulationError
 from repro.metrics.collector import MetricsCollector
-from repro.metrics.export import from_json, to_csv, to_json
+from repro.metrics.export import from_csv, from_json, to_csv, to_json
 
 FAST = ["--epochs", "25", "--partitions", "8", "--rate", "60", "--seed", "3"]
 
@@ -35,6 +35,41 @@ class TestExport:
         loaded = from_json(path)
         assert loaded.as_dict() == original.as_dict()
         assert loaded.num_epochs == 2
+
+    def test_json_ends_with_newline(self, tmp_path):
+        path = tmp_path / "m.json"
+        to_json(self._collector(), path)
+        assert path.read_text().endswith("\n")
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "m.csv"
+        original = self._collector()
+        to_csv(original, path)
+        loaded = from_csv(path)
+        assert loaded.as_dict() == original.as_dict()
+        assert loaded.num_epochs == 2
+
+    def test_from_csv_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SimulationError):
+            from_csv(path)
+
+    def test_from_csv_rejects_empty_and_headerless(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SimulationError):
+            from_csv(empty)
+        header_only = tmp_path / "h.csv"
+        header_only.write_text("epoch,a\n")
+        with pytest.raises(SimulationError):
+            from_csv(header_only)
+
+    def test_from_csv_rejects_ragged_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("epoch,a,b\n0,1.0\n")
+        with pytest.raises(SimulationError):
+            from_csv(path)
 
     def test_empty_collector_refused(self, tmp_path):
         with pytest.raises(SimulationError):
@@ -95,3 +130,31 @@ class TestCli:
         assert main(["sla", *FAST]) in (0, 1)
         out = capsys.readouterr().out
         assert "attainment" in out
+
+    def test_run_trace_out_emits_parseable_jsonl(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            ["run", "--policy", "rfh", *FAST, "--trace-out", str(trace_path), "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase timings:" in out
+        assert "serve" in out
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines() if line
+        ]
+        assert records, "trace file is empty"
+        actions = [r for r in records if r["kind"] in ("replicate", "migrate", "suicide")]
+        assert actions, "no action records traced"
+        assert all(r["reason"] for r in actions)
+        assert all(r["policy"] == "rfh" for r in records)
+
+    def test_compare_trace_out_tags_policies(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["compare", *FAST, "--trace-out", str(trace_path)]) == 0
+        policies = {
+            json.loads(line)["policy"]
+            for line in trace_path.read_text().splitlines()
+            if line
+        }
+        assert policies == {"rfh", "random", "owner", "request"}

@@ -1,0 +1,310 @@
+"""The observability layer: tracer, profiler, registry, engine wiring."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, WorkloadParameters
+from repro.obs import (
+    ENGINE_PHASES,
+    InstrumentRegistry,
+    JsonlTracer,
+    NullProfiler,
+    NullTracer,
+    PhaseProfiler,
+    RingBufferTracer,
+    TraceEvent,
+    read_jsonl,
+)
+from repro.sim.engine import Simulation
+from repro.sim.events import ServerFailureEvent, ServerJoinEvent, ServerRecoveryEvent
+
+
+def _small_config(seed: int = 11) -> SimulationConfig:
+    return SimulationConfig(
+        seed=seed,
+        workload=WorkloadParameters(
+            queries_per_epoch_mean=120.0, num_partitions=12, zipf_exponent=0.9
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Tracer sinks
+# ----------------------------------------------------------------------
+class TestRingBufferTracer:
+    def test_overflow_evicts_oldest_and_counts_drops(self):
+        tracer = RingBufferTracer(capacity=5)
+        for i in range(12):
+            tracer.emit(TraceEvent(epoch=i, kind="replicate"))
+        assert len(tracer) == 5
+        assert tracer.dropped == 7
+        assert [e.epoch for e in tracer.events()] == [7, 8, 9, 10, 11]
+
+    def test_kind_filter(self):
+        tracer = RingBufferTracer(capacity=10)
+        tracer.emit(TraceEvent(epoch=0, kind="replicate"))
+        tracer.emit(TraceEvent(epoch=1, kind="suicide"))
+        tracer.emit(TraceEvent(epoch=2, kind="replicate"))
+        assert [e.epoch for e in tracer.events("replicate")] == [0, 2]
+
+    def test_clear_resets_buffer_and_drop_count(self):
+        tracer = RingBufferTracer(capacity=1)
+        tracer.emit(TraceEvent(epoch=0, kind="migrate"))
+        tracer.emit(TraceEvent(epoch=1, kind="migrate"))
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferTracer(capacity=0)
+
+
+class TestJsonlTracer:
+    def test_roundtrip_preserves_fields_and_extras(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        original = [
+            TraceEvent(
+                epoch=3,
+                kind="migrate",
+                server=7,
+                partition=2,
+                reason="hub-migration",
+                cost=1.25,
+                policy="rfh",
+                extra={"source": 4},
+            ),
+            TraceEvent(epoch=4, kind="sla_violation", reason="latency-bound-exceeded"),
+        ]
+        with JsonlTracer(path) as tracer:
+            for event in original:
+                tracer.emit(event)
+        assert tracer.emitted == 2
+        loaded = list(read_jsonl(path))
+        assert len(loaded) == 2
+        assert loaded[0].to_dict() == original[0].to_dict()
+        assert loaded[0].extra == {"source": 4}
+        assert loaded[1].reason == "latency-bound-exceeded"
+
+    def test_lines_are_one_json_object_each(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit(TraceEvent(epoch=0, kind="replicate", reason="availability"))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["kind"] == "replicate" and record["reason"] == "availability"
+
+
+def test_null_tracer_is_disabled():
+    assert NullTracer.enabled is False
+    assert Simulation(_small_config()).tracer.enabled is False
+
+
+# ----------------------------------------------------------------------
+# Profiler
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_phase_names_are_stable(self):
+        assert ENGINE_PHASES == (
+            "membership",
+            "workload",
+            "serve",
+            "observe",
+            "apply",
+            "record",
+        )
+
+    def test_engine_times_every_phase_every_epoch(self):
+        profiler = PhaseProfiler()
+        sim = Simulation(_small_config(), profiler=profiler)
+        sim.run(6)
+        timings = profiler.phase_timings()
+        assert tuple(timings) == ENGINE_PHASES
+        assert profiler.epochs_profiled() == 6
+        for stats in timings.values():
+            assert stats.count == 6
+            assert stats.total >= 0.0
+            assert stats.p50 <= stats.p95 <= stats.total + 1e-12
+
+    def test_render_table_lists_all_phases(self):
+        profiler = PhaseProfiler()
+        sim = Simulation(_small_config(), profiler=profiler)
+        sim.run(2)
+        table = profiler.render_table()
+        for phase in ENGINE_PHASES:
+            assert phase in table
+
+    def test_reset_clears_samples(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("serve"):
+            pass
+        profiler.reset()
+        assert profiler.phase_timings()["serve"].count == 0
+
+    def test_null_profiler_noop(self):
+        profiler = NullProfiler()
+        with profiler.phase("serve"):
+            pass
+        assert profiler.phase_timings() == {}
+        assert profiler.epochs_profiled() == 0
+
+
+# ----------------------------------------------------------------------
+# Instrument registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_label_sets_create_distinct_children(self):
+        reg = InstrumentRegistry()
+        reg.counter("actions_total", kind="migrate", policy="rfh").inc()
+        reg.counter("actions_total", kind="replicate", policy="rfh").inc(2)
+        assert reg.counter("actions_total", kind="migrate", policy="rfh").value == 1
+        assert reg.counter("actions_total", kind="replicate", policy="rfh").value == 2
+
+    def test_label_order_is_irrelevant(self):
+        reg = InstrumentRegistry()
+        reg.counter("x", a="1", b="2").inc()
+        assert reg.counter("x", b="2", a="1").value == 1
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            InstrumentRegistry().counter("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = InstrumentRegistry().gauge("g")
+        gauge.set(5)
+        gauge.dec(2)
+        gauge.inc(0.5)
+        assert gauge.value == 3.5
+
+    def test_histogram_summary(self):
+        hist = InstrumentRegistry().histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0 and summary["max"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)
+
+    def test_snapshot_and_json_export(self, tmp_path):
+        reg = InstrumentRegistry()
+        reg.counter("actions_total", kind="suicide").inc(3)
+        reg.gauge("alive_servers").set(99)
+        reg.histogram("lifetime").observe(7.0)
+        snap = reg.snapshot()
+        assert snap["counters"][0]["labels"] == {"kind": "suicide"}
+        assert snap["counters"][0]["value"] == 3
+        assert snap["gauges"][0]["value"] == 99
+        assert snap["histograms"][0]["count"] == 1
+        path = tmp_path / "inst.json"
+        reg.to_json(path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == snap
+
+    def test_reset_isolates_tests(self):
+        reg = InstrumentRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": [], "gauges": [], "histograms": []}
+
+
+# ----------------------------------------------------------------------
+# Engine integration
+# ----------------------------------------------------------------------
+class TestEngineTracing:
+    def test_every_action_record_carries_a_reason(self):
+        for policy in ("rfh", "random", "owner", "request"):
+            tracer = RingBufferTracer()
+            sim = Simulation(_small_config(), policy=policy, tracer=tracer)
+            sim.run(30)
+            action_events = [
+                e
+                for e in tracer.events()
+                if e.kind in ("replicate", "migrate", "suicide")
+            ]
+            assert action_events, f"{policy}: no actions traced in 30 epochs"
+            assert all(e.reason for e in action_events), policy
+            assert all(e.policy == policy for e in tracer.events())
+
+    def test_membership_and_restore_events_traced(self):
+        tracer = RingBufferTracer()
+        events = [
+            ServerFailureEvent(epoch=2, sids=(0, 1)),
+            ServerJoinEvent(epoch=4, dc=0, count=1),
+            ServerRecoveryEvent(epoch=6),
+        ]
+        sim = Simulation(_small_config(), tracer=tracer, events=events)
+        sim.run(10)
+        kinds = {e.kind for e in tracer.events()}
+        assert {"server_failure", "server_join", "server_recovery"} <= kinds
+        failures = tracer.events("server_failure")
+        assert {e.server for e in failures} == {0, 1}
+        assert all(e.epoch == 2 for e in failures)
+
+    def test_mass_failure_traces_restores(self):
+        from repro.sim.events import MassFailureEvent
+
+        tracer = RingBufferTracer()
+        sim = Simulation(
+            _small_config(),
+            tracer=tracer,
+            events=[MassFailureEvent(epoch=3, count=90)],
+        )
+        sim.run(6)
+        assert len(tracer.events("server_failure")) == 90
+        restores = tracer.events("partition_restore")
+        assert restores  # killing 90 % of servers loses partitions
+        assert all(e.reason == "all-copies-lost" for e in restores)
+
+    def test_tracing_does_not_perturb_the_simulation(self):
+        plain = Simulation(_small_config(seed=5)).run(20)
+        traced_sim = Simulation(
+            _small_config(seed=5),
+            tracer=RingBufferTracer(),
+            profiler=PhaseProfiler(),
+            instruments=InstrumentRegistry(),
+        )
+        traced = traced_sim.run(20)
+        for name in plain.names():
+            np.testing.assert_array_equal(
+                plain.array(name), traced.array(name), err_msg=name
+            )
+
+    def test_instruments_count_actions_and_lifetimes(self):
+        registry = InstrumentRegistry()
+        sim = Simulation(_small_config(), instruments=registry)
+        metrics = sim.run(60)
+        snap = registry.snapshot()
+        counted = sum(
+            row["value"]
+            for row in snap["counters"]
+            if row["name"] == "actions_total"
+        )
+        applied = (
+            metrics.array("replication_count").sum()
+            + metrics.array("migration_count").sum()
+            + metrics.array("suicide_count").sum()
+        )
+        assert counted == applied
+        suicides = metrics.array("suicide_count").sum()
+        lifetimes = [
+            row for row in snap["histograms"] if row["name"] == "replica_lifetime_epochs"
+        ]
+        if suicides > 0:
+            assert lifetimes and lifetimes[0]["count"] >= suicides
+
+    def test_sla_violations_traced_when_queries_block(self):
+        tracer = RingBufferTracer()
+        sim = Simulation(_small_config(), tracer=tracer)
+        metrics = sim.run(40)
+        violations = tracer.events("sla_violation")
+        attainment = metrics.array("sla_attainment")
+        if (attainment < 1.0).any():
+            assert violations
+            assert all(e.extra["count"] > 0 for e in violations)
+        else:  # pragma: no cover - workload-dependent
+            assert not violations

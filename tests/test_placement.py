@@ -1,7 +1,6 @@
 """Placement helpers: storage gate, blocking-probability choice."""
 
 import numpy as np
-import pytest
 
 from repro.core.placement import (
     choose_lowest_blocking,

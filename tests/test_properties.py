@@ -75,9 +75,7 @@ class TestAvailabilityProperties:
     def test_inclusion_exclusion_equals_complement(self, r, f):
         # The alternating sum cancels catastrophically for large r, so
         # the tolerance scales with the largest binomial term.
-        import math as _math
-
-        scale = max(1.0, _math.comb(r, r // 2) * f ** (r // 2))
+        scale = max(1.0, math.comb(r, r // 2) * f ** (r // 2))
         assert inclusion_exclusion_sum(r, f) == pytest.approx(
             1.0 - (1.0 - f) ** r, abs=1e-12 * scale + 1e-9
         )

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.cluster import Cluster, ReplicaMap
-from repro.config import ClusterParameters
+from repro.cluster import ReplicaMap
 from repro.errors import ActionError, SimulationError
-from repro.sim.rng import RngTree
 
 
 @pytest.fixture

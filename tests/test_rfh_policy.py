@@ -1,8 +1,5 @@
 """RFH policy end-to-end behaviour on the real engine."""
 
-import numpy as np
-import pytest
-
 from repro.config import RFHParameters, SimulationConfig, WorkloadParameters
 from repro.core import RFHPolicy
 from repro.sim import MassFailureEvent, Simulation

@@ -9,7 +9,6 @@ from repro.ring import (
     HASH_SPACE_SIZE,
     FingerTable,
     HashRing,
-    PartitionMapper,
     ring_distance,
     stable_hash,
 )
