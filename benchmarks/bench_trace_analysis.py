@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the trace-analytics pipeline.
+
+The analysis stages run post-hoc over traces that can reach millions of
+events (a paper-scale compare emits ~10k events per policy per 400
+epochs), so each stage's per-event cost matters.  One shared trace is
+captured once per session and every stage is timed against it.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig, WorkloadParameters
+from repro.obs import RingBufferTracer
+from repro.obs.analysis import (
+    analyze_events,
+    attribute_violations,
+    build_lineage,
+    detect_anomalies,
+    registry_from_events,
+    to_chrome_trace,
+    to_prometheus,
+)
+from repro.sim import Simulation
+from repro.sim.events import MassFailureEvent
+
+
+@pytest.fixture(scope="module")
+def trace_events():
+    config = SimulationConfig(
+        seed=5,
+        workload=WorkloadParameters(
+            queries_per_epoch_mean=250.0, num_partitions=32, zipf_exponent=0.9
+        ),
+    )
+    tracer = RingBufferTracer(capacity=1_000_000)
+    Simulation(
+        config, tracer=tracer, events=[MassFailureEvent(epoch=60, count=30)]
+    ).run(150)
+    return list(tracer.events())
+
+
+def test_lineage_stitching_kernel(benchmark, trace_events):
+    lineage = benchmark(build_lineage, trace_events)
+    assert lineage.lifecycles
+
+
+def test_rootcause_attribution_kernel(benchmark, trace_events):
+    attributions = benchmark(attribute_violations, trace_events, window=20)
+    assert isinstance(attributions, list)
+
+
+def test_anomaly_detection_kernel(benchmark, trace_events):
+    anomalies = benchmark(detect_anomalies, trace_events)
+    assert isinstance(anomalies, list)
+
+
+def test_full_analysis_pipeline(benchmark, trace_events):
+    analysis = benchmark(analyze_events, trace_events)
+    assert analysis.policies
+
+
+def test_chrome_trace_export_kernel(benchmark, trace_events):
+    payload = benchmark(to_chrome_trace, trace_events)
+    assert payload["traceEvents"]
+
+
+def test_prometheus_export_kernel(benchmark, trace_events):
+    text = benchmark(lambda: to_prometheus(registry_from_events(trace_events)))
+    assert text.startswith("# HELP")

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Run the kernel benchmarks and write machine-readable results.
+
+Drives ``benchmarks/bench_kernels.py`` (the hot-kernel suite, including
+the phase-attribution benchmark) through pytest-benchmark, then
+condenses the raw report into ``BENCH_kernels.json`` — one stable
+record per benchmark with the timing stats a trend dashboard needs.
+CI uploads the file as an artifact, so every merge leaves a point on
+the performance trajectory.
+
+Run:  python scripts/run_benchmarks.py [--out BENCH_kernels.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_TARGET = "benchmarks/bench_kernels.py"
+
+
+def run_pytest_benchmark(raw_path: pathlib.Path, pytest_args: list[str]) -> int:
+    """Run the kernel suite with ``--benchmark-json``; returns exit code."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        BENCH_TARGET,
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={raw_path}",
+        *pytest_args,
+    ]
+    print("$", " ".join(cmd))
+    return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+
+
+def condense(raw: dict) -> dict:
+    """The subset of pytest-benchmark's report worth keeping per commit."""
+    machine = raw.get("machine_info", {})
+    benchmarks = []
+    for bench in raw.get("benchmarks", ()):
+        stats = bench.get("stats", {})
+        benchmarks.append(
+            {
+                "name": bench.get("name"),
+                "group": bench.get("group"),
+                "rounds": stats.get("rounds"),
+                "iterations": stats.get("iterations"),
+                "mean_s": stats.get("mean"),
+                "stddev_s": stats.get("stddev"),
+                "median_s": stats.get("median"),
+                "min_s": stats.get("min"),
+                "max_s": stats.get("max"),
+                "ops": stats.get("ops"),
+            }
+        )
+    benchmarks.sort(key=lambda b: b["name"] or "")
+    return {
+        "suite": BENCH_TARGET,
+        "datetime": raw.get("datetime"),
+        "machine": {
+            "node": machine.get("node"),
+            "processor": machine.get("processor"),
+            "machine": machine.get("machine"),
+            "python_version": machine.get("python_version"),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_kernels.json",
+        help="condensed output path (default: BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (after --)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = pathlib.Path(tmp) / "raw_benchmark.json"
+        code = run_pytest_benchmark(raw_path, args.pytest_args)
+        if code != 0:
+            print(f"benchmark run failed (exit {code})", file=sys.stderr)
+            return code
+        raw = json.loads(raw_path.read_text())
+
+    condensed = condense(raw)
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(condensed, indent=1) + "\n")
+    print(f"wrote {out} ({len(condensed['benchmarks'])} benchmarks)")
+    for bench in condensed["benchmarks"]:
+        mean_ms = (bench["mean_s"] or 0.0) * 1e3
+        print(f"  {bench['name']:<44} mean {mean_ms:9.3f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

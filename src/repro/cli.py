@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the workflows a user reaches for first:
+Five subcommands cover the workflows a user reaches for first:
 
 * ``run``     — one policy, one scenario, headline metrics (optionally
   exported to CSV/JSON);
 * ``compare`` — all four algorithms on one shared trace, as a table;
 * ``figures`` — regenerate the paper's figures and report shape checks;
-* ``sla``     — the introduction's 300 ms SLA scoreboard.
+* ``sla``     — the introduction's 300 ms SLA scoreboard;
+* ``analyze`` — post-hoc trace analytics over a ``--trace-out`` file:
+  replica lineage, root-cause chains, anomalies, plus Chrome-trace and
+  Prometheus exporters.
 
 Examples::
 
@@ -14,11 +17,14 @@ Examples::
     python -m repro compare --scenario flash --epochs 400
     python -m repro figures --only fig3 fig10
     python -m repro sla --epochs 250 --csv out.csv
+    python -m repro run --trace-out t.jsonl && python -m repro analyze t.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from collections.abc import Sequence
 
@@ -85,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="time the six engine phases and print a per-phase table",
         )
+        p.add_argument(
+            "--analyze",
+            action="store_true",
+            help="run the trace-analytics pipeline (lineage, root causes, "
+            "anomalies) on the captured trace after the run",
+        )
 
     run_p = sub.add_parser("run", help="run one policy and print headline metrics")
     common(run_p)
@@ -112,6 +124,29 @@ def build_parser() -> argparse.ArgumentParser:
     sla_p = sub.add_parser("sla", help="SLA-attainment scoreboard (Section I)")
     common(sla_p)
     sla_p.add_argument("--csv", help="export the rfh run's series to CSV")
+
+    an_p = sub.add_parser(
+        "analyze",
+        help="analyse a JSONL trace: replica lineage, root-cause chains, "
+        "anomalies, or export to Chrome-trace / Prometheus formats",
+    )
+    an_p.add_argument("trace", metavar="TRACE.jsonl", help="a --trace-out file")
+    an_p.add_argument(
+        "--format",
+        choices=("text", "json", "chrome-trace", "prometheus"),
+        default="text",
+        help="text report (default), structured JSON, Perfetto-loadable "
+        "Chrome trace-event JSON, or Prometheus text exposition",
+    )
+    an_p.add_argument(
+        "--out", help="write the output to this file instead of stdout"
+    )
+    an_p.add_argument(
+        "--window",
+        type=int,
+        default=20,
+        help="root-cause look-back window in epochs (default 20)",
+    )
 
     return parser
 
@@ -149,17 +184,56 @@ def _make_profiler(args: argparse.Namespace):
     return None
 
 
+def _capture_for_analysis(args: argparse.Namespace, tracer):
+    """When ``--analyze`` was asked without ``--trace-out``, capture
+    events in memory; returns (tracer, ring_buffer_or_None)."""
+    if not getattr(args, "analyze", False) or tracer is not None:
+        return tracer, None
+    from .obs.trace import RingBufferTracer
+
+    ring = RingBufferTracer(capacity=1_000_000)
+    return ring, ring
+
+
+def _warn_dropped(tracer) -> None:
+    """Surface silent ring-buffer eviction in the run summary."""
+    dropped = getattr(tracer, "dropped", 0)
+    if dropped:
+        print(
+            f"warning: trace buffer evicted {dropped} events "
+            f"(trace_events_dropped_total={dropped}); analysis covers "
+            "the most recent events only",
+            file=sys.stderr,
+        )
+
+
+def _run_analysis(args: argparse.Namespace, ring) -> None:
+    """The in-process ``--analyze`` pipeline for run/compare."""
+    from .obs.analysis import AnalysisOptions, analyze_events, analyze_trace, render_text
+
+    options = AnalysisOptions()
+    if ring is not None:
+        analysis = analyze_events(
+            ring.events(), options=options, source="<in-memory trace>"
+        )
+    else:
+        analysis = analyze_trace(args.trace_out, options=options)
+    print()
+    print(render_text(analysis))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
     tracer = _make_tracer(args)
+    tracer, ring = _capture_for_analysis(args, tracer)
     profiler = _make_profiler(args)
-    try:
+    # The context manager guarantees the JSONL sink is flushed/closed on
+    # every path — including an engine error mid-run, so a partial trace
+    # stays analysable.
+    with tracer if tracer is not None else contextlib.nullcontext():
         result = run_experiment(
             args.policy, scenario, tracer=tracer, profiler=profiler
         )
-    finally:
-        if tracer is not None:
-            tracer.close()
     print(f"policy={args.policy} scenario={scenario.name} epochs={args.epochs}")
     for name, fmt in _HEADLINE:
         print(f"  {name:<18} {fmt.format(result.steady(name))}")
@@ -175,17 +249,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         to_json(result.metrics, args.json)
         print(f"wrote {args.json}")
-    if tracer is not None:
+    if getattr(args, "trace_out", None):
         print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
+    _warn_dropped(tracer)
     if profiler is not None:
         print("\nphase timings:")
         print(profiler.render_table())
+    if getattr(args, "analyze", False):
+        _run_analysis(args, ring)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
     tracer = _make_tracer(args)
+    tracer, ring = _capture_for_analysis(args, tracer)
     profile = getattr(args, "profile", False)
     if profile:
         from .obs.profiler import PhaseProfiler
@@ -193,13 +271,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         profiler_factory = PhaseProfiler
     else:
         profiler_factory = None
-    try:
+    with tracer if tracer is not None else contextlib.nullcontext():
         cmp = compare_policies(
             scenario, tracer=tracer, profiler_factory=profiler_factory
         )
-    finally:
-        if tracer is not None:
-            tracer.close()
     header = f"{'policy':>9} | " + " ".join(f"{name:>16}" for name, _ in _HEADLINE)
     print(f"scenario={scenario.name} epochs={args.epochs} seed={args.seed}")
     print(header)
@@ -211,12 +286,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
         print(f"{policy:>9} | {cells}")
     print("\nutilization ranking:", " > ".join(cmp.ranking("utilization")))
-    if tracer is not None:
+    if getattr(args, "trace_out", None):
         print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
+    _warn_dropped(tracer)
     if profile:
         for policy in cmp.policies():
             print(f"\nphase timings ({policy}):")
             print(cmp[policy].simulation.profiler.render_table())
+    if getattr(args, "analyze", False):
+        _run_analysis(args, ring)
     return 0
 
 
@@ -264,6 +342,49 @@ def _cmd_sla(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    path = pathlib.Path(args.trace)
+    if not path.exists():
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return 2
+
+    if args.format in ("text", "json"):
+        from .obs.analysis import AnalysisOptions, analyze_trace, render_text
+
+        analysis = analyze_trace(path, options=AnalysisOptions(window=args.window))
+        if not analysis.total_events:
+            print(f"{path} holds no readable trace events", file=sys.stderr)
+            return 1
+        output = (
+            render_text(analysis)
+            if args.format == "text"
+            else json.dumps(analysis.to_dict(), indent=1) + "\n"
+        )
+    elif args.format == "chrome-trace":
+        from .obs.analysis import to_chrome_trace
+        from .obs.trace import read_jsonl
+
+        payload = to_chrome_trace(read_jsonl(path))
+        output = json.dumps(payload, separators=(",", ":")) + "\n"
+    else:  # prometheus
+        from .obs.analysis import registry_from_events, to_prometheus
+        from .obs.trace import read_jsonl
+
+        output = to_prometheus(registry_from_events(read_jsonl(path)))
+
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            output if output.endswith("\n") else output + "\n"
+        )
+        print(f"wrote {args.out}")
+    else:
+        print(output if not output.endswith("\n") else output[:-1])
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -272,8 +393,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _cmd_compare,
         "figures": _cmd_figures,
         "sla": _cmd_sla,
+        "analyze": _cmd_analyze,
     }
-    return commands[args.command](args)
+    try:
+        return commands[args.command](args)
+    except BrokenPipeError:  # e.g. `repro analyze ... | head`
+        # Downstream closed the pipe; detach stdout so the interpreter's
+        # exit-time flush does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..obs.registry import InstrumentRegistry
 from .figures import FigureResult
 
-__all__ = ["render_figure", "render_instruments", "render_report"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.analysis import TraceAnalysis
+
+__all__ = ["render_figure", "render_instruments", "render_analysis", "render_report"]
 
 #: What the paper reports per figure, quoted/condensed for the table.
 PAPER_CLAIMS: dict[str, str] = {
@@ -102,13 +107,22 @@ def render_instruments(registry: InstrumentRegistry) -> str:
     return "\n".join(lines)
 
 
+def render_analysis(analysis: TraceAnalysis, *, heading: str = "### Trace analysis") -> str:
+    """Markdown section over a trace-analytics result (lineage digest,
+    ranked top-causes table, anomalies) for experiment reports."""
+    from ..obs.analysis import render_markdown
+
+    return render_markdown(analysis, heading=heading)
+
+
 def render_report(
     results: dict[str, FigureResult],
     header: str = "",
     instruments: InstrumentRegistry | None = None,
+    analysis: TraceAnalysis | None = None,
 ) -> str:
     """Full markdown report over all figures, plus the instrument
-    snapshot when a registry is supplied."""
+    snapshot and trace analysis when supplied."""
     total = sum(len(r.checks) for r in results.values())
     held = sum(sum(r.checks.values()) for r in results.values())
     lines = []
@@ -119,4 +133,6 @@ def render_report(
         lines.append(render_figure(results[key]))
     if instruments is not None:
         lines.append(render_instruments(instruments))
+    if analysis is not None:
+        lines.append(render_analysis(analysis))
     return "\n".join(lines)

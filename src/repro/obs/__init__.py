@@ -34,6 +34,7 @@ from .trace import (
     RingBufferTracer,
     TraceEvent,
     Tracer,
+    TraceReadWarning,
     read_jsonl,
 )
 
@@ -50,6 +51,7 @@ __all__ = [
     "PhaseStats",
     "RingBufferTracer",
     "TraceEvent",
+    "TraceReadWarning",
     "Tracer",
     "read_jsonl",
 ]

@@ -1,0 +1,250 @@
+"""Anomaly detectors over the event stream.
+
+Three detectors, each targeting a pathology a replication loop can fall
+into without any aggregate metric flagging it:
+
+* **migration ping-pong** — the same partition bouncing A→B→A within a
+  few epochs: the decision thresholds are fighting each other and every
+  bounce pays full migration cost for zero placement gain;
+* **replication storms** — actions-per-epoch spiking far above the
+  recent baseline (a rolling z-score): self-inflicted maintenance
+  traffic of the kind churn studies blame for secondary overload;
+* **churn hotspots** — one datacenter absorbing a disproportionate
+  share of membership churn and replica movement.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..trace import TraceEvent
+
+__all__ = [
+    "Anomaly",
+    "detect_pingpong",
+    "detect_replication_storms",
+    "detect_churn_hotspots",
+    "detect_anomalies",
+]
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected pathology, self-describing for reports."""
+
+    kind: str
+    epoch: int
+    severity: float
+    description: str
+    detail: dict[str, object] = field(default_factory=dict)
+
+
+def detect_pingpong(
+    events: Iterable[TraceEvent], *, k: int = 10
+) -> list[Anomaly]:
+    """Partitions whose copies bounce straight back (A→B then B→A
+    within ``k`` epochs).  One anomaly per offending partition, counting
+    every bounce and naming the server pair that bounced most."""
+    last_move: dict[int, tuple[int, int, int]] = {}  # partition -> (src, dst, epoch)
+    bounces: dict[int, list[tuple[int, int, int]]] = {}  # partition -> [(a, b, epoch)]
+    for event in events:
+        if event.kind != "migrate" or event.partition is None or event.server is None:
+            continue
+        source = event.extra.get("source")
+        if not isinstance(source, (int, float)):
+            continue
+        src, dst = int(source), event.server
+        previous = last_move.get(event.partition)
+        if (
+            previous is not None
+            and previous[0] == dst
+            and previous[1] == src
+            and event.epoch - previous[2] <= k
+        ):
+            bounces.setdefault(event.partition, []).append((src, dst, event.epoch))
+        last_move[event.partition] = (src, dst, event.epoch)
+    out: list[Anomaly] = []
+    for partition, hits in sorted(bounces.items()):
+        pairs: dict[tuple[int, int], int] = {}
+        for a, b, _epoch in hits:
+            key = (min(a, b), max(a, b))
+            pairs[key] = pairs.get(key, 0) + 1
+        (sa, sb), count = max(pairs.items(), key=lambda kv: (kv[1], kv[0]))
+        out.append(
+            Anomaly(
+                kind="ping-pong",
+                epoch=hits[0][2],
+                severity=float(len(hits)),
+                description=(
+                    f"partition {partition} bounced {len(hits)}x within "
+                    f"{k} epochs (worst pair: servers {sa}<->{sb}, {count}x)"
+                ),
+                detail={
+                    "partition": partition,
+                    "bounces": len(hits),
+                    "epochs": [epoch for _a, _b, epoch in hits],
+                    "worst_pair": [sa, sb],
+                },
+            )
+        )
+    return out
+
+
+def detect_replication_storms(
+    events: Iterable[TraceEvent],
+    *,
+    window: int = 25,
+    z_threshold: float = 3.0,
+    min_actions: int = 5,
+) -> list[Anomaly]:
+    """Epochs whose action count (replicate + migrate) sits ``z_threshold``
+    standard deviations above the mean of the preceding ``window``
+    epochs.  Consecutive storm epochs merge into one anomaly reporting
+    the peak.  ``min_actions`` suppresses "storms" in near-idle runs
+    where one action is already many sigmas."""
+    per_epoch: dict[int, int] = {}
+    for event in events:
+        if event.kind in ("replicate", "migrate"):
+            per_epoch[event.epoch] = per_epoch.get(event.epoch, 0) + 1
+    if not per_epoch:
+        return []
+    first, last = min(per_epoch), max(per_epoch)
+    series = [per_epoch.get(e, 0) for e in range(first, last + 1)]
+
+    flagged: list[tuple[int, int, float]] = []  # (epoch, count, z)
+    for i, count in enumerate(series):
+        history = series[max(0, i - window) : i]
+        if len(history) < max(3, window // 3) or count < min_actions:
+            continue
+        mean = sum(history) / len(history)
+        var = sum((x - mean) ** 2 for x in history) / len(history)
+        std = math.sqrt(var)
+        # An all-quiet history has std 0; any burst out of silence with
+        # >= min_actions actions is a storm by construction.
+        z = (count - mean) / std if std > 0 else math.inf
+        if z >= z_threshold:
+            flagged.append((first + i, count, z))
+
+    out: list[Anomaly] = []
+    run: list[tuple[int, int, float]] = []
+    for entry in flagged:
+        if run and entry[0] == run[-1][0] + 1:
+            run.append(entry)
+            continue
+        if run:
+            out.append(_storm_anomaly(run))
+        run = [entry]
+    if run:
+        out.append(_storm_anomaly(run))
+    return out
+
+
+def _storm_anomaly(run: Sequence[tuple[int, int, float]]) -> Anomaly:
+    peak_epoch, peak_count, peak_z = max(run, key=lambda r: (r[1], r[0]))
+    start, end = run[0][0], run[-1][0]
+    span = f"epoch {start}" if start == end else f"epochs {start}-{end}"
+    z_text = "inf" if math.isinf(peak_z) else f"{peak_z:.1f}"
+    return Anomaly(
+        kind="replication-storm",
+        epoch=start,
+        severity=float(peak_count),
+        description=(
+            f"{span}: replication burst peaking at {peak_count} "
+            f"actions/epoch (z={z_text})"
+        ),
+        detail={
+            "start": start,
+            "end": end,
+            "peak_epoch": peak_epoch,
+            "peak_actions": peak_count,
+            "peak_z": None if math.isinf(peak_z) else peak_z,
+        },
+    )
+
+
+#: Event kinds counting as churn for the hotspot detector, with weights:
+#: a failure is worth more than a routine replica arrival.
+_CHURN_WEIGHTS: dict[str, float] = {
+    "server_failure": 3.0,
+    "server_recovery": 1.0,
+    "server_join": 1.0,
+    "partition_restore": 2.0,
+    "replicate": 1.0,
+    "migrate": 1.0,
+    "suicide": 0.5,
+}
+
+
+def detect_churn_hotspots(
+    events: Iterable[TraceEvent], *, factor: float = 2.0
+) -> list[Anomaly]:
+    """Datacenters whose weighted churn exceeds ``mean + factor * std``
+    of the per-datacenter distribution (requires ``dc`` tags on events;
+    untagged events are ignored)."""
+    churn: dict[int, float] = {}
+    first_epoch: dict[int, int] = {}
+    for event in events:
+        weight = _CHURN_WEIGHTS.get(event.kind)
+        if weight is None:
+            continue
+        dc = event.extra.get("dc")
+        if not isinstance(dc, (int, float)) or isinstance(dc, bool):
+            continue
+        dc = int(dc)
+        churn[dc] = churn.get(dc, 0.0) + weight
+        first_epoch.setdefault(dc, event.epoch)
+    if len(churn) < 2:
+        return []
+    values = list(churn.values())
+    mean = sum(values) / len(values)
+    std = math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+    threshold = mean + factor * std
+    out: list[Anomaly] = []
+    for dc in sorted(churn, key=lambda d: -churn[d]):
+        if std == 0.0 or churn[dc] <= threshold:
+            continue
+        out.append(
+            Anomaly(
+                kind="churn-hotspot",
+                epoch=first_epoch[dc],
+                severity=churn[dc] / mean if mean else churn[dc],
+                description=(
+                    f"datacenter {dc} absorbed {churn[dc]:.0f} weighted churn "
+                    f"({churn[dc] / mean:.1f}x the {mean:.0f} fleet mean)"
+                ),
+                detail={
+                    "dc": dc,
+                    "churn": churn[dc],
+                    "fleet_mean": mean,
+                    "threshold": threshold,
+                },
+            )
+        )
+    return out
+
+
+def detect_anomalies(
+    events: Iterable[TraceEvent],
+    *,
+    pingpong_k: int = 10,
+    storm_window: int = 25,
+    storm_z: float = 3.0,
+    storm_min_actions: int = 5,
+    hotspot_factor: float = 2.0,
+) -> list[Anomaly]:
+    """All three detectors over one event stream, in epoch order."""
+    stream = list(events)
+    found = [
+        *detect_pingpong(stream, k=pingpong_k),
+        *detect_replication_storms(
+            stream,
+            window=storm_window,
+            z_threshold=storm_z,
+            min_actions=storm_min_actions,
+        ),
+        *detect_churn_hotspots(stream, factor=hotspot_factor),
+    ]
+    found.sort(key=lambda a: (a.epoch, a.kind))
+    return found

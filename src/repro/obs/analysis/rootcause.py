@@ -1,0 +1,214 @@
+"""Root-cause chains: attribute each SLA violation to its likely cause.
+
+Every ``sla_violation`` record marks an epoch where queries missed the
+latency bound, but the *why* lives earlier in the stream: a server
+failure that thinned the replica fleet, a lost-partition restore
+serving from a cold single copy, a replication storm saturating
+bandwidth, or an overload the policy saw but whose actions the gates
+refused.  Leslie's DHT storage study (arXiv:cs/0507072) ties exactly
+these maintenance-traffic bursts to churn events; this module walks
+backwards within an epoch window and scores the candidates.
+
+Scoring is deliberately simple and deterministic: each cause kind has a
+base weight, each contributing event decays geometrically with its lag
+from the violation, and the winner's **confidence** is its share of the
+total score mass.  A violation with no candidate in the window is
+``unattributed`` at confidence zero — honest, and itself a signal that
+the window is too small or the cause is exogenous (plain load).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..trace import TraceEvent
+
+__all__ = [
+    "CAUSE_WEIGHTS",
+    "Attribution",
+    "CauseSummary",
+    "attribute_violations",
+    "top_causes",
+]
+
+#: Base weight per cause kind.  Failures dominate restores (a restore is
+#: the *consequence* of a failure burst and only wins when failures have
+#: scrolled out of the window); storms and unmitigated overloads are
+#: weaker signals that win only when nothing structural happened.
+CAUSE_WEIGHTS: dict[str, float] = {
+    "server-failure": 3.0,
+    "lost-partition-restore": 2.0,
+    "replication-storm": 1.0,
+    "overload-unmitigated": 1.0,
+}
+
+#: Per-epoch-of-lag geometric decay applied to every contribution.
+LAG_DECAY = 0.85
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """One SLA-violation epoch and its ranked cause."""
+
+    epoch: int
+    misses: float
+    cause: str
+    confidence: float
+    lag: int | None
+    detail: str
+    scores: dict[str, float]
+
+
+@dataclass(frozen=True)
+class CauseSummary:
+    """Aggregate row of the ranked top-causes table."""
+
+    cause: str
+    violations: int
+    misses: float
+    mean_confidence: float
+    median_lag: float | None
+
+
+def _index_by_epoch(events: Sequence[TraceEvent]) -> dict[str, dict[int, float]]:
+    """Per-epoch magnitudes of every candidate signal."""
+    failures: dict[int, float] = {}
+    restores: dict[int, float] = {}
+    actions: dict[int, float] = {}
+    skipped: dict[int, float] = {}
+    for event in events:
+        if event.kind == "server_failure":
+            lost = event.extra.get("replicas_lost", 0)
+            weight = 1.0 + float(lost if isinstance(lost, (int, float)) else 0.0)
+            failures[event.epoch] = failures.get(event.epoch, 0.0) + weight
+        elif event.kind == "partition_restore":
+            restores[event.epoch] = restores.get(event.epoch, 0.0) + 1.0
+        elif event.kind in ("replicate", "migrate"):
+            actions[event.epoch] = actions.get(event.epoch, 0.0) + 1.0
+        elif event.kind == "action_skipped":
+            skipped[event.epoch] = skipped.get(event.epoch, 0.0) + 1.0
+    return {
+        "server-failure": failures,
+        "lost-partition-restore": restores,
+        "replication-storm": actions,
+        "overload-unmitigated": skipped,
+    }
+
+
+def _windowed_score(
+    series: dict[int, float], epoch: int, window: int
+) -> tuple[float, int | None]:
+    """Decayed sum over ``[epoch - window, epoch]`` plus the nearest lag."""
+    total = 0.0
+    nearest: int | None = None
+    for e in range(max(0, epoch - window), epoch + 1):
+        magnitude = series.get(e)
+        if not magnitude:
+            continue
+        lag = epoch - e
+        total += magnitude * (LAG_DECAY**lag)
+        if nearest is None or lag < nearest:
+            nearest = lag
+    return total, nearest
+
+
+def attribute_violations(
+    events: Iterable[TraceEvent], *, window: int = 20
+) -> list[Attribution]:
+    """One :class:`Attribution` per ``sla_violation`` event, in order.
+
+    ``window`` is the look-back horizon in epochs.  The replication-rate
+    signal is normalised against the whole-run mean so that the steady
+    background of availability replication does not register as a storm
+    under every violation.
+    """
+    stream = list(events)
+    index = _index_by_epoch(stream)
+    violations = [e for e in stream if e.kind == "sla_violation"]
+    if not violations:
+        return []
+
+    # Baseline replication rate: a storm only scores for its *excess*.
+    action_series = index["replication-storm"]
+    epochs_seen = {e.epoch for e in stream}
+    span = max(1, len(epochs_seen))
+    mean_actions = sum(action_series.values()) / span
+
+    out: list[Attribution] = []
+    for violation in violations:
+        misses = float(violation.extra.get("count", 1.0))  # type: ignore[arg-type]
+        scores: dict[str, float] = {}
+        lags: dict[str, int | None] = {}
+        for cause, series in index.items():
+            raw, lag = _windowed_score(series, violation.epoch, window)
+            if cause == "replication-storm":
+                # Subtract the decayed baseline so steady traffic scores 0.
+                baseline = mean_actions * sum(
+                    LAG_DECAY**k for k in range(window + 1)
+                )
+                raw = max(0.0, raw - baseline)
+                if raw == 0.0:
+                    lag = None
+            scores[cause] = CAUSE_WEIGHTS[cause] * raw
+            lags[cause] = lag
+        total = sum(scores.values())
+        if total <= 0.0:
+            out.append(
+                Attribution(
+                    epoch=violation.epoch,
+                    misses=misses,
+                    cause="unattributed",
+                    confidence=0.0,
+                    lag=None,
+                    detail=f"no candidate cause within {window} epochs",
+                    scores=scores,
+                )
+            )
+            continue
+        winner = max(scores, key=lambda c: (scores[c], c))
+        out.append(
+            Attribution(
+                epoch=violation.epoch,
+                misses=misses,
+                cause=winner,
+                confidence=scores[winner] / total,
+                lag=lags[winner],
+                detail=_describe(winner, lags[winner]),
+                scores=scores,
+            )
+        )
+    return out
+
+
+def _describe(cause: str, lag: int | None) -> str:
+    where = "same epoch" if lag == 0 else f"{lag} epochs earlier" if lag else "in window"
+    return {
+        "server-failure": f"server failure {where}",
+        "lost-partition-restore": f"lost-partition restore {where}",
+        "replication-storm": f"replication traffic above baseline ({where})",
+        "overload-unmitigated": f"actions gated/skipped under load ({where})",
+    }.get(cause, cause)
+
+
+def top_causes(attributions: Sequence[Attribution]) -> list[CauseSummary]:
+    """Ranked aggregate: most-blamed cause first (by attributed misses,
+    then violation count)."""
+    grouped: dict[str, list[Attribution]] = {}
+    for attribution in attributions:
+        grouped.setdefault(attribution.cause, []).append(attribution)
+    rows: list[CauseSummary] = []
+    for cause, group in grouped.items():
+        lags = sorted(a.lag for a in group if a.lag is not None)
+        median_lag = float(lags[len(lags) // 2]) if lags else None
+        rows.append(
+            CauseSummary(
+                cause=cause,
+                violations=len(group),
+                misses=sum(a.misses for a in group),
+                mean_confidence=sum(a.confidence for a in group) / len(group),
+                median_lag=median_lag,
+            )
+        )
+    rows.sort(key=lambda r: (-r.misses, -r.violations, r.cause))
+    return rows

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import pathlib
 import time
+import warnings
 from collections import deque
 from collections.abc import Iterator
 from dataclasses import dataclass, field
@@ -30,6 +31,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "TRACE_KINDS",
     "TraceEvent",
+    "TraceReadWarning",
     "Tracer",
     "NullTracer",
     "RingBufferTracer",
@@ -37,8 +39,13 @@ __all__ = [
     "read_jsonl",
 ]
 
+
+class TraceReadWarning(UserWarning):
+    """A trace file contained lines that could not be decoded."""
+
 #: Every ``kind`` the engine emits, for consumers that switch on it.
 TRACE_KINDS: tuple[str, ...] = (
+    "replica_bootstrap",
     "server_failure",
     "server_recovery",
     "server_join",
@@ -200,10 +207,30 @@ class JsonlTracer(Tracer):
             self._handle.close()
 
 
-def read_jsonl(path: str | pathlib.Path) -> Iterator[TraceEvent]:
-    """Yield the :class:`TraceEvent` records of a :class:`JsonlTracer` file."""
+def read_jsonl(path: str | pathlib.Path, *, strict: bool = False) -> Iterator[TraceEvent]:
+    """Yield the :class:`TraceEvent` records of a :class:`JsonlTracer` file.
+
+    An interrupted run leaves a truncated final line (and a crashed
+    writer can leave garbage anywhere); by default such lines are
+    skipped with a :class:`TraceReadWarning` so post-hoc analysis of a
+    partial trace still completes.  Pass ``strict=True`` to re-raise the
+    underlying :class:`json.JSONDecodeError` instead.
+    """
     with open(pathlib.Path(path), encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                yield TraceEvent.from_dict(json.loads(line))
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise
+                warnings.warn(
+                    f"{path}:{lineno}: skipping malformed trace line "
+                    f"({exc.msg}); the writer was probably interrupted",
+                    TraceReadWarning,
+                    stacklevel=2,
+                )
+                continue
+            yield TraceEvent.from_dict(payload)

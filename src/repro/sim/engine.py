@@ -185,6 +185,26 @@ class Simulation:
             for partition in range(self.replicas.num_partitions):
                 for sid, _count in self.replicas.servers_with(partition):
                     self._replica_birth[(partition, sid)] = 0
+        # Bootstrap placements are engine-internal (no action produced
+        # them), so lineage reconstruction from a trace alone needs them
+        # emitted explicitly — one record per original copy.
+        if self.tracer.enabled:
+            for partition in range(self.replicas.num_partitions):
+                for sid, _count in self.replicas.servers_with(partition):
+                    self.tracer.emit(
+                        TraceEvent(
+                            epoch=self.clock.epoch,
+                            kind="replica_bootstrap",
+                            server=sid,
+                            partition=partition,
+                            reason="bootstrap",
+                            policy=self.policy_name,
+                            extra={"dc": self.cluster.dc_of(sid)},
+                        )
+                    )
+        # High-water mark of the tracer's drop counter already exported
+        # to the trace_events_dropped_total instrument.
+        self._dropped_exported = 0.0
         self.last_result: ServiceResult | None = None
         # Optional consistency extension (the paper's future work; off by
         # default so every reproduced figure is unaffected).
@@ -326,6 +346,14 @@ class Simulation:
                 self.instruments.gauge(
                     "alive_servers", policy=self.policy_name
                 ).set(float(len(self.cluster.alive_servers())))
+                # Surface silent ring-buffer eviction: without this the
+                # only sign of a truncated trace is a missing tail.
+                dropped = float(getattr(self.tracer, "dropped", 0))
+                if dropped > self._dropped_exported:
+                    self.instruments.counter("trace_events_dropped_total").inc(
+                        dropped - self._dropped_exported
+                    )
+                    self._dropped_exported = dropped
             consistency = None
             if self.consistency is not None:
                 consistency = self.consistency.observe(
@@ -358,7 +386,13 @@ class Simulation:
                 for sid in sids:
                     self.cluster.recover_server(sid)
                     self.ring.add_server(sid)
-                    self._trace_membership(epoch, "server_recovery", sid, "recovery")
+                    self._trace_membership(
+                        epoch,
+                        "server_recovery",
+                        sid,
+                        "recovery",
+                        dc=self.cluster.dc_of(sid),
+                    )
             elif isinstance(event, ServerJoinEvent):
                 for _ in range(event.count):
                     server = self.cluster.join_server(event.dc)
@@ -392,8 +426,16 @@ class Simulation:
             self.cluster.fail_server(sid)
             dropped = self.replicas.drop_server(sid)
             self.ring.remove_server(sid)
+            # ``partitions`` names every copy that died with the server,
+            # so trace consumers can close the right replica lifecycles.
             self._trace_membership(
-                epoch, "server_failure", sid, cause, replicas_lost=len(dropped)
+                epoch,
+                "server_failure",
+                sid,
+                cause,
+                replicas_lost=len(dropped),
+                partitions=list(dropped),
+                dc=self.cluster.dc_of(sid),
             )
             if self.instruments is not None:
                 lifetimes = self.instruments.histogram(
@@ -424,6 +466,7 @@ class Simulation:
                         partition=partition,
                         reason="all-copies-lost",
                         policy=self.policy_name,
+                        extra={"dc": self.cluster.dc_of(owner)},
                     )
                 )
             if self.instruments is not None:
@@ -603,6 +646,8 @@ class Simulation:
             action.partition,
             cost=cost,
             source=action.source_sid,
+            dc=target.dc,
+            source_dc=source.dc,
         )
 
     def _apply_migrate(
@@ -646,6 +691,8 @@ class Simulation:
             action.partition,
             cost=cost,
             source=action.source_sid,
+            dc=target.dc,
+            source_dc=source.dc,
         )
 
     def _apply_suicide(
@@ -662,7 +709,14 @@ class Simulation:
         self.replicas.remove(action.partition, action.sid)
         stats["suicide_count"] += 1
         self._observe_replica_death(epoch, action.partition, action.sid)
-        self._trace_action(epoch, "suicide", action, action.sid, action.partition)
+        self._trace_action(
+            epoch,
+            "suicide",
+            action,
+            action.sid,
+            action.partition,
+            dc=self.cluster.dc_of(action.sid),
+        )
 
     # ------------------------------------------------------------------
     # Metric recording

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import warnings
 
 import numpy as np
 import pytest
@@ -17,8 +18,10 @@ from repro.obs import (
     PhaseProfiler,
     RingBufferTracer,
     TraceEvent,
+    TraceReadWarning,
     read_jsonl,
 )
+from repro.obs.profiler import _percentile
 from repro.sim.engine import Simulation
 from repro.sim.events import ServerFailureEvent, ServerJoinEvent, ServerRecoveryEvent
 
@@ -308,3 +311,82 @@ class TestEngineTracing:
             assert all(e.extra["count"] > 0 for e in violations)
         else:  # pragma: no cover - workload-dependent
             assert not violations
+
+
+# ----------------------------------------------------------------------
+# Percentile helper edge cases
+# ----------------------------------------------------------------------
+class TestPercentile:
+    def test_empty_sample_is_zero(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_single_sample_for_every_q(self):
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert _percentile([7.5], q) == 7.5
+
+    def test_q0_and_q100_hit_the_extremes(self):
+        ordered = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert _percentile(ordered, 0.0) == 1.0
+        assert _percentile(ordered, 1.0) == 5.0
+
+    def test_two_sample_nearest_rank(self):
+        # round(0.5 * 1) banker-rounds to 0: the median of two samples
+        # is the lower one under nearest-rank, never an interpolation.
+        assert _percentile([1.0, 9.0], 0.5) == 1.0
+        assert _percentile([1.0, 9.0], 0.95) == 9.0
+
+    def test_never_interpolates(self):
+        ordered = [1.0, 2.0, 10.0]
+        for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0):
+            assert _percentile(ordered, q) in ordered
+
+
+# ----------------------------------------------------------------------
+# Crash-safe trace reading + drop accounting
+# ----------------------------------------------------------------------
+class TestCrashSafeReadJsonl:
+    def _write_truncated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            for epoch in range(5):
+                tracer.emit(TraceEvent(epoch=epoch, kind="replicate", server=1))
+        # Simulate a writer killed mid-record: chop the final line.
+        path.write_bytes(path.read_bytes()[:-25])
+        return path
+
+    def test_truncated_final_line_skipped_with_warning(self, tmp_path):
+        path = self._write_truncated(tmp_path)
+        with pytest.warns(TraceReadWarning, match="skipping malformed"):
+            events = list(read_jsonl(path))
+        assert [e.epoch for e in events] == [0, 1, 2, 3]
+
+    def test_strict_mode_still_raises(self, tmp_path):
+        path = self._write_truncated(tmp_path)
+        with pytest.raises(json.JSONDecodeError):
+            list(read_jsonl(path, strict=True))
+
+    def test_clean_file_reads_without_warning(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit(TraceEvent(epoch=0, kind="suicide", server=2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TraceReadWarning)
+            assert len(list(read_jsonl(path))) == 1
+
+
+class TestDroppedEventsInstrument:
+    def test_ring_overflow_exported_as_counter(self):
+        registry = InstrumentRegistry()
+        tracer = RingBufferTracer(capacity=8)
+        Simulation(_small_config(), tracer=tracer, instruments=registry).run(30)
+        assert tracer.dropped > 0
+        exported = registry.counter("trace_events_dropped_total").value
+        assert 0 < exported <= tracer.dropped
+
+    def test_no_drops_no_counter_sample(self):
+        registry = InstrumentRegistry()
+        tracer = RingBufferTracer(capacity=1_000_000)
+        Simulation(_small_config(), tracer=tracer, instruments=registry).run(10)
+        assert tracer.dropped == 0
+        names = {row["name"] for row in registry.snapshot()["counters"]}
+        assert "trace_events_dropped_total" not in names
