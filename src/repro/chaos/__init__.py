@@ -1,0 +1,56 @@
+"""Hierarchy-aware chaos engineering for the simulation (``repro.chaos``).
+
+The paper's evaluation only removes uniform random single servers
+(Section III-G, Fig. 10), yet its own geo hierarchy exists because real
+outages are *correlated* — racks, rooms and whole datacenters fail
+together, and node churn is where replication algorithms diverge.  This
+package turns the reproduction into a fault-tolerance lab:
+
+* :mod:`repro.chaos.domains` — the geo hierarchy read as fault domains
+  (server / rack / room / datacenter);
+* :mod:`repro.chaos.schedule` — declarative typed injections: correlated
+  mass failure, rolling outage, flapping nodes, WAN partition;
+* :mod:`repro.chaos.controller` — compiles a schedule against a concrete
+  cluster into deterministic engine events;
+* :mod:`repro.chaos.invariants` — the runtime
+  :class:`~repro.chaos.invariants.InvariantChecker` validating the
+  engine's conservation invariants every epoch.
+
+Wire a schedule through :class:`repro.sim.engine.Simulation`::
+
+    sim = Simulation(config, chaos=schedule, invariants=True)
+
+or from the command line::
+
+    python -m repro chaos rack-outage --seed 42
+    python -m repro run --policy rfh --chaos flapping
+"""
+
+from .controller import ChaosController, ChaosSummary
+from .domains import FAULT_SCOPES, FaultDomain, FaultDomainIndex
+from .invariants import INVARIANT_NAMES, InvariantChecker, InvariantViolation
+from .schedule import (
+    ChaosInjection,
+    ChaosSchedule,
+    CorrelatedFailure,
+    Flapping,
+    RollingOutage,
+    WanPartition,
+)
+
+__all__ = [
+    "FAULT_SCOPES",
+    "FaultDomain",
+    "FaultDomainIndex",
+    "ChaosInjection",
+    "ChaosSchedule",
+    "CorrelatedFailure",
+    "RollingOutage",
+    "Flapping",
+    "WanPartition",
+    "ChaosController",
+    "ChaosSummary",
+    "INVARIANT_NAMES",
+    "InvariantChecker",
+    "InvariantViolation",
+]

@@ -1,0 +1,225 @@
+"""Compile a :class:`ChaosSchedule` into concrete engine events.
+
+The controller is the bridge between the declarative schedule and the
+engine's event queue: at simulation start it resolves every injection
+against the real cluster's :class:`~repro.chaos.domains.FaultDomainIndex`
+and WAN graph, drawing victims from the dedicated seeded ``"chaos"``
+stream, and hands back a flat list of
+:class:`~repro.sim.events.ChaosFailureEvent` /
+:class:`~repro.sim.events.ChaosRecoveryEvent` /
+:class:`~repro.sim.events.LinkFailureEvent` /
+:class:`~repro.sim.events.LinkRecoveryEvent` the engine schedules like
+any other membership event.
+
+Compiling up-front (rather than deciding victims epoch by epoch) keeps
+the whole injection sequence a pure function of ``(config.seed,
+schedule)`` — the property the golden-run determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geo.hierarchy import GeoHierarchy
+from ..net.graph import WanGraph
+from ..sim.events import (
+    ChaosFailureEvent,
+    ChaosRecoveryEvent,
+    LinkFailureEvent,
+    LinkRecoveryEvent,
+    MembershipEvent,
+)
+from .domains import FaultDomain, FaultDomainIndex
+from .schedule import (
+    ChaosSchedule,
+    CorrelatedFailure,
+    Flapping,
+    RollingOutage,
+    WanPartition,
+)
+
+__all__ = ["ChaosController", "ChaosSummary"]
+
+
+@dataclass(frozen=True)
+class ChaosSummary:
+    """What a compiled schedule will actually do, for run reports."""
+
+    schedule: str
+    injections: int
+    failure_events: int
+    recovery_events: int
+    servers_failed: int
+    links_cut: int
+    domains_hit: tuple[str, ...]
+
+
+class ChaosController:
+    """Resolves one schedule against one concrete world.
+
+    Parameters
+    ----------
+    schedule:
+        The declarative injection bundle.
+    index:
+        Fault domains of the cluster being tortured.
+    hierarchy / wan:
+        Topology, needed to resolve :class:`WanPartition` cuts.
+    rng:
+        The simulation's ``"chaos"`` stream; draws happen in injection
+        order, so compilation is deterministic.
+    """
+
+    def __init__(
+        self,
+        schedule: ChaosSchedule,
+        index: FaultDomainIndex,
+        hierarchy: GeoHierarchy,
+        wan: WanGraph,
+        rng: np.random.Generator,
+    ) -> None:
+        self.schedule = schedule
+        self._index = index
+        self._hierarchy = hierarchy
+        self._wan = wan
+        self._rng = rng
+        self._domains_hit: list[str] = []
+        self._events: list[MembershipEvent] = []
+        for injection in schedule.injections:
+            if isinstance(injection, CorrelatedFailure):
+                self._compile_correlated(injection)
+            elif isinstance(injection, RollingOutage):
+                self._compile_rolling(injection)
+            elif isinstance(injection, Flapping):
+                self._compile_flapping(injection)
+            elif isinstance(injection, WanPartition):
+                self._compile_partition(injection)
+            else:  # pragma: no cover - closed union
+                raise ConfigurationError(f"unknown injection: {injection!r}")
+
+    # ------------------------------------------------------------------
+    # Per-injection compilation
+    # ------------------------------------------------------------------
+    def _draw_domains(self, scope: str, count: int) -> list[FaultDomain]:
+        pool = self._index.domains(scope)
+        if count > len(pool):
+            raise ConfigurationError(
+                f"cannot hit {count} {scope} domains, only {len(pool)} exist"
+            )
+        picks = self._rng.choice(len(pool), size=count, replace=False)
+        return [pool[int(i)] for i in sorted(picks)]
+
+    def _compile_correlated(self, injection: CorrelatedFailure) -> None:
+        if injection.domain_keys:
+            domains = [self._index.domain(key) for key in injection.domain_keys]
+        else:
+            domains = self._draw_domains(injection.scope, injection.domains)
+        sids = tuple(sorted(sid for d in domains for sid in d.sids))
+        self._domains_hit.extend(d.key for d in domains)
+        cause = f"{injection.scope}-outage"
+        self._events.append(ChaosFailureEvent(injection.epoch, sids, cause=cause))
+        if injection.downtime is not None:
+            self._events.append(
+                ChaosRecoveryEvent(
+                    injection.epoch + injection.downtime, sids, cause=f"{cause}-heal"
+                )
+            )
+
+    def _compile_rolling(self, injection: RollingOutage) -> None:
+        domains = self._draw_domains(injection.scope, injection.domains)
+        for i, domain in enumerate(domains):
+            down = injection.start_epoch + i * injection.stride
+            self._domains_hit.append(domain.key)
+            self._events.append(
+                ChaosFailureEvent(down, domain.sids, cause=f"rolling-{injection.scope}")
+            )
+            self._events.append(
+                ChaosRecoveryEvent(
+                    down + injection.downtime,
+                    domain.sids,
+                    cause=f"rolling-{injection.scope}-heal",
+                )
+            )
+
+    def _compile_flapping(self, injection: Flapping) -> None:
+        servers = self._index.domains("server")
+        count = min(injection.count, len(servers))
+        picks = self._rng.choice(len(servers), size=count, replace=False)
+        flappers = [servers[int(i)] for i in sorted(picks)]
+        for domain in flappers:
+            self._domains_hit.append(domain.key)
+            # Seeded phase offset: flappers drift apart instead of
+            # slamming the cluster in lockstep.
+            offset = int(self._rng.integers(0, injection.period))
+            for cycle in range(injection.cycles):
+                down = injection.start_epoch + offset + cycle * injection.period
+                self._events.append(
+                    ChaosFailureEvent(down, domain.sids, cause="flap-down")
+                )
+                self._events.append(
+                    ChaosRecoveryEvent(
+                        down + injection.down_epochs, domain.sids, cause="flap-up"
+                    )
+                )
+
+    def _compile_partition(self, injection: WanPartition) -> None:
+        if injection.isolate is not None:
+            side = {self._hierarchy.by_name(name).index for name in injection.isolate}
+        else:
+            continents = sorted(
+                {site.continent for site in self._hierarchy.sites}
+            )
+            pick = continents[int(self._rng.integers(0, len(continents)))]
+            side = set(self._hierarchy.indices_by_continent(pick))
+        if len(side) >= self._hierarchy.num_datacenters:
+            raise ConfigurationError(
+                "a WAN partition must leave at least one datacenter outside "
+                f"the isolated side, got {sorted(side)}"
+            )
+        cut = tuple(
+            (u, v)
+            for u, v, _dist in self._wan.edges()
+            if (u in side) != (v in side)
+        )
+        if not cut:
+            raise ConfigurationError(
+                f"isolating {sorted(side)} cuts no WAN links — already isolated?"
+            )
+        self._domains_hit.append(
+            "wan:" + ",".join(self._hierarchy.site(dc).name for dc in sorted(side))
+        )
+        self._events.append(LinkFailureEvent(injection.epoch, cut))
+        self._events.append(
+            LinkRecoveryEvent(injection.epoch + injection.duration, cut)
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def compiled_events(self) -> tuple[MembershipEvent, ...]:
+        """Every concrete event, in compilation order (the engine's
+        queue re-sorts by epoch with stable FIFO tie-break)."""
+        return tuple(self._events)
+
+    def summary(self) -> ChaosSummary:
+        """Aggregate of what the compiled schedule injects."""
+        failures = [e for e in self._events if isinstance(e, ChaosFailureEvent)]
+        recoveries = [e for e in self._events if isinstance(e, ChaosRecoveryEvent)]
+        links = {
+            link
+            for e in self._events
+            if isinstance(e, LinkFailureEvent)
+            for link in e.links
+        }
+        return ChaosSummary(
+            schedule=self.schedule.name,
+            injections=len(self.schedule),
+            failure_events=len(failures),
+            recovery_events=len(recoveries),
+            servers_failed=len({sid for e in failures for sid in e.sids}),
+            links_cut=len(links),
+            domains_hit=tuple(self._domains_hit),
+        )

@@ -1,0 +1,115 @@
+"""Fault domains: the geo hierarchy read as failure-correlation scopes.
+
+The paper's labels (``continent-country-datacenter-room-rack-server``,
+Section II-A) exist because real outages are *correlated*: a power bus
+takes out a rack, a cooling failure a room, a regional incident a whole
+datacenter.  The evaluation (Section III-G) only ever removes uniform
+random servers; the chaos subsystem instead fails whole label prefixes.
+
+:class:`FaultDomainIndex` enumerates, for one concrete cluster, every
+domain of every scope — each a :class:`FaultDomain` naming the member
+server ids — in deterministic (dc, room, rack, sid) order so a seeded
+draw over domains is reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import Cluster
+from ..errors import SimulationError
+
+__all__ = ["FAULT_SCOPES", "FaultDomain", "FaultDomainIndex"]
+
+#: Failure-correlation scopes, innermost first.  ``wan-link`` failures
+#: are handled separately (they cut graph edges, not servers) by
+#: :class:`~repro.chaos.schedule.WanPartition`.
+FAULT_SCOPES: tuple[str, ...] = ("server", "rack", "room", "datacenter")
+
+
+@dataclass(frozen=True)
+class FaultDomain:
+    """One blast radius: a scope, a stable key, and the servers inside.
+
+    Keys follow the label hierarchy, e.g. ``"dc:3"``, ``"dc:3/C01"``,
+    ``"dc:3/C01/R02"``, ``"server:17"``.
+    """
+
+    scope: str
+    key: str
+    sids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.scope not in FAULT_SCOPES:
+            raise SimulationError(
+                f"unknown fault scope {self.scope!r}; choose from {FAULT_SCOPES}"
+            )
+        if not self.sids:
+            raise SimulationError(f"fault domain {self.key!r} has no servers")
+
+
+class FaultDomainIndex:
+    """Every fault domain of one cluster, grouped by scope.
+
+    Built once from the cluster's construction-time layout; servers
+    joined later are *not* re-indexed (chaos schedules are compiled at
+    simulation start, against the initial topology, which keeps the
+    compiled event list a pure function of config + seed).
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        by_rack: dict[tuple[int, str, str], list[int]] = {}
+        by_room: dict[tuple[int, str], list[int]] = {}
+        by_dc: dict[int, list[int]] = {}
+        servers: list[FaultDomain] = []
+        for server in cluster.servers:
+            label = server.label
+            by_rack.setdefault((server.dc, label.room, label.rack), []).append(server.sid)
+            by_room.setdefault((server.dc, label.room), []).append(server.sid)
+            by_dc.setdefault(server.dc, []).append(server.sid)
+            servers.append(
+                FaultDomain("server", f"server:{server.sid}", (server.sid,))
+            )
+        self._domains: dict[str, tuple[FaultDomain, ...]] = {
+            "server": tuple(servers),
+            "rack": tuple(
+                FaultDomain("rack", f"dc:{dc}/{room}/{rack}", tuple(sids))
+                for (dc, room, rack), sids in sorted(by_rack.items())
+            ),
+            "room": tuple(
+                FaultDomain("room", f"dc:{dc}/{room}", tuple(sids))
+                for (dc, room), sids in sorted(by_room.items())
+            ),
+            "datacenter": tuple(
+                FaultDomain("datacenter", f"dc:{dc}", tuple(sids))
+                for dc, sids in sorted(by_dc.items())
+            ),
+        }
+        self._by_key = {
+            domain.key: domain
+            for domains in self._domains.values()
+            for domain in domains
+        }
+
+    def domains(self, scope: str) -> tuple[FaultDomain, ...]:
+        """All domains of one scope, in deterministic order."""
+        try:
+            return self._domains[scope]
+        except KeyError:
+            raise SimulationError(
+                f"unknown fault scope {scope!r}; choose from {FAULT_SCOPES}"
+            ) from None
+
+    def domain(self, key: str) -> FaultDomain:
+        """Domain by key (``"dc:3/C01/R02"``); raises if unknown."""
+        try:
+            return self._by_key[key]
+        except KeyError:
+            raise SimulationError(f"unknown fault domain {key!r}") from None
+
+    def num_domains(self, scope: str) -> int:
+        return len(self.domains(scope))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = {scope: len(d) for scope, d in self._domains.items()}
+        return f"FaultDomainIndex({counts})"

@@ -1,0 +1,184 @@
+"""Typed chaos injections and the schedule that bundles them.
+
+An injection describes *what kind* of fault happens and *when*; it never
+names concrete victims (beyond optional explicit domain keys).  Victims
+are drawn from the simulation's seeded ``"chaos"`` RNG stream when the
+schedule is compiled against a concrete cluster
+(:class:`~repro.chaos.controller.ChaosController`), so a schedule is a
+declarative, reusable value and a (config, schedule) pair is fully
+deterministic.
+
+Four injection families:
+
+* :class:`CorrelatedFailure` — one or more whole fault domains (rack,
+  room, datacenter — or plain servers) fail at once, optionally
+  recovering after a fixed downtime;
+* :class:`RollingOutage` — domains fail one after another with a fixed
+  stride (a staggered maintenance wave gone wrong), each recovering
+  after its own downtime;
+* :class:`Flapping` — servers cycle down/up repeatedly with seeded
+  per-server phase offsets (the churn regime of the mean-field
+  replication analyses);
+* :class:`WanPartition` — a set of datacenters is cut off from the rest
+  of the WAN graph for a fixed duration (link failures, not server
+  failures: data survives, reachability does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .domains import FAULT_SCOPES
+
+__all__ = [
+    "CorrelatedFailure",
+    "RollingOutage",
+    "Flapping",
+    "WanPartition",
+    "ChaosInjection",
+    "ChaosSchedule",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def _check_scope(scope: str) -> None:
+    _require(
+        scope in FAULT_SCOPES,
+        f"scope must be one of {FAULT_SCOPES}, got {scope!r}",
+    )
+
+
+@dataclass(frozen=True)
+class CorrelatedFailure:
+    """``domains`` whole fault domains of ``scope`` fail at ``epoch``.
+
+    ``domain_keys`` pins explicit domains (e.g. ``("dc:7",)``); when
+    empty, distinct domains are drawn from the chaos stream at compile
+    time.  ``downtime=None`` means the outage is permanent.
+    """
+
+    epoch: int
+    scope: str = "rack"
+    domains: int = 1
+    downtime: int | None = None
+    domain_keys: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(self.epoch >= 0, f"epoch must be >= 0, got {self.epoch}")
+        _check_scope(self.scope)
+        _require(self.domains >= 1, f"domains must be >= 1, got {self.domains}")
+        if self.downtime is not None:
+            _require(self.downtime >= 1, f"downtime must be >= 1, got {self.downtime}")
+        if self.domain_keys:
+            _require(
+                len(self.domain_keys) == self.domains,
+                f"{self.domains} domains requested but "
+                f"{len(self.domain_keys)} explicit keys given",
+            )
+
+
+@dataclass(frozen=True)
+class RollingOutage:
+    """``domains`` distinct domains fail one by one, ``stride`` epochs
+    apart, each recovering ``downtime`` epochs after it went down."""
+
+    start_epoch: int
+    scope: str = "datacenter"
+    domains: int = 3
+    stride: int = 10
+    downtime: int = 10
+
+    def __post_init__(self) -> None:
+        _require(self.start_epoch >= 0, f"start_epoch must be >= 0, got {self.start_epoch}")
+        _check_scope(self.scope)
+        _require(self.domains >= 1, f"domains must be >= 1, got {self.domains}")
+        _require(self.stride >= 1, f"stride must be >= 1, got {self.stride}")
+        _require(self.downtime >= 1, f"downtime must be >= 1, got {self.downtime}")
+
+
+@dataclass(frozen=True)
+class Flapping:
+    """``count`` servers cycle up/down: each flapper gets a seeded phase
+    offset, then repeats ``cycles`` times: down for ``down_epochs``, up
+    for ``up_epochs``."""
+
+    start_epoch: int
+    count: int = 3
+    up_epochs: int = 4
+    down_epochs: int = 2
+    cycles: int = 3
+
+    def __post_init__(self) -> None:
+        _require(self.start_epoch >= 0, f"start_epoch must be >= 0, got {self.start_epoch}")
+        _require(self.count >= 1, f"count must be >= 1, got {self.count}")
+        _require(self.up_epochs >= 1, f"up_epochs must be >= 1, got {self.up_epochs}")
+        _require(self.down_epochs >= 1, f"down_epochs must be >= 1, got {self.down_epochs}")
+        _require(self.cycles >= 1, f"cycles must be >= 1, got {self.cycles}")
+
+    @property
+    def period(self) -> int:
+        """Epochs of one full down+up cycle."""
+        return self.down_epochs + self.up_epochs
+
+
+@dataclass(frozen=True)
+class WanPartition:
+    """Cut every WAN link between ``isolate`` and the rest for
+    ``duration`` epochs.
+
+    ``isolate`` holds datacenter letter names (``("H", "I", "J")``);
+    ``None`` draws one continent's sites from the chaos stream at
+    compile time.  Servers stay up — only reachability is lost, so
+    queries whose route crosses the cut go unserved and replication
+    across it is refused.
+    """
+
+    epoch: int
+    duration: int
+    isolate: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.epoch >= 0, f"epoch must be >= 0, got {self.epoch}")
+        _require(self.duration >= 1, f"duration must be >= 1, got {self.duration}")
+        if self.isolate is not None:
+            _require(len(self.isolate) >= 1, "isolate must name at least one site")
+
+
+ChaosInjection = CorrelatedFailure | RollingOutage | Flapping | WanPartition
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A named, ordered bundle of chaos injections.
+
+    Order matters: compile-time RNG draws are consumed in injection
+    order, so the same (seed, schedule) pair always yields the same
+    victims.
+    """
+
+    name: str
+    injections: tuple[ChaosInjection, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "a chaos schedule needs a non-empty name")
+        for injection in self.injections:
+            _require(
+                isinstance(injection, ChaosInjection),
+                f"not a chaos injection: {injection!r}",
+            )
+
+    def __len__(self) -> int:
+        return len(self.injections)
+
+    def earliest_epoch(self) -> int | None:
+        """First epoch any injection touches, or None when empty."""
+        epochs = [
+            inj.epoch if not isinstance(inj, (RollingOutage, Flapping)) else inj.start_epoch
+            for inj in self.injections
+        ]
+        return min(epochs) if epochs else None

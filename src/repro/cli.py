@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the workflows a user reaches for first:
+Six subcommands cover the workflows a user reaches for first:
 
 * ``run``     — one policy, one scenario, headline metrics (optionally
-  exported to CSV/JSON);
+  exported to CSV/JSON); ``--chaos NAME`` overlays a chaos schedule;
 * ``compare`` — all four algorithms on one shared trace, as a table;
+* ``chaos``   — run one policy under a named chaos scenario with strict
+  runtime invariant checking, and print what was injected;
 * ``figures`` — regenerate the paper's figures and report shape checks;
 * ``sla``     — the introduction's 300 ms SLA scoreboard;
 * ``analyze`` — post-hoc trace analytics over a ``--trace-out`` file:
@@ -14,6 +16,8 @@ Five subcommands cover the workflows a user reaches for first:
 Examples::
 
     python -m repro run --policy rfh --epochs 200 --seed 7
+    python -m repro run --chaos flapping --epochs 200
+    python -m repro chaos rack-outage --seed 42
     python -m repro compare --scenario flash --epochs 400
     python -m repro figures --only fig3 fig10
     python -m repro sla --epochs 250 --csv out.csv
@@ -24,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import dataclasses
 import os
 import sys
 from collections.abc import Sequence
@@ -32,7 +37,9 @@ from .config import SimulationConfig, WorkloadParameters
 from .experiments.comparison import POLICIES, compare_policies
 from .experiments.runner import run_experiment
 from .experiments.scenarios import (
+    CHAOS_SCENARIOS,
     Scenario,
+    chaos_schedule,
     failure_recovery_scenario,
     flash_crowd_scenario,
     random_query_scenario,
@@ -79,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="workload scenario",
         )
 
+    def chaos_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--chaos",
+            choices=sorted(CHAOS_SCENARIOS),
+            default=None,
+            metavar="NAME",
+            help="overlay a named chaos schedule "
+            f"({', '.join(sorted(CHAOS_SCENARIOS))})",
+        )
+        p.add_argument(
+            "--check-invariants",
+            action="store_true",
+            help="validate conservation invariants every epoch (strict: "
+            "the run aborts on the first violation)",
+        )
+
     def observability(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace-out",
@@ -100,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one policy and print headline metrics")
     common(run_p)
+    chaos_opts(run_p)
     run_p.add_argument(
         "--policy", choices=sorted(POLICIES), default="rfh", help="algorithm to run"
     )
@@ -109,7 +133,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_p = sub.add_parser("compare", help="run all four algorithms on one trace")
     common(cmp_p)
+    chaos_opts(cmp_p)
     observability(cmp_p)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run one policy under a named chaos scenario with strict "
+        "invariant checking",
+    )
+    chaos_p.add_argument(
+        "scenario_name",
+        metavar="SCENARIO",
+        choices=sorted(CHAOS_SCENARIOS),
+        help=f"chaos scenario: {', '.join(sorted(CHAOS_SCENARIOS))}",
+    )
+    chaos_p.add_argument("--seed", type=int, default=42, help="root RNG seed")
+    chaos_p.add_argument("--epochs", type=int, default=120, help="epochs to simulate")
+    chaos_p.add_argument(
+        "--partitions", type=int, default=64, help="number of data partitions"
+    )
+    chaos_p.add_argument(
+        "--rate", type=float, default=300.0, help="Poisson queries per epoch"
+    )
+    chaos_p.add_argument(
+        "--policy", choices=sorted(POLICIES), default="rfh", help="algorithm to run"
+    )
+    chaos_p.add_argument("--csv", help="export the metric series to this CSV file")
+    observability(chaos_p)
 
     fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
     fig_p.add_argument("--seed", type=int, default=7)
@@ -161,7 +211,18 @@ def _config(args: argparse.Namespace) -> SimulationConfig:
 
 
 def _scenario(args: argparse.Namespace) -> Scenario:
-    return _SCENARIOS[args.scenario](_config(args), epochs=args.epochs)
+    scenario = _SCENARIOS[args.scenario](_config(args), epochs=args.epochs)
+    if getattr(args, "chaos", None):
+        scenario = dataclasses.replace(
+            scenario, chaos=chaos_schedule(args.chaos, args.epochs)
+        )
+    return scenario
+
+
+def _invariants(args: argparse.Namespace):
+    """``--check-invariants`` forces strict checking; otherwise defer to
+    the engine default (the ``REPRO_CHECK_INVARIANTS`` environment)."""
+    return True if getattr(args, "check_invariants", False) else None
 
 
 def _make_tracer(args: argparse.Namespace):
@@ -232,9 +293,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # stays analysable.
     with tracer if tracer is not None else contextlib.nullcontext():
         result = run_experiment(
-            args.policy, scenario, tracer=tracer, profiler=profiler
+            args.policy,
+            scenario,
+            tracer=tracer,
+            profiler=profiler,
+            invariants=_invariants(args),
         )
-    print(f"policy={args.policy} scenario={scenario.name} epochs={args.epochs}")
+    chaos_tag = f" chaos={args.chaos}" if getattr(args, "chaos", None) else ""
+    print(
+        f"policy={args.policy} scenario={scenario.name} "
+        f"epochs={args.epochs}{chaos_tag}"
+    )
     for name, fmt in _HEADLINE:
         print(f"  {name:<18} {fmt.format(result.steady(name))}")
     print(f"  {'replication_cost':<18} {result.series('replication_cost').sum():.1f}")
@@ -273,7 +342,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         profiler_factory = None
     with tracer if tracer is not None else contextlib.nullcontext():
         cmp = compare_policies(
-            scenario, tracer=tracer, profiler_factory=profiler_factory
+            scenario,
+            tracer=tracer,
+            profiler_factory=profiler_factory,
+            invariants=_invariants(args),
         )
     header = f"{'policy':>9} | " + " ".join(f"{name:>16}" for name, _ in _HEADLINE)
     print(f"scenario={scenario.name} epochs={args.epochs} seed={args.seed}")
@@ -293,6 +365,58 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         for policy in cmp.policies():
             print(f"\nphase timings ({policy}):")
             print(cmp[policy].simulation.profiler.render_table())
+    if getattr(args, "analyze", False):
+        _run_analysis(args, ring)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """One policy under a named chaos scenario, invariants strict."""
+    schedule = chaos_schedule(args.scenario_name, args.epochs)
+    scenario = dataclasses.replace(
+        random_query_scenario(_config(args), epochs=args.epochs), chaos=schedule
+    )
+    tracer = _make_tracer(args)
+    tracer, ring = _capture_for_analysis(args, tracer)
+    profiler = _make_profiler(args)
+    with tracer if tracer is not None else contextlib.nullcontext():
+        result = run_experiment(
+            args.policy,
+            scenario,
+            tracer=tracer,
+            profiler=profiler,
+            invariants=True,
+        )
+    sim = result.simulation
+    summary = sim.chaos.summary()
+    print(
+        f"chaos={summary.schedule} policy={args.policy} "
+        f"epochs={args.epochs} seed={args.seed}"
+    )
+    print(
+        f"  injected: {summary.injections} injections -> "
+        f"{summary.failure_events} failure events, "
+        f"{summary.recovery_events} recovery events, "
+        f"{summary.servers_failed} servers hit, "
+        f"{summary.links_cut} WAN links cut"
+    )
+    print(f"  domains:  {', '.join(summary.domains_hit)}")
+    print(f"  invariant violations: {sim.invariants.violations_seen}")
+    for name, fmt in _HEADLINE:
+        print(f"  {name:<18} {fmt.format(result.steady(name))}")
+    print(f"  {'lost_partitions':<18} {result.series('lost_partitions').sum():.0f}")
+    print(f"  {'unserved_total':<18} {result.series('unserved').sum():.1f}")
+    if args.csv:
+        from .metrics.export import to_csv
+
+        to_csv(result.metrics, args.csv)
+        print(f"wrote {args.csv}")
+    if getattr(args, "trace_out", None):
+        print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
+    _warn_dropped(tracer)
+    if profiler is not None:
+        print("\nphase timings:")
+        print(profiler.render_table())
     if getattr(args, "analyze", False):
         _run_analysis(args, ring)
     return 0
@@ -391,6 +515,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     commands = {
         "run": _cmd_run,
         "compare": _cmd_compare,
+        "chaos": _cmd_chaos,
         "figures": _cmd_figures,
         "sla": _cmd_sla,
         "analyze": _cmd_analyze,

@@ -29,13 +29,13 @@ class FailureInjector:
 
     def choose_victims(self, count: int) -> tuple[int, ...]:
         """Pick ``count`` distinct alive servers uniformly at random."""
+        if count < 0:
+            raise SimulationError(f"count must be >= 0, got {count}")
         alive = list(self._cluster.alive_server_ids())
         if count > len(alive):
             raise SimulationError(
                 f"cannot fail {count} servers, only {len(alive)} are alive"
             )
-        if count < 0:
-            raise SimulationError(f"count must be >= 0, got {count}")
         picks = self._rng.choice(len(alive), size=count, replace=False)
         return tuple(sorted(alive[int(i)] for i in picks))
 

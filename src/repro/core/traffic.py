@@ -249,14 +249,54 @@ def _serve_partition(
     # Flows: (origin, path, remaining_amount); origins in ascending order.
     flows: list[tuple[int, tuple[int, ...], float]] = []
     max_levels = 0
-    for origin in np.nonzero(row)[0]:
-        path = router.path(int(origin), holder)
-        flows.append((int(origin), path, float(row[origin])))
-        max_levels = max(max_levels, len(path))
-
     hop_sum = 0.0
     distance_sum = 0.0
     sla_miss = 0.0
+    for origin in np.nonzero(row)[0]:
+        origin = int(origin)
+        if not router.reachable(origin, holder):
+            # A WAN partition separates the requester from the holder.
+            # Replicas on the requester's side of the cut still serve
+            # (nearest reachable replica datacenter first); the
+            # remainder is blocked at the origin, at zero distance.
+            amount = float(row[origin])
+            traffic_row[origin] += amount
+            for dc in sorted(
+                dc_servers, key=lambda d: (router.distance_km(origin, d), d)
+            ):
+                if amount <= 0.0:
+                    break
+                if dc != origin and not router.reachable(origin, dc):
+                    continue
+                if dc != origin:
+                    traffic_row[dc] += amount
+                hops = router.hop_count(origin, dc)
+                km = router.distance_km(origin, dc)
+                for sid in dc_servers[dc]:
+                    if amount <= 0.0:
+                        break
+                    cap = remaining.get(sid, 0.0)
+                    if cap <= 0.0:
+                        continue
+                    take = min(cap, amount)
+                    remaining[sid] = cap - take
+                    served_row[sid] += take
+                    amount -= take
+                    hop_sum += take * hops
+                    distance_sum += take * km
+                    if (
+                        latency is not None
+                        and latency.response_ms(km, hops) > latency.sla_ms
+                    ):
+                        sla_miss += take
+            if amount > 0.0:
+                unserved[partition] += amount
+                if latency is not None:
+                    sla_miss += amount  # blocked queries always miss
+            continue
+        path = router.path(origin, holder)
+        flows.append((origin, path, float(row[origin])))
+        max_levels = max(max_levels, len(path))
     amounts = [f[2] for f in flows]
     for level in range(max_levels):
         for idx, (origin, path, _) in enumerate(flows):

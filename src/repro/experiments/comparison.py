@@ -60,6 +60,7 @@ def compare_policies(
     *,
     tracer=None,
     profiler_factory=None,
+    invariants=None,
 ) -> ComparisonResult:
     """Run every policy on the scenario's shared trace.
 
@@ -75,6 +76,7 @@ def compare_policies(
             scenario,
             tracer=tracer,
             profiler=profiler_factory() if profiler_factory is not None else None,
+            invariants=invariants,
         )
         for policy in policies
     }

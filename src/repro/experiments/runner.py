@@ -46,6 +46,7 @@ def run_experiment(
     tracer=None,
     profiler=None,
     instruments=None,
+    invariants=None,
 ) -> ExperimentResult:
     """Run ``policy`` over the scenario's recorded trace and events.
 
@@ -53,7 +54,9 @@ def run_experiment(
     config, so repeated calls are bit-identical.  The optional
     ``tracer`` / ``profiler`` / ``instruments`` hooks (see
     :mod:`repro.obs`) pass straight through to the simulation and stay
-    reachable afterwards via ``result.simulation``.
+    reachable afterwards via ``result.simulation``; so do the scenario's
+    chaos schedule and the ``invariants`` spec (see
+    :class:`~repro.sim.engine.Simulation`).
     """
     sim = Simulation(
         scenario.config,
@@ -63,6 +66,8 @@ def run_experiment(
         tracer=tracer,
         profiler=profiler,
         instruments=instruments,
+        chaos=scenario.chaos,
+        invariants=invariants,
     )
     metrics = sim.run(scenario.epochs)
     return ExperimentResult(

@@ -17,6 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..chaos.schedule import (
+    ChaosSchedule,
+    CorrelatedFailure,
+    Flapping,
+    RollingOutage,
+    WanPartition,
+)
 from ..config import SimulationConfig
 from ..sim.events import MassFailureEvent, MembershipEvent, ServerRecoveryEvent
 from ..sim.rng import RngTree
@@ -29,6 +36,8 @@ __all__ = [
     "random_query_scenario",
     "flash_crowd_scenario",
     "failure_recovery_scenario",
+    "chaos_schedule",
+    "CHAOS_SCENARIOS",
     "DEFAULT_FAILURE_EPOCH",
     "DEFAULT_FAILURE_COUNT",
 ]
@@ -47,6 +56,9 @@ class Scenario:
     trace: WorkloadTrace
     epochs: int
     events: tuple[MembershipEvent, ...] = field(default=())
+    #: Optional chaos schedule compiled by the simulation at construction
+    #: (victims drawn from the run's seeded "chaos" stream).
+    chaos: ChaosSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.epochs > len(self.trace):
@@ -122,3 +134,118 @@ def failure_recovery_scenario(
         epochs=epochs,
         events=tuple(events),
     )
+
+
+# ----------------------------------------------------------------------
+# Chaos scenarios
+# ----------------------------------------------------------------------
+def _rack_outage(epochs: int) -> ChaosSchedule:
+    return ChaosSchedule(
+        "rack-outage",
+        (
+            CorrelatedFailure(
+                epoch=max(1, epochs // 3),
+                scope="rack",
+                domains=2,
+                downtime=max(1, epochs // 4),
+            ),
+        ),
+    )
+
+
+def _room_outage(epochs: int) -> ChaosSchedule:
+    return ChaosSchedule(
+        "room-outage",
+        (
+            CorrelatedFailure(
+                epoch=max(1, epochs // 3),
+                scope="room",
+                domains=1,
+                downtime=max(1, epochs // 4),
+            ),
+        ),
+    )
+
+
+def _dc_outage(epochs: int) -> ChaosSchedule:
+    return ChaosSchedule(
+        "dc-outage",
+        (
+            CorrelatedFailure(
+                epoch=max(1, epochs // 3),
+                scope="datacenter",
+                domains=1,
+                downtime=max(1, epochs // 4),
+            ),
+        ),
+    )
+
+
+def _rolling_dc(epochs: int) -> ChaosSchedule:
+    return ChaosSchedule(
+        "rolling-dc",
+        (
+            RollingOutage(
+                start_epoch=max(1, epochs // 4),
+                scope="datacenter",
+                domains=3,
+                stride=max(2, epochs // 10),
+                downtime=max(2, epochs // 8),
+            ),
+        ),
+    )
+
+
+def _flapping(epochs: int) -> ChaosSchedule:
+    return ChaosSchedule(
+        "flapping",
+        (
+            Flapping(
+                start_epoch=max(1, epochs // 5),
+                count=5,
+                up_epochs=6,
+                down_epochs=3,
+                cycles=4,
+            ),
+        ),
+    )
+
+
+def _wan_partition(epochs: int) -> ChaosSchedule:
+    # Isolate the Asian continent of the default 10-site deployment.
+    return ChaosSchedule(
+        "wan-partition",
+        (
+            WanPartition(
+                epoch=max(1, epochs // 3),
+                duration=max(2, epochs // 6),
+                isolate=("H", "I", "J"),
+            ),
+        ),
+    )
+
+
+#: Named chaos scenarios, each an ``epochs -> ChaosSchedule`` builder
+#: scaled to the run length (injection a third in, recovery well before
+#: the end, so steady-state tails reflect the healed system).
+CHAOS_SCENARIOS: dict[str, object] = {
+    "rack-outage": _rack_outage,
+    "room-outage": _room_outage,
+    "dc-outage": _dc_outage,
+    "rolling-dc": _rolling_dc,
+    "flapping": _flapping,
+    "wan-partition": _wan_partition,
+}
+
+
+def chaos_schedule(name: str, epochs: int) -> ChaosSchedule:
+    """Build the named chaos schedule scaled to ``epochs``."""
+    try:
+        builder = CHAOS_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos scenario {name!r}; choose from {sorted(CHAOS_SCENARIOS)}"
+        ) from None
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    return builder(epochs)

@@ -32,9 +32,19 @@ class WanGraph:
         Number of datacenters; node ids are ``0..num_nodes-1``.
     edges:
         Iterable of ``(u, v, distance_km)`` triples.
+    allow_disconnected:
+        Skip the connectivity check.  Only degraded views built by
+        :meth:`without_links` (chaos WAN partitions) may be
+        disconnected; a *physical* topology must stay connected.
     """
 
-    def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int, float]]) -> None:
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int, float]],
+        *,
+        allow_disconnected: bool = False,
+    ) -> None:
         if num_nodes < 1:
             raise TopologyError(f"num_nodes must be >= 1, got {num_nodes}")
         graph = nx.Graph()
@@ -49,7 +59,7 @@ class WanGraph:
             if graph.has_edge(u, v):
                 raise TopologyError(f"duplicate edge ({u}, {v})")
             graph.add_edge(u, v, distance_km=float(dist))
-        if num_nodes > 1 and not nx.is_connected(graph):
+        if num_nodes > 1 and not allow_disconnected and not nx.is_connected(graph):
             components = [sorted(c) for c in nx.connected_components(graph)]
             raise TopologyError(f"WAN graph is disconnected: components {components}")
         self._graph = graph
@@ -95,6 +105,24 @@ class WanGraph:
     def as_networkx(self) -> nx.Graph:
         """A *copy* of the underlying graph (callers cannot mutate ours)."""
         return self._graph.copy()
+
+    def without_links(self, links: Iterable[tuple[int, int]]) -> "WanGraph":
+        """A degraded copy with the given links removed.
+
+        The result may be disconnected — that is the point: a WAN
+        partition isolates datacenters without touching their servers.
+        Raises :class:`TopologyError` when a named link does not exist
+        in *this* graph (cut sets are always expressed against the
+        physical topology).
+        """
+        cut = set()
+        for u, v in links:
+            a, b = (u, v) if u < v else (v, u)
+            if not self._graph.has_edge(a, b):
+                raise TopologyError(f"cannot cut non-existent WAN link ({u}, {v})")
+            cut.add((a, b))
+        kept = [e for e in self.edges() if (e[0], e[1]) not in cut]
+        return WanGraph(self._num_nodes, kept, allow_disconnected=True)
 
     # ------------------------------------------------------------------
     def _check_node(self, node: int) -> None:

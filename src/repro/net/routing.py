@@ -109,10 +109,25 @@ class Router:
         return len(self.path(source, dest)) - 1
 
     def distance_km(self, source: int, dest: int) -> float:
-        """Shortest-path distance in kilometres (0.0 for source == dest)."""
+        """Shortest-path distance in kilometres (0.0 for source == dest).
+
+        ``inf`` when the pair is unreachable (a router over a degraded,
+        partitioned WAN graph — see :meth:`reachable`).
+        """
         if not (0 <= source < self.num_nodes and 0 <= dest < self.num_nodes):
             raise TopologyError(f"invalid route endpoints ({source}, {dest})")
         return float(self._dist[source, dest])
+
+    def reachable(self, source: int, dest: int) -> bool:
+        """Whether any path connects the pair.
+
+        Always True on a connected topology; routers built over a
+        partitioned graph (chaos ``LinkFailureEvent``) report False for
+        pairs the cut separates.
+        """
+        if not (0 <= source < self.num_nodes and 0 <= dest < self.num_nodes):
+            raise TopologyError(f"invalid route endpoints ({source}, {dest})")
+        return bool(np.isfinite(self._dist[source, dest]))
 
     def next_hop(self, source: int, dest: int) -> int:
         """First hop on the route, or ``source`` itself when already there."""

@@ -55,6 +55,9 @@ TRACE_KINDS: tuple[str, ...] = (
     "suicide",
     "action_skipped",
     "sla_violation",
+    "link_failure",
+    "link_recovery",
+    "invariant_violation",
 )
 
 

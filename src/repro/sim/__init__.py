@@ -18,7 +18,17 @@ package provides the pieces an epoch simulation needs:
 from .actions import Action, Migrate, Replicate, Suicide
 from .clock import EpochClock
 from .engine import Simulation
-from .events import EventQueue, MassFailureEvent, ServerJoinEvent, ServerRecoveryEvent
+from .events import (
+    ChaosFailureEvent,
+    ChaosRecoveryEvent,
+    EventQueue,
+    LinkFailureEvent,
+    LinkRecoveryEvent,
+    MassFailureEvent,
+    ServerFailureEvent,
+    ServerJoinEvent,
+    ServerRecoveryEvent,
+)
 from .observation import EpochObservation
 from .rng import RngTree
 
@@ -30,8 +40,13 @@ __all__ = [
     "EpochClock",
     "EventQueue",
     "MassFailureEvent",
+    "ServerFailureEvent",
     "ServerRecoveryEvent",
     "ServerJoinEvent",
+    "ChaosFailureEvent",
+    "ChaosRecoveryEvent",
+    "LinkFailureEvent",
+    "LinkRecoveryEvent",
     "EpochObservation",
     "RngTree",
     "Simulation",

@@ -22,12 +22,19 @@ directly, which is how ablation experiments plug in variants.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..cluster.failure import FailureInjector
+
+if TYPE_CHECKING:  # imported lazily at runtime (chaos imports sim.events)
+    from ..chaos.controller import ChaosController
+    from ..chaos.invariants import InvariantChecker
+    from ..chaos.schedule import ChaosSchedule
 from ..consistency.tracker import ConsistencyConfig, ConsistencyTracker
 from ..cluster.replicas import ReplicaMap
 from ..config import SimulationConfig
@@ -56,7 +63,11 @@ from ..workload.patterns import UniformPattern
 from .actions import Action, Migrate, Replicate, Suicide
 from .clock import EpochClock
 from .events import (
+    ChaosFailureEvent,
+    ChaosRecoveryEvent,
     EventQueue,
+    LinkFailureEvent,
+    LinkRecoveryEvent,
     MassFailureEvent,
     MembershipEvent,
     ServerFailureEvent,
@@ -109,6 +120,18 @@ class Simulation:
         given, the engine maintains labelled counters
         (``actions_total{kind=..., reason=..., policy=...}``), gauges
         and the ``replica_lifetime_epochs`` histogram.
+    chaos:
+        Optional :class:`~repro.chaos.schedule.ChaosSchedule`; compiled
+        against this simulation's cluster at construction (victims drawn
+        from the seeded ``"chaos"`` stream) and scheduled on the event
+        queue.  The compiled controller stays reachable as ``self.chaos``.
+    invariants:
+        Runtime conservation checking
+        (:class:`~repro.chaos.invariants.InvariantChecker`), validated
+        at the end of every epoch.  Pass a checker, ``True`` for a
+        strict default checker, or ``False`` to disable.  The default
+        ``None`` consults the ``REPRO_CHECK_INVARIANTS`` environment
+        variable — the test suite sets it, so every test run is checked.
     """
 
     def __init__(
@@ -125,6 +148,8 @@ class Simulation:
         tracer: Tracer | None = None,
         profiler: PhaseProfiler | None = None,
         instruments: InstrumentRegistry | None = None,
+        chaos: ChaosSchedule | None = None,
+        invariants: InvariantChecker | bool | None = None,
     ) -> None:
         self.config = config
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
@@ -159,6 +184,28 @@ class Simulation:
         self._events = EventQueue()
         for event in events:
             self._events.schedule(event)
+        # Degraded-routing state for chaos WAN partitions: the physical
+        # graph (self.wan) never changes; self.router reflects the
+        # currently-up link set.
+        self._base_router = self.router
+        self._down_links: set[tuple[int, int]] = set()
+        #: Compiled chaos controller, or None when no schedule was given.
+        self.chaos: ChaosController | None = None
+        if chaos is not None:
+            from ..chaos.controller import ChaosController
+            from ..chaos.domains import FaultDomainIndex
+
+            self.chaos = ChaosController(
+                chaos,
+                FaultDomainIndex(self.cluster),
+                self.hierarchy,
+                self.wan,
+                self.rng_tree.stream("chaos"),
+            )
+            for event in self.chaos.compiled_events():
+                self._events.schedule(event)
+        #: Runtime conservation checking (see class docstring).
+        self.invariants: InvariantChecker | None = self._resolve_invariants(invariants)
         if workload is None:
             pattern = UniformPattern(
                 config.workload.num_partitions,
@@ -217,6 +264,23 @@ class Simulation:
                 config.rfh.failure_rate,
                 config.cluster.replication_bandwidth_mb,
             )
+
+    # ------------------------------------------------------------------
+    # Invariant resolution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_invariants(
+        spec: InvariantChecker | bool | None,
+    ) -> InvariantChecker | None:
+        if spec is None:
+            spec = os.environ.get("REPRO_CHECK_INVARIANTS", "") not in ("", "0")
+        if spec is False:
+            return None
+        if spec is True:
+            from ..chaos.invariants import InvariantChecker
+
+            return InvariantChecker(strict=True)
+        return spec
 
     # ------------------------------------------------------------------
     # Policy resolution
@@ -364,8 +428,34 @@ class Simulation:
                     self.router,
                 )
             self._record_metrics(batch, result, applied, restored, consistency)
+            self._check_invariants(epoch)
             self.clock.advance()
         return result
+
+    def _check_invariants(self, epoch: int) -> None:
+        """End-of-epoch conservation check (see ``invariants`` in __init__)."""
+        if self.invariants is None:
+            return
+        violations = self.invariants.collect(epoch, self.cluster, self.replicas)
+        for violation in violations:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    TraceEvent(
+                        epoch=epoch,
+                        kind="invariant_violation",
+                        server=violation.server,
+                        partition=violation.partition,
+                        reason=violation.invariant,
+                        policy=self.policy_name,
+                        extra={"detail": violation.detail},
+                    )
+                )
+            if self.instruments is not None:
+                self.instruments.counter(
+                    "invariant_violations_total", invariant=violation.invariant
+                ).inc()
+        if violations and self.invariants.strict:
+            raise violations[0]
 
     # ------------------------------------------------------------------
     # Internals
@@ -400,9 +490,72 @@ class Simulation:
                     self._trace_membership(
                         epoch, "server_join", server.sid, "join", dc=event.dc
                     )
+            elif isinstance(event, ChaosFailureEvent):
+                # Chaos injections may overlap (flapping over a rolling
+                # outage): victims already down are skipped, not errors.
+                victims = tuple(
+                    sid for sid in event.sids if self.cluster.server(sid).alive
+                )
+                self._fail(victims, epoch, cause=event.cause)
+            elif isinstance(event, ChaosRecoveryEvent):
+                for sid in event.sids:
+                    if self.cluster.server(sid).alive:
+                        continue
+                    self.cluster.recover_server(sid)
+                    self.ring.add_server(sid)
+                    self._trace_membership(
+                        epoch,
+                        "server_recovery",
+                        sid,
+                        event.cause,
+                        dc=self.cluster.dc_of(sid),
+                    )
+            elif isinstance(event, LinkFailureEvent):
+                self._apply_link_change(epoch, event.links, down=True, cause=event.cause)
+            elif isinstance(event, LinkRecoveryEvent):
+                self._apply_link_change(epoch, event.links, down=False, cause=event.cause)
             else:  # pragma: no cover - closed union
                 raise SimulationError(f"unknown event type: {event!r}")
         return self._restore_lost_partitions(epoch)
+
+    def _apply_link_change(
+        self,
+        epoch: int,
+        links: tuple[tuple[int, int], ...],
+        *,
+        down: bool,
+        cause: str,
+    ) -> None:
+        """Cut or heal WAN links, then recompute the degraded router."""
+        changed = []
+        for u, v in links:
+            link = (u, v) if u < v else (v, u)
+            if down and link not in self._down_links:
+                self._down_links.add(link)
+                changed.append(link)
+            elif not down and link in self._down_links:
+                self._down_links.discard(link)
+                changed.append(link)
+        if not changed:
+            return
+        if self._down_links:
+            self.router = Router(self.wan.without_links(self._down_links))
+        else:
+            self.router = self._base_router
+        kind = "link_failure" if down else "link_recovery"
+        for u, v in changed:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    TraceEvent(
+                        epoch=epoch,
+                        kind=kind,
+                        reason=cause,
+                        policy=self.policy_name,
+                        extra={"u": u, "v": v},
+                    )
+                )
+            if self.instruments is not None:
+                self.instruments.counter("wan_link_events_total", kind=kind).inc()
 
     def _trace_membership(
         self, epoch: int, kind: str, sid: int, reason: str, **extra: object
@@ -619,6 +772,9 @@ class Simulation:
                 f"replication source holds no copy of partition "
                 f"{action.partition}: {action}"
             )
+        if not self.router.reachable(source.dc, target.dc):
+            self._skip_action(epoch, "replicate", action, "network-partition", stats)
+            return
         size = self.config.workload.partition_size_mb
         # Resource races between same-epoch actions are skips, not bugs.
         if not target.storage_gate_open(size, self.config.rfh.phi):
@@ -664,6 +820,9 @@ class Simulation:
                 f"migration source holds no copy of partition "
                 f"{action.partition}: {action}"
             )
+        if not self.router.reachable(source.dc, target.dc):
+            self._skip_action(epoch, "migrate", action, "network-partition", stats)
+            return
         size = self.config.workload.partition_size_mb
         if not target.storage_gate_open(size, self.config.rfh.phi):
             self._skip_action(epoch, "migrate", action, "storage-gate", stats)

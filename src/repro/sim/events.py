@@ -22,6 +22,10 @@ __all__ = [
     "ServerFailureEvent",
     "ServerRecoveryEvent",
     "ServerJoinEvent",
+    "ChaosFailureEvent",
+    "ChaosRecoveryEvent",
+    "LinkFailureEvent",
+    "LinkRecoveryEvent",
     "EventQueue",
 ]
 
@@ -63,7 +67,66 @@ class ServerJoinEvent:
     count: int = 1
 
 
-MembershipEvent = MassFailureEvent | ServerFailureEvent | ServerRecoveryEvent | ServerJoinEvent
+@dataclass(frozen=True)
+class ChaosFailureEvent:
+    """Fail the named servers, *skipping* any that are already down.
+
+    Compiled chaos schedules (rolling outages, flapping, correlated
+    domain failures) may legitimately overlap — two injections can claim
+    the same server — so unlike :class:`ServerFailureEvent` this variant
+    is idempotent per victim.  ``cause`` tags traces (e.g.
+    ``"rack-outage"``, ``"flap-down"``).
+    """
+
+    epoch: int
+    sids: tuple[int, ...]
+    cause: str = "chaos"
+
+
+@dataclass(frozen=True)
+class ChaosRecoveryEvent:
+    """Recover the named servers, *skipping* any that are already up."""
+
+    epoch: int
+    sids: tuple[int, ...]
+    cause: str = "chaos"
+
+
+@dataclass(frozen=True)
+class LinkFailureEvent:
+    """Take WAN links down (``(u, v)`` datacenter-index pairs).
+
+    The engine recomputes routing over the surviving subgraph; requester
+    → holder pairs with no remaining path go unserved, and replication
+    or migration across the cut is refused.  Links already down are
+    skipped.
+    """
+
+    epoch: int
+    links: tuple[tuple[int, int], ...]
+    cause: str = "wan-partition"
+
+
+@dataclass(frozen=True)
+class LinkRecoveryEvent:
+    """Bring previously-failed WAN links back up (already-up links are
+    skipped)."""
+
+    epoch: int
+    links: tuple[tuple[int, int], ...]
+    cause: str = "wan-heal"
+
+
+MembershipEvent = (
+    MassFailureEvent
+    | ServerFailureEvent
+    | ServerRecoveryEvent
+    | ServerJoinEvent
+    | ChaosFailureEvent
+    | ChaosRecoveryEvent
+    | LinkFailureEvent
+    | LinkRecoveryEvent
+)
 
 
 @dataclass(order=True)

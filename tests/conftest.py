@@ -2,8 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Runtime conservation checking is on for the whole suite: every
+# Simulation built without an explicit ``invariants=`` argument validates
+# the world state at each epoch boundary (strict mode).
+os.environ.setdefault("REPRO_CHECK_INVARIANTS", "1")
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "default", deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    settings.register_profile(
+        "ci",
+        deadline=None,
+        derandomize=True,
+        max_examples=8,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # pragma: no cover - hypothesis ships with the image
+    pass
 
 from repro.cluster import Cluster, ReplicaMap
 from repro.config import ClusterParameters, SimulationConfig, WorkloadParameters

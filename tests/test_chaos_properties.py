@@ -1,0 +1,125 @@
+"""Property-based chaos testing: arbitrary schedules, invariants hold.
+
+Hypothesis draws small-but-adversarial chaos schedules (overlapping
+correlated failures, rolling outages, flapping, WAN partitions) and runs
+them through a reduced world with strict invariant checking — any
+conservation bug the churn paths can reach raises an
+:class:`InvariantViolation` and shrinks to a minimal schedule.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.chaos import ChaosSchedule, CorrelatedFailure, Flapping, InvariantChecker, RollingOutage, WanPartition
+from repro.config import ClusterParameters, SimulationConfig, WorkloadParameters
+from repro.sim.engine import Simulation
+
+#: Epochs every property run covers (schedules are drawn inside it).
+EPOCHS = 18
+
+
+def small_world(seed: int) -> SimulationConfig:
+    """40 servers (10 DCs x 1 room x 2 racks x 2), 8 partitions."""
+    return SimulationConfig(
+        seed=seed,
+        workload=WorkloadParameters(
+            queries_per_epoch_mean=60.0, num_partitions=8, zipf_exponent=0.9
+        ),
+        cluster=ClusterParameters(servers_per_rack=2),
+    )
+
+
+# ----------------------------------------------------------------------
+# Injection strategies — bounded so the cluster never fully dies:
+# at most 2 injections, each hitting at most 3 of the 10 datacenters.
+# ----------------------------------------------------------------------
+correlated = st.builds(
+    CorrelatedFailure,
+    epoch=st.integers(1, EPOCHS - 2),
+    scope=st.sampled_from(["server", "rack", "room", "datacenter"]),
+    domains=st.integers(1, 3),
+    downtime=st.one_of(st.none(), st.integers(1, 6)),
+)
+
+rolling = st.builds(
+    RollingOutage,
+    start_epoch=st.integers(1, EPOCHS // 2),
+    scope=st.sampled_from(["rack", "room", "datacenter"]),
+    domains=st.integers(1, 3),
+    stride=st.integers(1, 4),
+    downtime=st.integers(1, 5),
+)
+
+flapping = st.builds(
+    Flapping,
+    start_epoch=st.integers(0, EPOCHS // 2),
+    count=st.integers(1, 4),
+    up_epochs=st.integers(1, 4),
+    down_epochs=st.integers(1, 3),
+    cycles=st.integers(1, 3),
+)
+
+partition = st.builds(
+    WanPartition,
+    epoch=st.integers(1, EPOCHS - 3),
+    duration=st.integers(1, 5),
+    isolate=st.sampled_from([("H", "I", "J"), ("A",), ("E", "F"), ("D",)]),
+)
+
+schedules = st.lists(
+    st.one_of(correlated, rolling, flapping, partition), min_size=1, max_size=2
+).map(lambda inj: ChaosSchedule(name="prop", injections=tuple(inj)))
+
+
+class TestArbitrarySchedulesPreserveInvariants:
+    @given(schedule=schedules, seed=st.integers(0, 2**16))
+    @settings(max_examples=12, deadline=None)
+    def test_every_epoch_is_conservation_clean(self, schedule, seed):
+        """Strict checking over the whole run: any violation raises."""
+        checker = InvariantChecker(strict=True)
+        sim = Simulation(small_world(seed), chaos=schedule, invariants=checker)
+        sim.run(EPOCHS)
+        assert checker.violations_seen == 0
+
+    @given(schedule=schedules, seed=st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_collect_mode_sees_nothing_either(self, schedule, seed):
+        """Non-strict mode counts instead of raising — still zero."""
+        checker = InvariantChecker(strict=False)
+        sim = Simulation(small_world(seed), chaos=schedule, invariants=checker)
+        sim.run(EPOCHS)
+        assert checker.violations_seen == 0
+
+
+class TestFailRecoverRoundTrip:
+    @given(
+        scope=st.sampled_from(["rack", "room", "datacenter"]),
+        domains=st.integers(1, 2),
+        downtime=st.integers(3, 6),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_replica_floor_restored_within_window(
+        self, scope, domains, downtime, seed
+    ):
+        """Fail -> recover -> within a recovery window every partition is
+        back at the paper's availability floor (count >= rmin)."""
+        fail_epoch, window = 5, 12
+        schedule = ChaosSchedule(
+            name="round-trip",
+            injections=(
+                CorrelatedFailure(
+                    epoch=fail_epoch, scope=scope, domains=domains, downtime=downtime
+                ),
+            ),
+        )
+        sim = Simulation(
+            small_world(seed), chaos=schedule, invariants=InvariantChecker()
+        )
+        sim.run(fail_epoch + downtime + window)
+        counts = sim.replicas.per_partition_counts()
+        assert all(c >= sim.rmin for c in counts)
+        # The outage healed: every server is back up.
+        assert len(sim.cluster.alive_servers()) == sim.cluster.num_servers

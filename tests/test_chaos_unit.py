@@ -1,0 +1,233 @@
+"""Unit coverage for the chaos building blocks: domains, schedules,
+controller compilation, and the engine-facing chaos events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    ChaosController,
+    ChaosSchedule,
+    CorrelatedFailure,
+    FAULT_SCOPES,
+    FaultDomain,
+    FaultDomainIndex,
+    Flapping,
+    RollingOutage,
+    WanPartition,
+)
+from repro.errors import ConfigurationError, SimulationError, TopologyError
+from repro.net.routing import Router
+from repro.sim.events import (
+    ChaosFailureEvent,
+    ChaosRecoveryEvent,
+    LinkFailureEvent,
+    LinkRecoveryEvent,
+)
+from repro.sim.rng import RngTree
+
+
+@pytest.fixture
+def index(cluster) -> FaultDomainIndex:
+    return FaultDomainIndex(cluster)
+
+
+class TestFaultDomains:
+    def test_default_cluster_domain_counts(self, index):
+        # 10 DCs x 1 room x 2 racks x 5 servers.
+        assert index.num_domains("server") == 100
+        assert index.num_domains("rack") == 20
+        assert index.num_domains("room") == 10
+        assert index.num_domains("datacenter") == 10
+
+    def test_domains_partition_the_cluster(self, index):
+        for scope in ("rack", "room", "datacenter"):
+            sids = [sid for d in index.domains(scope) for sid in d.sids]
+            assert sorted(sids) == list(range(100))
+
+    def test_keys_follow_label_hierarchy(self, index):
+        assert index.domain("dc:3").scope == "datacenter"
+        rack = index.domain("dc:3/C01/R02")
+        assert rack.scope == "rack"
+        assert len(rack.sids) == 5
+
+    def test_unknown_scope_and_key_raise(self, index):
+        with pytest.raises(SimulationError):
+            index.domains("continent")
+        with pytest.raises(SimulationError):
+            index.domain("dc:99")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultDomain("rack", "dc:0/C01/R01", ())
+
+
+class TestScheduleValidation:
+    def test_scope_checked(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedFailure(epoch=1, scope="galaxy")
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedFailure(epoch=-1)
+
+    def test_domain_keys_must_match_domains(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedFailure(epoch=1, domains=2, domain_keys=("dc:1",))
+
+    def test_flapping_period(self):
+        flap = Flapping(start_epoch=0, up_epochs=4, down_epochs=2)
+        assert flap.period == 6
+
+    def test_schedule_rejects_non_injections(self):
+        with pytest.raises(ConfigurationError):
+            ChaosSchedule(name="bad", injections=("not-an-injection",))
+
+    def test_earliest_epoch(self):
+        schedule = ChaosSchedule(
+            "s",
+            (
+                CorrelatedFailure(epoch=9),
+                RollingOutage(start_epoch=4),
+                Flapping(start_epoch=7),
+            ),
+        )
+        assert schedule.earliest_epoch() == 4
+        assert ChaosSchedule("empty").earliest_epoch() is None
+        assert len(schedule) == 3
+
+
+class TestControllerCompilation:
+    def compile(self, schedule, cluster, hierarchy, wan, seed=7):
+        return ChaosController(
+            schedule,
+            FaultDomainIndex(cluster),
+            hierarchy,
+            wan,
+            RngTree(seed).stream("chaos"),
+        )
+
+    def test_pinned_domain_keys_hit_exactly_those_servers(
+        self, cluster, hierarchy, wan, index
+    ):
+        schedule = ChaosSchedule(
+            "pinned",
+            (
+                CorrelatedFailure(
+                    epoch=3, scope="datacenter", domains=1,
+                    domain_keys=("dc:7",), downtime=4,
+                ),
+            ),
+        )
+        controller = self.compile(schedule, cluster, hierarchy, wan)
+        events = controller.compiled_events()
+        assert len(events) == 2
+        fail, recover = events
+        assert isinstance(fail, ChaosFailureEvent) and fail.epoch == 3
+        assert isinstance(recover, ChaosRecoveryEvent) and recover.epoch == 7
+        assert fail.sids == index.domain("dc:7").sids
+        assert fail.sids == recover.sids
+
+    def test_permanent_outage_has_no_recovery(self, cluster, hierarchy, wan):
+        schedule = ChaosSchedule(
+            "perm", (CorrelatedFailure(epoch=2, scope="rack", downtime=None),)
+        )
+        events = self.compile(schedule, cluster, hierarchy, wan).compiled_events()
+        assert len(events) == 1
+        assert isinstance(events[0], ChaosFailureEvent)
+
+    def test_rolling_outage_staggers(self, cluster, hierarchy, wan):
+        schedule = ChaosSchedule(
+            "roll",
+            (RollingOutage(start_epoch=10, domains=3, stride=5, downtime=4),),
+        )
+        events = self.compile(schedule, cluster, hierarchy, wan).compiled_events()
+        fails = [e for e in events if isinstance(e, ChaosFailureEvent)]
+        heals = [e for e in events if isinstance(e, ChaosRecoveryEvent)]
+        assert [e.epoch for e in fails] == [10, 15, 20]
+        assert [e.epoch for e in heals] == [14, 19, 24]
+        # Distinct domains: no server fails twice.
+        all_sids = [sid for e in fails for sid in e.sids]
+        assert len(all_sids) == len(set(all_sids))
+
+    def test_too_many_domains_raise(self, cluster, hierarchy, wan):
+        schedule = ChaosSchedule(
+            "big", (CorrelatedFailure(epoch=1, scope="datacenter", domains=11),)
+        )
+        with pytest.raises(ConfigurationError):
+            self.compile(schedule, cluster, hierarchy, wan)
+
+    def test_wan_partition_cuts_exactly_the_boundary(
+        self, cluster, hierarchy, wan
+    ):
+        schedule = ChaosSchedule(
+            "cut", (WanPartition(epoch=5, duration=3, isolate=("H", "I", "J")),)
+        )
+        events = self.compile(schedule, cluster, hierarchy, wan).compiled_events()
+        assert len(events) == 2
+        cut, heal = events
+        assert isinstance(cut, LinkFailureEvent) and cut.epoch == 5
+        assert isinstance(heal, LinkRecoveryEvent) and heal.epoch == 8
+        assert cut.links == heal.links
+        side = {hierarchy.by_name(n).index for n in ("H", "I", "J")}
+        for u, v in cut.links:
+            assert (u in side) != (v in side)
+        # The degraded graph separates the side from the rest.
+        degraded = Router(wan.without_links(cut.links))
+        inside, outside = sorted(side)[0], next(
+            dc for dc in range(hierarchy.num_datacenters) if dc not in side
+        )
+        assert not degraded.reachable(inside, outside)
+        assert degraded.reachable(*sorted(side)[:2])
+
+    def test_isolating_everything_raises(self, cluster, hierarchy, wan):
+        names = tuple(site.name for site in hierarchy.sites)
+        schedule = ChaosSchedule(
+            "all", (WanPartition(epoch=1, duration=2, isolate=names),)
+        )
+        with pytest.raises(ConfigurationError):
+            self.compile(schedule, cluster, hierarchy, wan)
+
+    def test_summary_counts(self, cluster, hierarchy, wan):
+        schedule = ChaosSchedule(
+            "mix",
+            (
+                CorrelatedFailure(epoch=2, scope="rack", domains=2, downtime=3),
+                WanPartition(epoch=4, duration=2, isolate=("A",)),
+            ),
+        )
+        summary = self.compile(schedule, cluster, hierarchy, wan).summary()
+        assert summary.schedule == "mix"
+        assert summary.injections == 2
+        assert summary.failure_events == 1
+        assert summary.recovery_events == 1
+        assert summary.servers_failed == 10
+        assert summary.links_cut >= 1
+        assert any(key.startswith("wan:") for key in summary.domains_hit)
+
+
+class TestWanGraphDegradation:
+    def test_without_links_keeps_original_intact(self, wan):
+        edges_before = wan.edges()
+        u, v, _ = edges_before[0]
+        degraded = wan.without_links([(u, v)])
+        assert wan.edges() == edges_before
+        assert degraded.num_edges == wan.num_edges - 1
+        assert not degraded.has_edge(u, v)
+
+    def test_cut_order_is_normalised(self, wan):
+        u, v, _ = wan.edges()[0]
+        assert wan.without_links([(v, u)]).num_edges == wan.num_edges - 1
+
+    def test_cutting_unknown_link_raises(self, wan):
+        missing = next(
+            (u, v)
+            for u in range(wan.num_nodes)
+            for v in range(u + 1, wan.num_nodes)
+            if not wan.has_edge(u, v)
+        )
+        with pytest.raises(TopologyError):
+            wan.without_links([missing])
+
+    def test_fault_scopes_constant(self):
+        assert FAULT_SCOPES == ("server", "rack", "room", "datacenter")

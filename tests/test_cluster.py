@@ -187,3 +187,40 @@ class TestDatacenter:
         wrong = cluster.server(50)  # lives in DC 5
         with pytest.raises(TopologyError):
             Datacenter(hierarchy.site(0), [wrong])
+
+
+class TestFailureInjectorValidation:
+    """Both error paths of ``choose_victims``, in precedence order: a
+    negative count is rejected before the alive-count comparison."""
+
+    @staticmethod
+    def injector(cluster):
+        from repro.cluster import FailureInjector
+
+        return FailureInjector(cluster, RngTree(7).stream("failures"))
+
+    def test_negative_count_rejected_first(self, cluster):
+        with pytest.raises(SimulationError, match=">= 0"):
+            self.injector(cluster).choose_victims(-1)
+
+    def test_negative_count_rejected_even_with_nobody_alive(self, cluster):
+        for sid in list(cluster.alive_server_ids()):
+            cluster.fail_server(sid)
+        # The old validation order compared against len(alive) first and
+        # would have reported "cannot fail -1 servers" here.
+        with pytest.raises(SimulationError, match=">= 0"):
+            self.injector(cluster).choose_victims(-1)
+
+    def test_count_above_alive_rejected(self, cluster):
+        cluster.fail_server(0)
+        with pytest.raises(SimulationError, match="only 99 are alive"):
+            self.injector(cluster).choose_victims(100)
+
+    def test_count_equal_to_alive_is_the_boundary(self, cluster):
+        cluster.fail_server(0)
+        victims = self.injector(cluster).choose_victims(99)
+        assert len(victims) == 99
+        assert set(victims) == set(cluster.alive_server_ids())
+
+    def test_zero_count_is_legal(self, cluster):
+        assert self.injector(cluster).choose_victims(0) == ()
