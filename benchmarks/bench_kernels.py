@@ -74,6 +74,25 @@ def test_full_epoch_step(benchmark):
     assert result.query_count >= 0
 
 
+def test_full_epoch_step_timeseries(benchmark):
+    """One engine epoch with the time-series recorder attached at
+    stride 1 — the recorder's per-epoch cost must stay within noise of
+    ``test_full_epoch_step`` (the acceptance bar for always-on
+    recording)."""
+    from repro.obs.timeseries import TimeseriesRecorder
+
+    recorder = TimeseriesRecorder(stride=1)
+    sim = Simulation(SimulationConfig(seed=7), policy="rfh", timeseries=recorder)
+    sim.run(50)  # warm state: replicas placed, signals warm
+
+    def step():
+        return sim.step()
+
+    result = benchmark.pedantic(step, rounds=20, iterations=1)
+    assert result.query_count >= 0
+    assert len(recorder.artifact().epochs) > 0
+
+
 def test_full_epoch_step_phase_attribution(benchmark):
     """The same epoch loop under the phase profiler: prints where the
     wall-time goes (membership/workload/serve/observe/apply/record) so a

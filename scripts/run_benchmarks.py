@@ -5,10 +5,16 @@ Drives ``benchmarks/bench_kernels.py`` (the hot-kernel suite, including
 the phase-attribution benchmark) through pytest-benchmark, then
 condenses the raw report into ``BENCH_kernels.json`` — one stable
 record per benchmark with the timing stats a trend dashboard needs.
-CI uploads the file as an artifact, so every merge leaves a point on
-the performance trajectory.
+Each run also appends a timestamped record to ``BENCH_history.json``
+(kept in-repo), so the repository itself carries the performance
+trajectory, and ``--check`` compares the fresh run against the
+previous history record and fails when any kernel's median slowed by
+more than the threshold (default 20%).  CI uploads both files as
+artifacts, so every merge leaves a point on the trajectory.
 
 Run:  python scripts/run_benchmarks.py [--out BENCH_kernels.json]
+                                       [--history BENCH_history.json]
+                                       [--check] [--threshold 0.20]
 """
 
 from __future__ import annotations
@@ -80,12 +86,73 @@ def condense(raw: dict) -> dict:
     }
 
 
+def load_history(path: pathlib.Path) -> list[dict]:
+    """The history file is a JSON list of condensed records, oldest
+    first; a missing or unreadable file is an empty history."""
+    if not path.exists():
+        return []
+    try:
+        history = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"warning: ignoring unreadable {path}: {exc}", file=sys.stderr)
+        return []
+    return history if isinstance(history, list) else []
+
+
+def check_regressions(
+    previous: dict, current: dict, threshold: float
+) -> list[tuple[str, float, float, float]]:
+    """Kernels whose median slowed by more than ``threshold`` vs the
+    previous record, as ``(name, prev_s, cur_s, ratio)`` rows.
+
+    Median, not mean — a single noisy outlier round must not fail CI.
+    Kernels present in only one record are skipped (suite changed).
+    """
+    prev_by_name = {
+        b["name"]: b for b in previous.get("benchmarks", ()) if b.get("median_s")
+    }
+    regressions = []
+    for bench in current.get("benchmarks", ()):
+        prev = prev_by_name.get(bench["name"])
+        cur_median = bench.get("median_s")
+        if prev is None or not cur_median:
+            continue
+        ratio = cur_median / prev["median_s"]
+        if ratio > 1.0 + threshold:
+            regressions.append((bench["name"], prev["median_s"], cur_median, ratio))
+    return regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
         default="BENCH_kernels.json",
         help="condensed output path (default: BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--history",
+        default="BENCH_history.json",
+        help="append the condensed record to this JSON list "
+        "(default: BENCH_history.json; empty string disables)",
+    )
+    parser.add_argument(
+        "--history-limit",
+        type=int,
+        default=200,
+        help="keep at most this many history records (default 200)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when any kernel's median slowed by more "
+        "than --threshold vs the previous history record",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="--check regression threshold as a fraction (default 0.20)",
     )
     parser.add_argument(
         "pytest_args",
@@ -109,6 +176,35 @@ def main(argv: list[str] | None = None) -> int:
     for bench in condensed["benchmarks"]:
         mean_ms = (bench["mean_s"] or 0.0) * 1e3
         print(f"  {bench['name']:<44} mean {mean_ms:9.3f} ms")
+
+    regressions = []
+    if args.history:
+        history_path = pathlib.Path(args.history)
+        history = load_history(history_path)
+        if args.check and history:
+            regressions = check_regressions(history[-1], condensed, args.threshold)
+        history.append(condensed)
+        history = history[-max(1, args.history_limit):]
+        history_path.write_text(json.dumps(history, indent=1) + "\n")
+        print(f"appended to {history_path} ({len(history)} records)")
+    elif args.check:
+        print("--check needs --history; nothing to compare against", file=sys.stderr)
+
+    if regressions:
+        print(
+            f"\nREGRESSED: {len(regressions)} kernel(s) slowed by more "
+            f"than {args.threshold:.0%} vs the previous record:",
+            file=sys.stderr,
+        )
+        for name, prev_s, cur_s, ratio in regressions:
+            print(
+                f"  {name:<44} {prev_s * 1e3:9.3f} ms -> {cur_s * 1e3:9.3f} ms "
+                f"({ratio - 1.0:+.1%})",
+                file=sys.stderr,
+            )
+        return 1
+    if args.check:
+        print("check: no kernel regressed beyond the threshold")
     return 0
 
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the workflows a user reaches for first:
+Eight subcommands cover the workflows a user reaches for first:
 
 * ``run``     — one policy, one scenario, headline metrics (optionally
   exported to CSV/JSON); ``--chaos NAME`` overlays a chaos schedule;
@@ -11,7 +11,12 @@ Six subcommands cover the workflows a user reaches for first:
 * ``sla``     — the introduction's 300 ms SLA scoreboard;
 * ``analyze`` — post-hoc trace analytics over a ``--trace-out`` file:
   replica lineage, root-cause chains, anomalies, plus Chrome-trace and
-  Prometheus exporters.
+  Prometheus exporters;
+* ``diff``    — compare two ``--timeseries-out`` artifacts metric by
+  metric and classify each as improved/unchanged/regressed (non-zero
+  exit on regression, for CI gating);
+* ``dashboard`` — render a ``.tsdb.json`` run (optionally against a
+  baseline) as a self-contained offline HTML dashboard.
 
 Examples::
 
@@ -22,6 +27,9 @@ Examples::
     python -m repro figures --only fig3 fig10
     python -m repro sla --epochs 250 --csv out.csv
     python -m repro run --trace-out t.jsonl && python -m repro analyze t.jsonl
+    python -m repro run --timeseries-out base.tsdb.json
+    python -m repro diff base.tsdb.json candidate.tsdb.json
+    python -m repro dashboard run.tsdb.json --compare base.tsdb.json --out dash.html
 """
 
 from __future__ import annotations
@@ -120,6 +128,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="run the trace-analytics pipeline (lineage, root causes, "
             "anomalies) on the captured trace after the run",
         )
+        p.add_argument(
+            "--timeseries-out",
+            metavar="PATH.tsdb.json",
+            help="record per-epoch metric/instrument/phase columns and "
+            "save them as a versioned time-series artifact (compare runs "
+            "with `repro diff`, render with `repro dashboard`); the "
+            "compare command writes one file per policy, e.g. "
+            "out.rfh.tsdb.json",
+        )
+        p.add_argument(
+            "--timeseries-stride",
+            type=int,
+            default=1,
+            metavar="N",
+            help="sample the time series every N epochs (default 1)",
+        )
 
     run_p = sub.add_parser("run", help="run one policy and print headline metrics")
     common(run_p)
@@ -198,6 +222,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="root-cause look-back window in epochs (default 20)",
     )
 
+    diff_p = sub.add_parser(
+        "diff",
+        help="compare two time-series artifacts metric by metric; "
+        "exits non-zero when any metric regressed",
+    )
+    diff_p.add_argument(
+        "baseline", metavar="BASELINE.tsdb.json", help="the reference run"
+    )
+    diff_p.add_argument(
+        "candidate", metavar="CANDIDATE.tsdb.json", help="the run under test"
+    )
+    diff_p.add_argument(
+        "--format",
+        choices=("text", "markdown", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    diff_p.add_argument("--out", help="write the report to this file instead of stdout")
+    diff_p.add_argument(
+        "--rel-tol",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="override the default per-metric relative tolerance "
+        "(e.g. 0.10 for 10%%)",
+    )
+    diff_p.add_argument(
+        "--abs-tol",
+        type=float,
+        default=None,
+        metavar="X",
+        help="override the default per-metric absolute tolerance",
+    )
+    diff_p.add_argument(
+        "--columns",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="restrict the diff to these columns (default: all shared)",
+    )
+    diff_p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="include unchanged metrics in the text/markdown report",
+    )
+
+    dash_p = sub.add_parser(
+        "dashboard",
+        help="render a time-series artifact as a self-contained "
+        "offline HTML dashboard",
+    )
+    dash_p.add_argument("run", metavar="RUN.tsdb.json", help="the run to render")
+    dash_p.add_argument(
+        "--compare",
+        metavar="BASE.tsdb.json",
+        help="overlay a baseline run and show headline deltas",
+    )
+    dash_p.add_argument(
+        "--out",
+        default="dashboard.html",
+        metavar="PATH.html",
+        help="output HTML file (default dashboard.html)",
+    )
+    dash_p.add_argument("--title", help="dashboard title (default: from metadata)")
+
     return parser
 
 
@@ -245,6 +334,38 @@ def _make_profiler(args: argparse.Namespace):
     return None
 
 
+def _make_timeseries(args: argparse.Namespace):
+    if getattr(args, "timeseries_out", None):
+        from .obs.timeseries import TimeseriesRecorder
+
+        if args.timeseries_stride < 1:
+            raise SystemExit(
+                f"--timeseries-stride must be >= 1, got {args.timeseries_stride}"
+            )
+        return TimeseriesRecorder(stride=args.timeseries_stride)
+    return None
+
+
+def _policy_timeseries_path(path: str, policy: str) -> str:
+    """Per-policy artifact name for ``compare``: ``out.tsdb.json`` +
+    ``rfh`` -> ``out.rfh.tsdb.json`` (fallback: append before the last
+    suffix, or plain ``path.policy`` when there is none)."""
+    for suffix in (".tsdb.json", ".json"):
+        if path.endswith(suffix):
+            return f"{path[: -len(suffix)]}.{policy}{suffix}"
+    root, dot, ext = path.rpartition(".")
+    return f"{root}.{policy}.{ext}" if dot else f"{path}.{policy}"
+
+
+def _save_timeseries(recorder, path: str) -> None:
+    artifact = recorder.artifact()
+    artifact.save(path)
+    print(
+        f"wrote {len(artifact.epochs)} time-series points x "
+        f"{len(artifact.columns)} columns to {path}"
+    )
+
+
 def _capture_for_analysis(args: argparse.Namespace, tracer):
     """When ``--analyze`` was asked without ``--trace-out``, capture
     events in memory; returns (tracer, ring_buffer_or_None)."""
@@ -288,6 +409,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     tracer, ring = _capture_for_analysis(args, tracer)
     profiler = _make_profiler(args)
+    timeseries = _make_timeseries(args)
     # The context manager guarantees the JSONL sink is flushed/closed on
     # every path — including an engine error mid-run, so a partial trace
     # stays analysable.
@@ -298,6 +420,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             tracer=tracer,
             profiler=profiler,
             invariants=_invariants(args),
+            timeseries=timeseries,
         )
     chaos_tag = f" chaos={args.chaos}" if getattr(args, "chaos", None) else ""
     print(
@@ -320,6 +443,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote {args.json}")
     if getattr(args, "trace_out", None):
         print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
+    if timeseries is not None:
+        _save_timeseries(timeseries, args.timeseries_out)
     _warn_dropped(tracer)
     if profiler is not None:
         print("\nphase timings:")
@@ -340,12 +465,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         profiler_factory = PhaseProfiler
     else:
         profiler_factory = None
+    ts_recorders: dict[str, object] = {}
+    if getattr(args, "timeseries_out", None):
+
+        def timeseries_factory(policy: str):
+            recorder = _make_timeseries(args)
+            ts_recorders[policy] = recorder
+            return recorder
+
+    else:
+        timeseries_factory = None
     with tracer if tracer is not None else contextlib.nullcontext():
         cmp = compare_policies(
             scenario,
             tracer=tracer,
             profiler_factory=profiler_factory,
             invariants=_invariants(args),
+            timeseries_factory=timeseries_factory,
         )
     header = f"{'policy':>9} | " + " ".join(f"{name:>16}" for name, _ in _HEADLINE)
     print(f"scenario={scenario.name} epochs={args.epochs} seed={args.seed}")
@@ -360,6 +496,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print("\nutilization ranking:", " > ".join(cmp.ranking("utilization")))
     if getattr(args, "trace_out", None):
         print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
+    for policy, recorder in ts_recorders.items():
+        _save_timeseries(recorder, _policy_timeseries_path(args.timeseries_out, policy))
     _warn_dropped(tracer)
     if profile:
         for policy in cmp.policies():
@@ -379,6 +517,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     tracer, ring = _capture_for_analysis(args, tracer)
     profiler = _make_profiler(args)
+    timeseries = _make_timeseries(args)
     with tracer if tracer is not None else contextlib.nullcontext():
         result = run_experiment(
             args.policy,
@@ -386,6 +525,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             tracer=tracer,
             profiler=profiler,
             invariants=True,
+            timeseries=timeseries,
         )
     sim = result.simulation
     summary = sim.chaos.summary()
@@ -413,6 +553,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"wrote {args.csv}")
     if getattr(args, "trace_out", None):
         print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
+    if timeseries is not None:
+        _save_timeseries(timeseries, args.timeseries_out)
     _warn_dropped(tracer)
     if profiler is not None:
         print("\nphase timings:")
@@ -509,6 +651,72 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_artifact(path: str):
+    import pathlib
+
+    from .errors import TsdbError
+    from .obs.timeseries import TsdbArtifact
+
+    if not pathlib.Path(path).exists():
+        raise SystemExit(f"no such time-series artifact: {path}")
+    try:
+        return TsdbArtifact.load(path)
+    except TsdbError as exc:
+        raise SystemExit(f"cannot load {path}: {exc}")
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .errors import TsdbError
+    from .obs.timeseries import (
+        diff_artifacts,
+        render_diff_json,
+        render_diff_markdown,
+        render_diff_text,
+    )
+
+    baseline = _load_artifact(args.baseline)
+    candidate = _load_artifact(args.candidate)
+    try:
+        report = diff_artifacts(
+            baseline,
+            candidate,
+            rel=args.rel_tol,
+            abs_=args.abs_tol,
+            columns=tuple(args.columns) if args.columns else None,
+        )
+    except TsdbError as exc:
+        raise SystemExit(f"cannot diff: {exc}")
+    renderers = {
+        "text": lambda r: render_diff_text(r, verbose=args.verbose),
+        "markdown": lambda r: render_diff_markdown(r, verbose=args.verbose),
+        "json": render_diff_json,
+    }
+    output = renderers[args.format](report)
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            output if output.endswith("\n") else output + "\n"
+        )
+        print(f"wrote {args.out}")
+    else:
+        print(output if not output.endswith("\n") else output[:-1])
+    return report.exit_code()
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .obs.timeseries import render_dashboard
+
+    run = _load_artifact(args.run)
+    baseline = _load_artifact(args.compare) if args.compare else None
+    html = render_dashboard(run, baseline, title=args.title)
+    pathlib.Path(args.out).write_text(html)
+    print(f"wrote {args.out} ({len(html) / 1024:.0f} KiB, self-contained)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -519,6 +727,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figures": _cmd_figures,
         "sla": _cmd_sla,
         "analyze": _cmd_analyze,
+        "diff": _cmd_diff,
+        "dashboard": _cmd_dashboard,
     }
     try:
         return commands[args.command](args)

@@ -49,3 +49,8 @@ class SimulationError(ReproError):
 class WorkloadError(ReproError):
     """A workload pattern or generator was asked for something it cannot
     produce (negative epoch, empty weight vector, ...)."""
+
+
+class TsdbError(ReproError):
+    """A time-series artifact (``.tsdb.json``) is malformed, has an
+    unsupported format/version, or two artifacts cannot be aligned."""

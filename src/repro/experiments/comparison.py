@@ -61,14 +61,19 @@ def compare_policies(
     tracer=None,
     profiler_factory=None,
     invariants=None,
+    timeseries_factory=None,
 ) -> ComparisonResult:
     """Run every policy on the scenario's shared trace.
 
     ``tracer`` is shared across runs (every record carries a ``policy``
     field, so one JSONL file can hold all four algorithms);
     ``profiler_factory`` is called once per policy because phase timings
-    must not mix runs.  Per-policy profilers stay reachable through
-    ``result[policy].simulation.profiler``.
+    must not mix runs.  ``timeseries_factory`` is likewise per-policy —
+    called with the policy name, it returns a fresh
+    :class:`~repro.obs.timeseries.TimeseriesRecorder` (or ``None``) so
+    each algorithm records its own ``.tsdb.json`` trajectory.
+    Per-policy profilers and recorders stay reachable through
+    ``result[policy].simulation``.
     """
     results = {
         policy: run_experiment(
@@ -77,6 +82,9 @@ def compare_policies(
             tracer=tracer,
             profiler=profiler_factory() if profiler_factory is not None else None,
             invariants=invariants,
+            timeseries=(
+                timeseries_factory(policy) if timeseries_factory is not None else None
+            ),
         )
         for policy in policies
     }

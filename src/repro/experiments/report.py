@@ -9,8 +9,15 @@ from .figures import FigureResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.analysis import TraceAnalysis
+    from ..obs.timeseries import DiffReport
 
-__all__ = ["render_figure", "render_instruments", "render_analysis", "render_report"]
+__all__ = [
+    "render_figure",
+    "render_instruments",
+    "render_analysis",
+    "render_timeseries_diff",
+    "render_report",
+]
 
 #: What the paper reports per figure, quoted/condensed for the table.
 PAPER_CLAIMS: dict[str, str] = {
@@ -115,14 +122,23 @@ def render_analysis(analysis: TraceAnalysis, *, heading: str = "### Trace analys
     return render_markdown(analysis, heading=heading)
 
 
+def render_timeseries_diff(report: DiffReport, *, verbose: bool = False) -> str:
+    """Markdown section over a cross-run time-series diff (see
+    :func:`repro.obs.timeseries.diff_artifacts`) for experiment reports."""
+    from ..obs.timeseries import render_diff_markdown
+
+    return render_diff_markdown(report, verbose=verbose)
+
+
 def render_report(
     results: dict[str, FigureResult],
     header: str = "",
     instruments: InstrumentRegistry | None = None,
     analysis: TraceAnalysis | None = None,
+    timeseries_diff: DiffReport | None = None,
 ) -> str:
     """Full markdown report over all figures, plus the instrument
-    snapshot and trace analysis when supplied."""
+    snapshot, trace analysis and time-series diff when supplied."""
     total = sum(len(r.checks) for r in results.values())
     held = sum(sum(r.checks.values()) for r in results.values())
     lines = []
@@ -135,4 +151,6 @@ def render_report(
         lines.append(render_instruments(instruments))
     if analysis is not None:
         lines.append(render_analysis(analysis))
+    if timeseries_diff is not None:
+        lines.append(render_timeseries_diff(timeseries_diff))
     return "\n".join(lines)

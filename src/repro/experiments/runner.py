@@ -47,17 +47,28 @@ def run_experiment(
     profiler=None,
     instruments=None,
     invariants=None,
+    timeseries=None,
 ) -> ExperimentResult:
     """Run ``policy`` over the scenario's recorded trace and events.
 
     Every run constructs a fresh :class:`Simulation` from the scenario's
     config, so repeated calls are bit-identical.  The optional
-    ``tracer`` / ``profiler`` / ``instruments`` hooks (see
-    :mod:`repro.obs`) pass straight through to the simulation and stay
-    reachable afterwards via ``result.simulation``; so do the scenario's
-    chaos schedule and the ``invariants`` spec (see
-    :class:`~repro.sim.engine.Simulation`).
+    ``tracer`` / ``profiler`` / ``instruments`` / ``timeseries`` hooks
+    (see :mod:`repro.obs`) pass straight through to the simulation and
+    stay reachable afterwards via ``result.simulation``; so do the
+    scenario's chaos schedule and the ``invariants`` spec (see
+    :class:`~repro.sim.engine.Simulation`).  A time-series recorder
+    gets the standard run-identity keys (policy, scenario, seed,
+    epochs, chaos) stamped into its artifact metadata unless the caller
+    already set them.
     """
+    if timeseries is not None:
+        timeseries.meta.setdefault("policy", policy)
+        timeseries.meta.setdefault("scenario", scenario.name)
+        timeseries.meta.setdefault("seed", scenario.config.seed)
+        timeseries.meta.setdefault("epochs", scenario.epochs)
+        if scenario.chaos is not None:
+            timeseries.meta.setdefault("chaos", scenario.chaos.name)
     sim = Simulation(
         scenario.config,
         policy=policy,
@@ -68,6 +79,7 @@ def run_experiment(
         instruments=instruments,
         chaos=scenario.chaos,
         invariants=invariants,
+        timeseries=timeseries,
     )
     metrics = sim.run(scenario.epochs)
     return ExperimentResult(

@@ -1,6 +1,6 @@
 """Structured observability for the simulation engine.
 
-Three orthogonal instruments, all optional and all off by default so the
+Four orthogonal instruments, all optional and all off by default so the
 reproduction's hot path is untouched unless a user asks to look inside:
 
 * :mod:`repro.obs.trace` — typed, timestamped event records emitted at
@@ -14,20 +14,27 @@ reproduction's hot path is untouched unless a user asks to look inside:
 * :mod:`repro.obs.registry` — labelled counters, gauges and histograms
   (e.g. ``actions_total{kind=migrate, policy=rfh}``) with JSON snapshot
   export and a ``reset()`` for test isolation.
+* :mod:`repro.obs.timeseries` — per-epoch columnar recording of every
+  metric/instrument/phase signal into a versioned ``.tsdb.json``
+  artifact, plus cross-run regression diffing (``repro diff``) and a
+  self-contained offline HTML dashboard (``repro dashboard``).
 
 Wire them through :class:`repro.sim.engine.Simulation`::
 
     sim = Simulation(config, tracer=RingBufferTracer(10_000),
                      profiler=PhaseProfiler(),
-                     instruments=InstrumentRegistry())
+                     instruments=InstrumentRegistry(),
+                     timeseries=TimeseriesRecorder())
 
 or from the command line::
 
-    python -m repro run --policy rfh --trace-out trace.jsonl --profile
+    python -m repro run --policy rfh --trace-out trace.jsonl --profile \\
+        --timeseries-out run.tsdb.json
 """
 
 from .profiler import ENGINE_PHASES, NullProfiler, PhaseProfiler, PhaseStats
 from .registry import Counter, Gauge, Histogram, InstrumentRegistry
+from .timeseries import TimeseriesRecorder, TsdbArtifact
 from .trace import (
     JsonlTracer,
     NullTracer,
@@ -50,8 +57,10 @@ __all__ = [
     "PhaseProfiler",
     "PhaseStats",
     "RingBufferTracer",
+    "TimeseriesRecorder",
     "TraceEvent",
     "TraceReadWarning",
     "Tracer",
+    "TsdbArtifact",
     "read_jsonl",
 ]

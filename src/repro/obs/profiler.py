@@ -124,6 +124,19 @@ class PhaseProfiler:
         """Number of samples of the first engine phase (== epochs run)."""
         return len(self._samples[ENGINE_PHASES[0]])
 
+    def latest(self) -> dict[str, float]:
+        """The most recent sample of every phase that has one.
+
+        Sampled by the time-series recorder at the end of each epoch;
+        note the ``record`` phase is still open at that point, so its
+        entry lags one epoch behind the other five.
+        """
+        return {
+            name: samples[-1]
+            for name, samples in self._samples.items()
+            if samples
+        }
+
     def phase_timings(self) -> dict[str, PhaseStats]:
         """Per-phase summaries, engine phases first, in stable order."""
         out: dict[str, PhaseStats] = {}
@@ -171,6 +184,9 @@ class NullProfiler:
 
     def epochs_profiled(self) -> int:
         return 0
+
+    def latest(self) -> dict[str, float]:
+        return {}
 
     def phase_timings(self) -> dict[str, PhaseStats]:
         return {}

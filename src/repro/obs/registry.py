@@ -12,12 +12,24 @@ Instruments are get-or-create: asking for the same (name, labels) twice
 returns the same object, and differing label values create distinct
 children under one family.  ``snapshot()`` renders everything to plain
 JSON-able dicts; ``reset()`` zeroes state for test isolation.
+
+Histograms keep every sample by default (exact quantiles; the engine
+only feeds low-rate signals such as replica deaths).  For high-rate
+instruments, construct the registry with ``histogram_reservoir=N``:
+each histogram then holds a fixed-size uniform random sample
+(Vitter's algorithm R, deterministically seeded per instrument), so
+memory stays bounded on arbitrarily long runs while count/sum/min/max
+remain exact and quantiles become estimates — flagged by
+``sampled: true`` in the summary.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import random
+import zlib
+from collections.abc import Iterator
 
 __all__ = ["Counter", "Gauge", "Histogram", "InstrumentRegistry"]
 
@@ -63,50 +75,108 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution summary (count/sum/min/max + raw samples).
+    """Streaming distribution summary (count/sum/min/max + samples).
 
-    Samples are kept so snapshots can report true quantiles; the engine
-    only feeds low-rate signals here (one observation per replica
-    death), so memory stays proportional to event counts, not epochs.
+    Exact mode (default, ``reservoir=None``) keeps every sample so
+    snapshots report true quantiles.  Reservoir mode keeps a fixed-size
+    uniform sample via Vitter's algorithm R with a deterministic
+    per-instrument seed: count, sum, min, max and mean stay exact
+    (tracked outside the sample), quantiles become estimates and the
+    summary reports ``sampled: true`` once the reservoir has displaced
+    anything.
     """
 
-    __slots__ = ("labels", "samples")
+    __slots__ = ("labels", "samples", "_reservoir", "_rng", "_count", "_sum", "_min", "_max")
 
-    def __init__(self, labels: dict[str, str]) -> None:
+    def __init__(
+        self,
+        labels: dict[str, str],
+        *,
+        reservoir: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if reservoir is not None and reservoir < 1:
+            raise ValueError(f"reservoir size must be >= 1, got {reservoir}")
         self.labels = labels
         self.samples: list[float] = []
+        self._reservoir = reservoir
+        self._rng = random.Random(seed) if reservoir is not None else None
+        self._count = 0
+        self._sum = 0.0
+        self._min = 0.0
+        self._max = 0.0
 
     def observe(self, value: float) -> None:
-        self.samples.append(float(value))
+        value = float(value)
+        if self._count == 0:
+            self._min = self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        self._count += 1
+        self._sum += value
+        if self._reservoir is None or len(self.samples) < self._reservoir:
+            self.samples.append(value)
+        else:
+            # Algorithm R: the new sample replaces a uniformly-random
+            # slot with probability reservoir/count.
+            slot = self._rng.randrange(self._count)
+            if slot < self._reservoir:
+                self.samples[slot] = value
 
-    def summary(self) -> dict[str, float]:
-        if not self.samples:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0}
+    @property
+    def sampled(self) -> bool:
+        """True once the reservoir has displaced at least one sample."""
+        return self._reservoir is not None and self._count > self._reservoir
+
+    def summary(self) -> dict[str, float | bool]:
+        if self._count == 0:
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0, "p50": 0.0, "p95": 0.0, "sampled": False,
+            }
         ordered = sorted(self.samples)
         n = len(ordered)
 
         def pct(q: float) -> float:
             return ordered[min(n - 1, max(0, round(q * (n - 1))))]
 
-        total = sum(ordered)
         return {
-            "count": n,
-            "sum": total,
-            "min": ordered[0],
-            "max": ordered[-1],
-            "mean": total / n,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self._sum / self._count,
             "p50": pct(0.50),
             "p95": pct(0.95),
+            "sampled": self.sampled,
         }
 
 
 class InstrumentRegistry:
-    """Families of labelled counters/gauges/histograms."""
+    """Families of labelled counters/gauges/histograms.
 
-    def __init__(self) -> None:
+    ``histogram_reservoir`` switches every histogram to bounded-memory
+    reservoir sampling (see :class:`Histogram`); ``seed`` makes the
+    reservoirs deterministic — each instrument derives its own stream
+    from the registry seed and its (name, labels) identity, so sampling
+    is reproducible and independent of creation order.
+    """
+
+    def __init__(
+        self, *, histogram_reservoir: int | None = None, seed: int = 0
+    ) -> None:
+        if histogram_reservoir is not None and histogram_reservoir < 1:
+            raise ValueError(
+                f"histogram_reservoir must be >= 1, got {histogram_reservoir}"
+            )
         self._counters: dict[str, dict[LabelKey, Counter]] = {}
         self._gauges: dict[str, dict[LabelKey, Gauge]] = {}
         self._histograms: dict[str, dict[LabelKey, Histogram]] = {}
+        self._histogram_reservoir = histogram_reservoir
+        self._seed = seed
 
     # -- get-or-create accessors ---------------------------------------
     def counter(self, name: str, **labels: str) -> Counter:
@@ -130,10 +200,25 @@ class InstrumentRegistry:
         key = _label_key(labels)
         inst = family.get(key)
         if inst is None:
-            inst = family[key] = Histogram({k: v for k, v in key})
+            identity = name + "|" + "|".join(f"{k}={v}" for k, v in key)
+            inst = family[key] = Histogram(
+                {k: v for k, v in key},
+                reservoir=self._histogram_reservoir,
+                seed=self._seed ^ zlib.crc32(identity.encode()),
+            )
         return inst
 
     # -- export --------------------------------------------------------
+    def iter_scalars(self) -> Iterator[tuple[str, str, dict[str, str], float]]:
+        """Every counter and gauge as ``(kind, name, labels, value)``,
+        in deterministic sorted order (the time-series recorder samples
+        this once per epoch)."""
+        for kind, families in (("counter", self._counters), ("gauge", self._gauges)):
+            for name in sorted(families):
+                for key in sorted(families[name]):
+                    inst = families[name][key]
+                    yield kind, name, inst.labels, inst.value
+
     def snapshot(self) -> dict[str, list[dict[str, object]]]:
         """Everything as plain dicts: ``{counters: [...], gauges: [...],
         histograms: [...]}``, each entry ``{name, labels, ...}``."""

@@ -1,0 +1,51 @@
+"""Per-epoch time-series telemetry: record, diff, dashboard.
+
+The trace (PR 1) answers *what happened*; the analysis layer (PR 2)
+answers *why*; this subpackage answers *how trajectories compare* —
+the paper's whole argument is plotted over time, and so is every
+performance claim a later PR will make.
+
+* :class:`TimeseriesRecorder` — the engine drives it once per epoch;
+  columnar frames, configurable stride, automatic 2:1 downsampling
+  above a point budget (`recorder.py`).
+* :class:`TsdbArtifact` — the versioned ``.tsdb.json`` on-disk format
+  (`artifact.py`).
+* :func:`diff_artifacts` — cross-run regression diffing with
+  per-metric tolerances and polarity-aware classification; backs the
+  ``repro diff`` CI gate (`diff.py`).
+* :func:`render_dashboard` — a zero-dependency offline HTML dashboard
+  with inline-SVG panels; backs ``repro dashboard`` (`dashboard.py`).
+"""
+
+from .artifact import TSDB_FORMAT, TSDB_VERSION, Marker, TsdbArtifact
+from .dashboard import render_dashboard
+from .diff import (
+    ColumnDiff,
+    DiffReport,
+    Tolerance,
+    diff_artifacts,
+    polarity_of,
+    render_diff_json,
+    render_diff_markdown,
+    render_diff_text,
+    tolerance_of,
+)
+from .recorder import TimeseriesRecorder
+
+__all__ = [
+    "TSDB_FORMAT",
+    "TSDB_VERSION",
+    "ColumnDiff",
+    "DiffReport",
+    "Marker",
+    "TimeseriesRecorder",
+    "Tolerance",
+    "TsdbArtifact",
+    "diff_artifacts",
+    "polarity_of",
+    "render_dashboard",
+    "render_diff_json",
+    "render_diff_markdown",
+    "render_diff_text",
+    "tolerance_of",
+]

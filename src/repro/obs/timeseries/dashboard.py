@@ -1,0 +1,758 @@
+"""Self-contained static HTML dashboard over a ``.tsdb.json`` run.
+
+``repro dashboard RUN.tsdb.json --out dash.html`` renders one offline
+HTML file — inline CSS, inline SVG charts, one small inline script for
+hover tooltips, zero external references — that opens from ``file://``
+with no server and no network.  Panels are built from whichever columns
+the artifact carries: utilization, replica counts, per-datacenter
+traffic, SLA attainment, unserved queries, action costs, path length,
+latency, alive servers and engine phase timings; membership/chaos
+markers from the run draw as vertical rules on every time panel.  With
+``--compare BASELINE.tsdb.json`` the baseline run overlays as a dashed
+line on single-series panels and the stat tiles grow deltas.
+
+Charts follow a fixed visual spec: an eight-slot categorical palette
+(validated for color-vision-deficiency separation in both light and
+dark mode, which the page supports via ``prefers-color-scheme``), 2px
+line marks, hairline gridlines, a legend whenever a panel holds two or
+more series, and a collapsible data table per panel so every value is
+readable without relying on color at all.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+
+import numpy as np
+
+from .artifact import Marker, TsdbArtifact
+
+__all__ = ["render_dashboard"]
+
+# ----------------------------------------------------------------------
+# Panel geometry & palette
+# ----------------------------------------------------------------------
+PLOT_W, PLOT_H = 600, 230
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 52, 14, 10, 26
+
+#: Categorical slots (validated light/dark pair set; fixed order, never
+#: cycled — panels with more series fold the tail into "Other").
+LIGHT_SERIES = (
+    "#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+    "#e87ba4", "#008300", "#4a3aa7", "#e34948",
+)
+DARK_SERIES = (
+    "#3987e5", "#d95926", "#199e70", "#c98500",
+    "#d55181", "#008300", "#9085e9", "#e66767",
+)
+
+#: Marker rule colors by event family (status palette — reserved hues,
+#: never used for series).
+MARKER_STATUS = {
+    "server_failure": "critical",
+    "link_failure": "critical",
+    "server_recovery": "good",
+    "link_recovery": "good",
+    "partition_restore": "serious",
+    "server_join": "neutral",
+}
+
+_CSS = """
+:root { color-scheme: light dark; }
+body.viz-root {
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --s1:#2a78d6; --s2:#eb6834; --s3:#1baf7a; --s4:#eda100;
+  --s5:#e87ba4; --s6:#008300; --s7:#4a3aa7; --s8:#e34948;
+  --good:#0ca30c; --warning:#fab219; --serious:#ec835a; --critical:#d03b3b;
+  --delta-good:#006300; --delta-bad:#d03b3b;
+  margin: 0; background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+@media (prefers-color-scheme: dark) {
+  body.viz-root {
+    --surface-1:#1a1a19; --page:#0d0d0d;
+    --text-primary:#ffffff; --text-secondary:#c3c2b7; --muted:#898781;
+    --grid:#2c2c2a; --baseline:#383835; --border: rgba(255,255,255,0.10);
+    --s1:#3987e5; --s2:#d95926; --s3:#199e70; --s4:#c98500;
+    --s5:#d55181; --s6:#008300; --s7:#9085e9; --s8:#e66767;
+    --delta-good:#0ca30c; --delta-bad:#e66767;
+  }
+}
+main { max-width: 1280px; margin: 0 auto; padding: 20px 24px 48px; }
+header.page h1 { font-size: 20px; font-weight: 650; margin: 0 0 2px; }
+header.page p { margin: 0; color: var(--text-secondary); }
+header.page .compare-note { color: var(--muted); font-size: 13px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 18px 0 6px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 10px 16px 12px; min-width: 132px;
+}
+.tile .label { font-size: 12px; color: var(--text-secondary); }
+.tile .value { font-size: 26px; font-weight: 600; }
+.tile .delta { font-size: 12px; }
+.tile .delta.up-good { color: var(--delta-good); }
+.tile .delta.up-bad { color: var(--delta-bad); }
+.tile .delta.flat { color: var(--muted); }
+.marker-key { margin: 10px 0 4px; font-size: 12px; color: var(--text-secondary); }
+.marker-key .swatch {
+  display: inline-block; width: 3px; height: 11px; margin: 0 5px 0 12px;
+  vertical-align: -1px;
+}
+.grid { display: grid; grid-template-columns: repeat(auto-fit, minmax(480px, 1fr));
+        gap: 16px; margin-top: 14px; }
+figure.panel {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; margin: 0; padding: 12px 14px 8px; position: relative;
+}
+figure.panel figcaption { display: flex; flex-wrap: wrap; align-items: baseline;
+  gap: 10px; margin-bottom: 4px; }
+figure.panel .title { font-weight: 600; font-size: 14px; }
+figure.panel .unit { color: var(--muted); font-size: 12px; }
+.legend { display: flex; flex-wrap: wrap; gap: 10px; font-size: 12px;
+  color: var(--text-secondary); margin-left: auto; }
+.legend .key { display: inline-block; width: 14px; height: 3px;
+  border-radius: 2px; vertical-align: 3px; margin-right: 4px; }
+.legend .key.dashed { background: repeating-linear-gradient(90deg,
+  currentColor 0 4px, transparent 4px 7px); }
+svg.chart { display: block; width: 100%; height: auto; }
+svg.chart text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif;
+  fill: var(--muted); }
+svg.chart .gridline { stroke: var(--grid); stroke-width: 1; }
+svg.chart .axisline { stroke: var(--baseline); stroke-width: 1; }
+svg.chart .series { fill: none; stroke-width: 2; stroke-linejoin: round;
+  stroke-linecap: round; }
+svg.chart .series.baseline-run { stroke-dasharray: 5 4; opacity: 0.65; }
+svg.chart .end-dot { stroke: var(--surface-1); stroke-width: 2; }
+svg.chart .marker-rule { stroke-width: 1; opacity: 0.55; }
+svg.chart .marker-rule.critical { stroke: var(--critical); }
+svg.chart .marker-rule.good { stroke: var(--good); }
+svg.chart .marker-rule.serious { stroke: var(--serious); }
+svg.chart .marker-rule.neutral { stroke: var(--muted); }
+svg.chart .crosshair { stroke: var(--muted); stroke-width: 1; opacity: 0;
+  pointer-events: none; }
+.tooltip {
+  position: absolute; pointer-events: none; display: none; z-index: 5;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 6px 10px; font-size: 12px;
+  box-shadow: 0 2px 10px rgba(0,0,0,0.18); white-space: nowrap;
+}
+.tooltip .t-epoch { color: var(--text-secondary); margin-bottom: 2px; }
+.tooltip .t-row .key { display: inline-block; width: 10px; height: 3px;
+  border-radius: 2px; vertical-align: 3px; margin-right: 5px; }
+.tooltip .t-row .val { font-variant-numeric: tabular-nums; float: right;
+  margin-left: 12px; }
+details.table-view { margin: 4px 0 6px; font-size: 12px; }
+details.table-view summary { color: var(--muted); cursor: pointer; }
+details.table-view table { border-collapse: collapse; margin-top: 6px; }
+details.table-view th, details.table-view td {
+  padding: 2px 10px; text-align: right; font-variant-numeric: tabular-nums;
+  border-bottom: 1px solid var(--grid); }
+details.table-view th { color: var(--text-secondary); font-weight: 600; }
+footer { margin-top: 22px; color: var(--muted); font-size: 12px; }
+"""
+
+_JS = """
+document.querySelectorAll('figure.panel').forEach(function (panel) {
+  var dataEl = panel.querySelector('script.panel-data');
+  var svg = panel.querySelector('svg.chart');
+  if (!dataEl || !svg) return;
+  var d = JSON.parse(dataEl.textContent);
+  var tip = document.createElement('div');
+  tip.className = 'tooltip';
+  panel.appendChild(tip);
+  var cross = svg.querySelector('.crosshair');
+  function fmt(v) {
+    if (v === null || !isFinite(v)) return '–';
+    if (Math.abs(v) >= 1000) return Math.round(v).toLocaleString('en-US');
+    if (Math.abs(v) >= 10) return v.toFixed(1);
+    return v.toPrecision(3);
+  }
+  svg.addEventListener('mousemove', function (ev) {
+    var rect = svg.getBoundingClientRect();
+    var sx = d.plotW / rect.width;
+    var px = (ev.clientX - rect.left) * sx;
+    var frac = (px - d.x0) / (d.x1 - d.x0);
+    if (frac < -0.02 || frac > 1.02) { hide(); return; }
+    var target = d.e0 + frac * (d.e1 - d.e0);
+    var best = 0, bestDist = Infinity;
+    for (var i = 0; i < d.epochs.length; i++) {
+      var dist = Math.abs(d.epochs[i] - target);
+      if (dist < bestDist) { bestDist = dist; best = i; }
+    }
+    var epoch = d.epochs[best];
+    var cx = d.x0 + (epoch - d.e0) / Math.max(1, d.e1 - d.e0) * (d.x1 - d.x0);
+    if (cross) {
+      cross.setAttribute('x1', cx); cross.setAttribute('x2', cx);
+      cross.style.opacity = 1;
+    }
+    var rows = '<div class="t-epoch">epoch ' + epoch + '</div>';
+    d.series.forEach(function (s) {
+      rows += '<div class="t-row"><span class="key" style="background:' +
+        s.color + '"></span>' + s.name +
+        '<span class="val">' + fmt(s.values[best]) + '</span></div>';
+    });
+    tip.innerHTML = rows;
+    tip.style.display = 'block';
+    var panelRect = panel.getBoundingClientRect();
+    var left = ev.clientX - panelRect.left + 14;
+    if (left + tip.offsetWidth > panelRect.width - 8) {
+      left = ev.clientX - panelRect.left - tip.offsetWidth - 14;
+    }
+    tip.style.left = left + 'px';
+    tip.style.top = (ev.clientY - panelRect.top - 10) + 'px';
+  });
+  function hide() {
+    tip.style.display = 'none';
+    if (cross) cross.style.opacity = 0;
+  }
+  svg.addEventListener('mouseleave', hide);
+});
+"""
+
+
+# ----------------------------------------------------------------------
+# Scales & formatting
+# ----------------------------------------------------------------------
+def _nice_ticks(lo: float, hi: float, target: int = 4) -> list[float]:
+    """Round tick positions covering [lo, hi] (inclusive-ish)."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw_step = span / max(1, target)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if span / step <= target + 0.5:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-9 * span:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks or [lo]
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000:
+        return f"{value / 1000:,.0f}k"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:g}"
+    return f"{value:.3g}"
+
+
+def _fmt_value(value: float) -> str:
+    if value is None or not math.isfinite(value):
+        return "–"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3g}"
+
+
+class _Scale:
+    """Linear map from data domain to pixel range."""
+
+    def __init__(self, d0: float, d1: float, r0: float, r1: float) -> None:
+        self.d0, self.d1, self.r0, self.r1 = d0, d1, r0, r1
+        self._span = (d1 - d0) or 1.0
+
+    def __call__(self, value: float) -> float:
+        return self.r0 + (value - self.d0) / self._span * (self.r1 - self.r0)
+
+
+# ----------------------------------------------------------------------
+# Panel construction
+# ----------------------------------------------------------------------
+class _PanelSeries:
+    def __init__(self, name: str, values: np.ndarray, color_slot: int) -> None:
+        self.name = name
+        self.values = values
+        self.slot = color_slot  # 1-based categorical slot
+
+    @property
+    def css_color(self) -> str:
+        return f"var(--s{self.slot})"
+
+
+def _path(xs: np.ndarray, ys: list[float | None]) -> str:
+    """SVG path with gaps at missing points."""
+    parts: list[str] = []
+    pen_down = False
+    for x, y in zip(xs, ys):
+        if y is None:
+            pen_down = False
+            continue
+        cmd = "L" if pen_down else "M"
+        parts.append(f"{cmd}{x:.1f},{y:.1f}")
+        pen_down = True
+    return " ".join(parts)
+
+
+def _render_panel(
+    key: str,
+    title: str,
+    unit: str,
+    epochs: np.ndarray,
+    series: list[_PanelSeries],
+    markers: tuple[Marker, ...],
+    baseline: list[_PanelSeries] | None = None,
+) -> str:
+    """One <figure> panel: caption+legend, SVG chart, data table."""
+    all_values = np.concatenate(
+        [s.values for s in series] + [s.values for s in (baseline or [])]
+    )
+    finite = all_values[np.isfinite(all_values)]
+    if len(finite) == 0:
+        return ""
+    lo = min(0.0, float(finite.min()))
+    hi = float(finite.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    ticks = _nice_ticks(lo, hi)
+    hi = max(hi, ticks[-1])
+    e0, e1 = int(epochs.min(initial=0)), int(epochs.max(initial=1))
+    x = _Scale(e0, e1, MARGIN_L, PLOT_W - MARGIN_R)
+    y = _Scale(lo, hi, PLOT_H - MARGIN_B, MARGIN_T)
+
+    svg: list[str] = [
+        f'<svg class="chart" viewBox="0 0 {PLOT_W} {PLOT_H}" role="img" '
+        f'aria-label="{html.escape(title)}">'
+    ]
+    # Grid + y ticks.
+    for tick in ticks:
+        ty = y(tick)
+        svg.append(
+            f'<line class="gridline" x1="{MARGIN_L}" x2="{PLOT_W - MARGIN_R}" '
+            f'y1="{ty:.1f}" y2="{ty:.1f}"/>'
+        )
+        svg.append(
+            f'<text x="{MARGIN_L - 6}" y="{ty + 3.5:.1f}" '
+            f'text-anchor="end">{_fmt_tick(tick)}</text>'
+        )
+    # Baseline (x axis) + x ticks.
+    axis_y = y(max(lo, 0.0)) if lo < 0 else y(lo)
+    svg.append(
+        f'<line class="axisline" x1="{MARGIN_L}" x2="{PLOT_W - MARGIN_R}" '
+        f'y1="{axis_y:.1f}" y2="{axis_y:.1f}"/>'
+    )
+    for tick in _nice_ticks(e0, e1, target=6):
+        tx = x(tick)
+        svg.append(
+            f'<text x="{tx:.1f}" y="{PLOT_H - 8}" '
+            f'text-anchor="middle">{_fmt_tick(tick)}</text>'
+        )
+    # Event marker rules (under the data lines).
+    for marker in markers:
+        if not (e0 <= marker.epoch <= e1):
+            continue
+        status = MARKER_STATUS.get(marker.kind, "neutral")
+        mx = x(marker.epoch)
+        tip = f"{marker.kind} ×{marker.count} @ {marker.epoch}"
+        if marker.label:
+            tip += f" ({marker.label})"
+        svg.append(
+            f'<line class="marker-rule {status}" x1="{mx:.1f}" x2="{mx:.1f}" '
+            f'y1="{MARGIN_T}" y2="{PLOT_H - MARGIN_B}">'
+            f"<title>{html.escape(tip)}</title></line>"
+        )
+    # Baseline-run overlay first so the candidate draws on top.
+    for s in baseline or []:
+        ys = [y(v) if math.isfinite(v) else None for v in s.values]
+        svg.append(
+            f'<path class="series baseline-run" d="{_path(epochs_px(epochs, x), ys)}" '
+            f'stroke="{s.css_color}"/>'
+        )
+    for s in series:
+        ys = [y(v) if math.isfinite(v) else None for v in s.values]
+        svg.append(
+            f'<path class="series" d="{_path(epochs_px(epochs, x), ys)}" '
+            f'stroke="{s.css_color}"/>'
+        )
+    # End dots with a surface ring keep line ends legible.
+    for s in series:
+        finite_idx = np.nonzero(np.isfinite(s.values))[0]
+        if len(finite_idx) == 0:
+            continue
+        last = int(finite_idx[-1])
+        svg.append(
+            f'<circle class="end-dot" cx="{x(epochs[last]):.1f}" '
+            f'cy="{y(s.values[last]):.1f}" r="4" fill="{s.css_color}"/>'
+        )
+    svg.append(
+        f'<line class="crosshair" x1="0" x2="0" '
+        f'y1="{MARGIN_T}" y2="{PLOT_H - MARGIN_B}"/>'
+    )
+    svg.append("</svg>")
+
+    # Legend: always for >= 2 drawn runs/series; none for a single line.
+    legend: list[str] = []
+    if len(series) > 1 or baseline:
+        for s in series:
+            legend.append(
+                f'<span><span class="key" style="background:{s.css_color}"></span>'
+                f"{html.escape(s.name)}</span>"
+            )
+        if baseline:
+            legend.append(
+                '<span><span class="key dashed" style="color:var(--muted)">'
+                "</span>baseline</span>"
+            )
+    legend_html = f'<span class="legend">{"".join(legend)}</span>' if legend else ""
+
+    # Data table (collapsed): the color-free identity channel.
+    table = _data_table(epochs, series)
+
+    # Hover data for the inline script.
+    hover = {
+        "plotW": PLOT_W,
+        "x0": MARGIN_L,
+        "x1": PLOT_W - MARGIN_R,
+        "e0": e0,
+        "e1": e1,
+        "epochs": [int(e) for e in epochs],
+        "series": [
+            {
+                "name": s.name,
+                "color": s.css_color,
+                "values": [
+                    round(float(v), 6) if math.isfinite(v) else None
+                    for v in s.values
+                ],
+            }
+            for s in series
+        ],
+    }
+    unit_html = f'<span class="unit">{html.escape(unit)}</span>' if unit else ""
+    return (
+        f'<figure class="panel" id="panel-{html.escape(key)}">'
+        f'<figcaption><span class="title">{html.escape(title)}</span>'
+        f"{unit_html}{legend_html}</figcaption>"
+        f"{''.join(svg)}"
+        f"{table}"
+        f'<script type="application/json" class="panel-data">'
+        f"{json.dumps(hover, separators=(',', ':'))}</script>"
+        f"</figure>"
+    )
+
+
+def epochs_px(epochs: np.ndarray, x: _Scale) -> np.ndarray:
+    return np.array([x(e) for e in epochs])
+
+
+def _data_table(epochs: np.ndarray, series: list[_PanelSeries], max_rows: int = 40) -> str:
+    step = max(1, math.ceil(len(epochs) / max_rows))
+    head = "".join(f"<th>{html.escape(s.name)}</th>" for s in series)
+    rows = []
+    for i in range(0, len(epochs), step):
+        cells = "".join(
+            f"<td>{_fmt_value(float(s.values[i]))}</td>" for s in series
+        )
+        rows.append(f"<tr><td>{int(epochs[i])}</td>{cells}</tr>")
+    note = f" (every {step} points)" if step > 1 else ""
+    return (
+        f'<details class="table-view"><summary>data table{note}</summary>'
+        f"<table><thead><tr><th>epoch</th>{head}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></details>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Column selection
+# ----------------------------------------------------------------------
+def _series_for(
+    art: TsdbArtifact,
+    specs: list[tuple[str, str]],
+    scale: float = 1.0,
+) -> list[_PanelSeries]:
+    """Resolve (label, column) specs against available columns."""
+    out = []
+    for slot, (label, column) in enumerate(specs, start=1):
+        if column in art.columns:
+            out.append(_PanelSeries(label, art.column(column) * scale, slot))
+    return out
+
+
+def _traffic_series(art: TsdbArtifact, max_slots: int = 8) -> list[_PanelSeries]:
+    """Per-DC traffic: top columns by total, tail folded into "Other"."""
+    names = sorted(
+        (n for n in art.columns if n.startswith("traffic_dc/")),
+        key=lambda n: int(n.split("/", 1)[1]),
+    )
+    if not names:
+        return []
+    totals = {n: float(np.nansum(art.column(n))) for n in names}
+    ranked = sorted(names, key=lambda n: -totals[n])
+    if len(ranked) > max_slots:
+        keep, rest = ranked[: max_slots - 1], ranked[max_slots - 1 :]
+    else:
+        keep, rest = ranked, []
+    keep.sort(key=lambda n: int(n.split("/", 1)[1]))
+    out = [
+        _PanelSeries(f"DC {n.split('/', 1)[1]}", art.column(n), slot)
+        for slot, n in enumerate(keep, start=1)
+    ]
+    if rest:
+        other = np.sum([art.column(n) for n in rest], axis=0)
+        out.append(_PanelSeries("Other", other, len(keep) + 1))
+    return out
+
+
+def _phase_series(art: TsdbArtifact) -> list[_PanelSeries]:
+    names = [n for n in art.column_names() if n.startswith("phase_s/")]
+    return [
+        _PanelSeries(n.split("/", 1)[1], art.column(n) * 1e3, slot)
+        for slot, n in enumerate(names, start=1)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Stat tiles
+# ----------------------------------------------------------------------
+def _tail_mean(values: np.ndarray) -> float:
+    if len(values) == 0:
+        return math.nan
+    tail = values[-max(1, len(values) // 4) :]
+    finite = tail[np.isfinite(tail)]
+    return float(finite.mean()) if len(finite) else math.nan
+
+
+def _tile(
+    label: str,
+    value: str,
+    delta: float | None = None,
+    up_is_good: bool | None = None,
+) -> str:
+    delta_html = ""
+    if delta is not None and math.isfinite(delta):
+        if abs(delta) < 1e-12:
+            cls, text = "flat", "= baseline"
+        else:
+            arrow = "▲" if delta > 0 else "▼"
+            good = (delta > 0) == up_is_good if up_is_good is not None else None
+            cls = "flat" if good is None else ("up-good" if good else "up-bad")
+            text = f"{arrow} {abs(delta):.3g} vs baseline"
+        delta_html = f'<div class="delta {cls}">{text}</div>'
+    return (
+        f'<div class="tile"><div class="label">{html.escape(label)}</div>'
+        f'<div class="value">{value}</div>{delta_html}</div>'
+    )
+
+
+def _tiles(run: TsdbArtifact, baseline: TsdbArtifact | None) -> str:
+    def col(art: TsdbArtifact, name: str) -> np.ndarray | None:
+        return art.columns.get(name)
+
+    tiles: list[str] = []
+
+    def add(name, label, fmt, reducer, up_is_good):
+        values = col(run, name)
+        if values is None or len(values) == 0:
+            return
+        current = reducer(values)
+        delta = None
+        if baseline is not None and col(baseline, name) is not None:
+            base = reducer(col(baseline, name))
+            if math.isfinite(base) and math.isfinite(current):
+                delta = current - base
+        tiles.append(_tile(label, fmt(current), delta, up_is_good))
+
+    add("utilization", "Utilization (steady)", lambda v: f"{v:.1%}", _tail_mean, True)
+    add(
+        "sla_attainment", "SLA attainment", lambda v: f"{v:.2%}", _tail_mean, True
+    )
+    add(
+        "total_replicas",
+        "Replicas (final)",
+        lambda v: f"{v:,.0f}",
+        lambda a: float(a[np.isfinite(a)][-1]) if np.isfinite(a).any() else math.nan,
+        False,
+    )
+    add(
+        "unserved",
+        "Unserved (total)",
+        lambda v: f"{v:,.0f}",
+        lambda a: float(np.nansum(a)) * run.effective_stride,
+        False,
+    )
+    epochs_covered = (
+        int(run.epochs.max(initial=0)) + 1 if run.num_points else 0
+    )
+    tiles.append(
+        _tile(
+            "Epochs",
+            f"{epochs_covered:,}",
+        )
+    )
+    if run.markers:
+        tiles.append(
+            _tile("Events marked", f"{sum(m.count for m in run.markers):,}")
+        )
+    return f'<div class="tiles">{"".join(tiles)}</div>'
+
+
+def _marker_key(markers: tuple[Marker, ...]) -> str:
+    if not markers:
+        return ""
+    kinds: dict[str, int] = {}
+    for marker in markers:
+        kinds[marker.kind] = kinds.get(marker.kind, 0) + marker.count
+    parts = ['<div class="marker-key">event markers:']
+    for kind in sorted(kinds):
+        status = MARKER_STATUS.get(kind, "neutral")
+        parts.append(
+            f'<span class="swatch" style="background:var(--{status})"></span>'
+            f"{html.escape(kind)} ×{kinds[kind]}"
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# The page
+# ----------------------------------------------------------------------
+def render_dashboard(
+    run: TsdbArtifact,
+    baseline: TsdbArtifact | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Render one self-contained HTML page over a recorded run."""
+    meta = run.meta
+    if title is None:
+        bits = [str(meta.get("policy", "run"))]
+        if meta.get("scenario"):
+            bits.append(str(meta["scenario"]))
+        title = "RFH run dashboard — " + " / ".join(bits)
+
+    meta_bits = [
+        f"{key}={meta[key]}"
+        for key in ("policy", "scenario", "seed", "epochs", "chaos")
+        if meta.get(key) is not None
+    ]
+    meta_bits.append(f"{run.num_points} points")
+    if run.effective_stride > 1:
+        meta_bits.append(f"1 point ≈ {run.effective_stride} epochs")
+    subtitle = " · ".join(meta_bits)
+
+    compare_note = ""
+    if baseline is not None:
+        base_bits = [
+            f"{key}={baseline.meta[key]}"
+            for key in ("policy", "scenario", "seed", "epochs", "chaos")
+            if baseline.meta.get(key) is not None
+        ]
+        compare_note = (
+            f'<p class="compare-note">baseline overlay (dashed): '
+            f"{html.escape(' · '.join(base_bits) or 'unnamed run')}</p>"
+        )
+
+    epochs = run.epochs
+    markers = run.markers
+    panels: list[str] = []
+
+    def panel(key, title_, unit, specs, *, scale=1.0, overlay=True):
+        series = _series_for(run, specs, scale)
+        if not series:
+            return
+        base_series = None
+        # Overlay the baseline only where it stays readable: panels
+        # drawing at most two candidate series.
+        if baseline is not None and overlay and len(series) <= 2:
+            base_series = [
+                _PanelSeries(s.name, baseline.column(c) * scale, s.slot)
+                for s, (_, c) in zip(series, specs)
+                if c in baseline.columns
+            ] or None
+        # Align baseline overlay lengths by truncation to the run grid.
+        if base_series:
+            n = len(epochs)
+            base_series = [
+                _PanelSeries(s.name, s.values[:n], s.slot) for s in base_series
+            ]
+            if any(len(s.values) != n for s in base_series):
+                base_series = None
+        panels.append(
+            _render_panel(key, title_, unit, epochs, series, markers, base_series)
+        )
+
+    panel("utilization", "DC utilization", "fraction", [("utilization", "utilization")])
+    panel(
+        "replicas",
+        "Replica count",
+        "copies",
+        [("total", "total_replicas")],
+    )
+    traffic = _traffic_series(run)
+    if traffic:
+        panels.append(
+            _render_panel(
+                "traffic", "Traffic per datacenter", "queries/epoch",
+                epochs, traffic, markers,
+            )
+        )
+    panel(
+        "sla",
+        "SLA attainment",
+        "fraction in bound",
+        [("attainment", "sla_attainment")],
+    )
+    panel("unserved", "Unserved queries", "queries/epoch", [("unserved", "unserved")])
+    panel(
+        "costs",
+        "Action costs",
+        "cost/epoch (Eq. 1)",
+        [("replication", "replication_cost"), ("migration", "migration_cost")],
+    )
+    panel("path", "Mean path length", "WAN hops", [("path length", "path_length")])
+    panel(
+        "latency", "Mean latency", "ms", [("latency", "mean_latency_ms")]
+    )
+    panel(
+        "alive",
+        "Alive servers",
+        "servers",
+        [("alive", "alive_servers")],
+    )
+    phases = _phase_series(run)
+    if phases:
+        panels.append(
+            _render_panel(
+                "phases", "Engine phase timings", "ms/epoch",
+                epochs, phases, markers,
+            )
+        )
+
+    generated = meta.get("generated", "")
+    footer_bits = ["rendered by repro dashboard", "offline: no external resources"]
+    if generated:
+        footer_bits.insert(1, html.escape(str(generated)))
+
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n"
+        '<body class="viz-root">\n<main>\n'
+        '<header class="page">\n'
+        f"<h1>{html.escape(title)}</h1>\n"
+        f"<p>{html.escape(subtitle)}</p>\n{compare_note}\n"
+        "</header>\n"
+        f"{_tiles(run, baseline)}\n"
+        f"{_marker_key(markers)}\n"
+        f'<div class="grid">\n{"".join(panels)}\n</div>\n'
+        f"<footer>{' · '.join(footer_bits)}</footer>\n"
+        "</main>\n"
+        f"<script>{_JS}</script>\n"
+        "</body>\n</html>\n"
+    )

@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # imported lazily at runtime (chaos imports sim.events)
     from ..chaos.controller import ChaosController
     from ..chaos.invariants import InvariantChecker
     from ..chaos.schedule import ChaosSchedule
+    from ..obs.timeseries import TimeseriesRecorder
 from ..consistency.tracker import ConsistencyConfig, ConsistencyTracker
 from ..cluster.replicas import ReplicaMap
 from ..config import SimulationConfig
@@ -132,6 +133,12 @@ class Simulation:
         strict default checker, or ``False`` to disable.  The default
         ``None`` consults the ``REPRO_CHECK_INVARIANTS`` environment
         variable — the test suite sets it, so every test run is checked.
+    timeseries:
+        Optional :class:`~repro.obs.timeseries.TimeseriesRecorder`;
+        once per epoch the engine feeds it the epoch's metric values,
+        per-datacenter traffic, every instrument counter/gauge (when
+        ``instruments`` is attached) and phase timings (when a real
+        profiler is attached), plus membership/chaos event markers.
     """
 
     def __init__(
@@ -150,11 +157,13 @@ class Simulation:
         instruments: InstrumentRegistry | None = None,
         chaos: ChaosSchedule | None = None,
         invariants: InvariantChecker | bool | None = None,
+        timeseries: TimeseriesRecorder | None = None,
     ) -> None:
         self.config = config
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self.profiler = profiler if profiler is not None else NullProfiler()
         self.instruments = instruments
+        self.timeseries = timeseries
         #: Response-time model used for the latency/SLA series (the
         #: intro's 300 ms bound by default).
         self.latency = latency if latency is not None else LatencyModel()
@@ -427,10 +436,31 @@ class Simulation:
                     self.cluster,
                     self.router,
                 )
-            self._record_metrics(batch, result, applied, restored, consistency)
+            values = self._record_metrics(batch, result, applied, restored, consistency)
+            if self.timeseries is not None:
+                self._sample_timeseries(epoch, values, result)
             self._check_invariants(epoch)
             self.clock.advance()
         return result
+
+    def _sample_timeseries(self, epoch: int, values: dict[str, float], result) -> None:
+        """Feed the time-series recorder one flat row for this epoch."""
+        row = dict(values)
+        per_dc = result.traffic_dc.sum(axis=0)
+        for dc in range(per_dc.shape[0]):
+            row[f"traffic_dc/{dc}"] = float(per_dc[dc])
+        if self.instruments is not None:
+            for kind, name, labels, value in self.instruments.iter_scalars():
+                suffix = (
+                    "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                    if labels
+                    else ""
+                )
+                row[f"{kind}/{name}{suffix}"] = value
+        if self.profiler.enabled:
+            for phase, seconds in self.profiler.latest().items():
+                row[f"phase_s/{phase}"] = seconds
+        self.timeseries.sample(epoch, row)
 
     def _check_invariants(self, epoch: int) -> None:
         """End-of-epoch conservation check (see ``invariants`` in __init__)."""
@@ -544,6 +574,8 @@ class Simulation:
             self.router = self._base_router
         kind = "link_failure" if down else "link_recovery"
         for u, v in changed:
+            if self.timeseries is not None:
+                self.timeseries.mark(epoch, kind, cause)
             if self.tracer.enabled:
                 self.tracer.emit(
                     TraceEvent(
@@ -560,6 +592,8 @@ class Simulation:
     def _trace_membership(
         self, epoch: int, kind: str, sid: int, reason: str, **extra: object
     ) -> None:
+        if self.timeseries is not None:
+            self.timeseries.mark(epoch, kind, reason)
         if self.tracer.enabled:
             self.tracer.emit(
                 TraceEvent(
@@ -610,6 +644,8 @@ class Simulation:
             owner = self.mapper.holder(partition)  # ring holds alive servers only
             self.replicas.restore(partition, owner)
             restored += 1
+            if self.timeseries is not None:
+                self.timeseries.mark(epoch, "partition_restore", "all-copies-lost")
             if self.tracer.enabled:
                 self.tracer.emit(
                     TraceEvent(
@@ -896,7 +932,7 @@ class Simulation:
         applied: dict[str, float],
         restored: int,
         consistency=None,
-    ) -> None:
+    ) -> dict[str, float]:
         counts = self._replica_count_matrix()
         capacities = np.array(
             [s.replica_capacity for s in self.cluster.servers], dtype=np.float64
@@ -950,3 +986,4 @@ class Simulation:
                 }
             )
         self.metrics.record_epoch(values)
+        return values

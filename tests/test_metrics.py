@@ -180,6 +180,42 @@ class TestSeries:
         with pytest.raises(SimulationError):
             s.mean()
 
+    def test_empty_window_mean_raises_even_on_nonempty_series(self):
+        s = Series("x")
+        for v in (1.0, 2.0, 3.0):
+            s.append(v)
+        with pytest.raises(SimulationError):
+            s.mean(2, 2)  # start == stop -> empty window
+        with pytest.raises(SimulationError):
+            s.mean(3)  # start past the end
+
+    def test_tail_mean_at_and_below_boundary(self):
+        s = Series("x")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            s.append(v)
+        # Exactly the series length, and asking for more than exists
+        # (clamps to the whole series) — both are the full mean.
+        assert s.tail_mean(4) == 2.5
+        assert s.tail_mean(100) == 2.5
+        assert s.tail_mean(1) == 4.0
+        with pytest.raises(SimulationError):
+            s.tail_mean(0)
+        with pytest.raises(SimulationError):
+            s.tail_mean(-3)
+
+    def test_cumulative_of_empty_series_is_empty_array(self):
+        s = Series("x")
+        out = s.cumulative()
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (0,)
+
+    def test_append_rejects_every_non_finite(self):
+        s = Series("x")
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SimulationError):
+                s.append(bad)
+        assert len(s) == 0  # nothing slipped through
+
 
 class TestCollector:
     def test_consistent_keys_enforced(self):

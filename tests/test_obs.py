@@ -214,6 +214,95 @@ class TestRegistry:
         reg.reset()
         assert reg.snapshot() == {"counters": [], "gauges": [], "histograms": []}
 
+    def test_snapshot_deterministic_across_insertion_orders(self):
+        """Two registries fed the same instruments in different creation
+        and label orders must snapshot byte-identically."""
+        a = InstrumentRegistry()
+        a.counter("actions_total", kind="migrate", policy="rfh").inc(2)
+        a.counter("actions_total", kind="replicate", policy="rfh").inc(5)
+        a.gauge("alive_servers").set(90)
+        a.gauge("total_replicas", dc="0").set(12)
+        a.histogram("lifetime", policy="rfh").observe(3.0)
+
+        b = InstrumentRegistry()
+        b.histogram("lifetime", policy="rfh").observe(3.0)
+        b.gauge("total_replicas", dc="0").set(12)
+        b.gauge("alive_servers").set(90)
+        b.counter("actions_total", policy="rfh", kind="replicate").inc(5)
+        b.counter("actions_total", policy="rfh", kind="migrate").inc(2)
+
+        assert a.snapshot() == b.snapshot()
+        assert json.dumps(a.snapshot()) == json.dumps(b.snapshot())
+        assert list(a.iter_scalars()) == list(b.iter_scalars())
+
+    def test_iter_scalars_counters_then_gauges_sorted(self):
+        reg = InstrumentRegistry()
+        reg.gauge("zz").set(1)
+        reg.counter("aa", k="2").inc()
+        reg.counter("aa", k="1").inc()
+        rows = list(reg.iter_scalars())
+        assert [(kind, name, labels) for kind, name, labels, _ in rows] == [
+            ("counter", "aa", {"k": "1"}),
+            ("counter", "aa", {"k": "2"}),
+            ("gauge", "zz", {}),
+        ]
+
+
+class TestHistogramReservoir:
+    def test_exact_mode_is_default_and_never_sampled(self):
+        hist = InstrumentRegistry().histogram("h")
+        for v in range(1000):
+            hist.observe(float(v))
+        assert len(hist.samples) == 1000
+        assert hist.summary()["sampled"] is False
+
+    def test_reservoir_bounds_memory_and_flags_summary(self):
+        reg = InstrumentRegistry(histogram_reservoir=64, seed=1)
+        hist = reg.histogram("h")
+        for v in range(10_000):
+            hist.observe(float(v))
+        assert len(hist.samples) == 64
+        summary = hist.summary()
+        assert summary["sampled"] is True
+        # Count/sum/min/max/mean stay exact regardless of sampling.
+        assert summary["count"] == 10_000
+        assert summary["min"] == 0.0 and summary["max"] == 9999.0
+        assert summary["mean"] == pytest.approx(4999.5)
+        # Quantile estimates land in a plausible band for a uniform ramp.
+        assert 2000.0 < summary["p50"] < 8000.0
+
+    def test_reservoir_not_flagged_until_displacement(self):
+        reg = InstrumentRegistry(histogram_reservoir=8)
+        hist = reg.histogram("h")
+        for v in range(8):
+            hist.observe(float(v))
+        assert hist.summary()["sampled"] is False  # reservoir still exact
+
+    def test_reservoir_deterministic_and_order_independent_seeding(self):
+        def fill(reg):
+            hist = reg.histogram("h", policy="rfh")
+            for v in range(500):
+                hist.observe(float(v))
+            return sorted(hist.samples)
+
+        # Same seed -> identical sample; per-instrument seed derives from
+        # (name, labels), so creating other instruments first changes nothing.
+        a = InstrumentRegistry(histogram_reservoir=16, seed=7)
+        b = InstrumentRegistry(histogram_reservoir=16, seed=7)
+        b.histogram("unrelated")
+        b.counter("c").inc()
+        assert fill(a) == fill(b)
+        c = InstrumentRegistry(histogram_reservoir=16, seed=8)
+        assert fill(a) != fill(c)  # different seed, different sample
+
+    def test_reservoir_validation(self):
+        with pytest.raises(ValueError):
+            InstrumentRegistry(histogram_reservoir=0)
+        from repro.obs.registry import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram({}, reservoir=0)
+
 
 # ----------------------------------------------------------------------
 # Engine integration
