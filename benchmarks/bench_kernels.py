@@ -93,6 +93,25 @@ def test_full_epoch_step_timeseries(benchmark):
     assert len(recorder.artifact().epochs) > 0
 
 
+def test_full_epoch_step_sanitized(benchmark):
+    """One engine epoch with the determinism sanitizer attached — the
+    per-epoch fingerprinting (replica map, storage, rng streams,
+    metrics into a hash chain) must stay within noise of
+    ``test_full_epoch_step`` so `--sanitize` can run in CI smoke jobs."""
+    from repro.staticcheck import DeterminismSanitizer
+
+    sanitizer = DeterminismSanitizer()
+    sim = Simulation(SimulationConfig(seed=7), policy="rfh", sanitizer=sanitizer)
+    sim.run(50)  # warm state: replicas placed, signals warm
+
+    def step():
+        return sim.step()
+
+    result = benchmark.pedantic(step, rounds=20, iterations=1)
+    assert result.query_count >= 0
+    assert len(sanitizer.trail()) > 0
+
+
 def test_full_epoch_step_phase_attribution(benchmark):
     """The same epoch loop under the phase profiler: prints where the
     wall-time goes (membership/workload/serve/observe/apply/record) so a

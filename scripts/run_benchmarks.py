@@ -181,8 +181,24 @@ def main(argv: list[str] | None = None) -> int:
     if args.history:
         history_path = pathlib.Path(args.history)
         history = load_history(history_path)
-        if args.check and history:
-            regressions = check_regressions(history[-1], condensed, args.threshold)
+        # A usable comparison point is a dict with benchmark rows; a
+        # fresh clone (empty/short/placeholder history) must not gate.
+        comparable = [
+            record
+            for record in history
+            if isinstance(record, dict) and record.get("benchmarks")
+        ]
+        if args.check:
+            if comparable:
+                regressions = check_regressions(
+                    comparable[-1], condensed, args.threshold
+                )
+            else:
+                print(
+                    "note: --check skipped, no prior record in "
+                    f"{history_path} to compare against (fresh clone?); "
+                    "this run seeds the history"
+                )
         history.append(condensed)
         history = history[-max(1, args.history_limit):]
         history_path.write_text(json.dumps(history, indent=1) + "\n")

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands cover the workflows a user reaches for first:
+Ten subcommands cover the workflows a user reaches for first:
 
 * ``run``     — one policy, one scenario, headline metrics (optionally
   exported to CSV/JSON); ``--chaos NAME`` overlays a chaos schedule;
@@ -16,7 +16,15 @@ Eight subcommands cover the workflows a user reaches for first:
   metric and classify each as improved/unchanged/regressed (non-zero
   exit on regression, for CI gating);
 * ``dashboard`` — render a ``.tsdb.json`` run (optionally against a
-  baseline) as a self-contained offline HTML dashboard.
+  baseline) as a self-contained offline HTML dashboard;
+* ``lint``    — AST determinism lint (REP001–REP006: unseeded RNGs,
+  wall-clock reads, set-order iteration, float equality, mutable
+  defaults, non-literal rng stream names) with noqa suppressions and a
+  committed baseline; text/JSON/GitHub-annotation output;
+* ``sanitize`` — run a config twice (or against a saved
+  ``--fingerprint-out`` artifact) and report the **first divergent
+  epoch and which component diverged** (replicas / storage / rng /
+  metrics, down to the RNG stream).
 
 Examples::
 
@@ -30,6 +38,10 @@ Examples::
     python -m repro run --timeseries-out base.tsdb.json
     python -m repro diff base.tsdb.json candidate.tsdb.json
     python -m repro dashboard run.tsdb.json --compare base.tsdb.json --out dash.html
+    python -m repro lint src/repro --format github
+    python -m repro sanitize --policy rfh --epochs 120 --seed 7
+    python -m repro run --sanitize --fingerprint-out run.fp.json
+    python -m repro sanitize --against run.fp.json
 """
 
 from __future__ import annotations
@@ -143,6 +155,20 @@ def build_parser() -> argparse.ArgumentParser:
             default=1,
             metavar="N",
             help="sample the time series every N epochs (default 1)",
+        )
+        p.add_argument(
+            "--sanitize",
+            action="store_true",
+            help="fingerprint engine state every epoch (replica map, "
+            "storage, rng stream positions, metrics) into a hash chain; "
+            "prints the final chain, comparable across same-seed runs",
+        )
+        p.add_argument(
+            "--fingerprint-out",
+            metavar="PATH.fp.json",
+            help="save the determinism fingerprint trail to this file "
+            "(implies --sanitize; feed it to `repro sanitize --against`); "
+            "the compare command writes one file per policy",
         )
 
     run_p = sub.add_parser("run", help="run one policy and print headline metrics")
@@ -287,6 +313,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dash_p.add_argument("--title", help="dashboard title (default: from metadata)")
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="AST determinism lint (REP001-REP006) with noqa "
+        "suppressions and a committed baseline",
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="report format; 'github' emits ::error workflow commands "
+        "that annotate PR diffs",
+    )
+    lint_p.add_argument(
+        "--select",
+        nargs="*",
+        default=None,
+        metavar="REPxxx",
+        help="restrict checking to these rule ids (default: all)",
+    )
+    lint_p.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file of grandfathered findings (default: "
+        ".repro-lint-baseline.json when present)",
+    )
+    lint_p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; every finding gates",
+    )
+    lint_p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather all current active findings into the baseline "
+        "file and exit 0",
+    )
+    lint_p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed and baselined findings (text format)",
+    )
+
+    san_p = sub.add_parser(
+        "sanitize",
+        help="determinism check: run the config twice (or against a "
+        "saved fingerprint) and report the first divergent epoch "
+        "and component",
+    )
+    common(san_p)
+    san_p.add_argument(
+        "--policy", choices=sorted(POLICIES), default="rfh", help="algorithm to run"
+    )
+    san_p.add_argument(
+        "--against",
+        metavar="PATH.fp.json",
+        default=None,
+        help="compare this run against a saved fingerprint trail "
+        "instead of re-running the config",
+    )
+    san_p.add_argument(
+        "--save",
+        metavar="PATH.fp.json",
+        default=None,
+        help="also save this run's fingerprint trail",
+    )
+    san_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the divergence report as JSON",
+    )
+
     return parser
 
 
@@ -344,6 +449,28 @@ def _make_timeseries(args: argparse.Namespace):
             )
         return TimeseriesRecorder(stride=args.timeseries_stride)
     return None
+
+
+def _make_sanitizer(args: argparse.Namespace):
+    if getattr(args, "sanitize", False) or getattr(args, "fingerprint_out", None):
+        from .staticcheck.sanitizer import DeterminismSanitizer
+
+        return DeterminismSanitizer()
+    return None
+
+
+def _report_sanitizer(sanitizer, fingerprint_out: str | None) -> None:
+    """Print the final chain (and save the trail) after a sanitized run."""
+    if sanitizer is None:
+        return
+    trail = sanitizer.trail()
+    print(
+        f"determinism fingerprint: {trail.final_chain} "
+        f"({len(trail)} epoch(s) chained)"
+    )
+    if fingerprint_out:
+        trail.save(fingerprint_out)
+        print(f"wrote fingerprint trail to {fingerprint_out}")
 
 
 def _policy_timeseries_path(path: str, policy: str) -> str:
@@ -410,6 +537,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     tracer, ring = _capture_for_analysis(args, tracer)
     profiler = _make_profiler(args)
     timeseries = _make_timeseries(args)
+    sanitizer = _make_sanitizer(args)
     # The context manager guarantees the JSONL sink is flushed/closed on
     # every path — including an engine error mid-run, so a partial trace
     # stays analysable.
@@ -421,6 +549,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             profiler=profiler,
             invariants=_invariants(args),
             timeseries=timeseries,
+            sanitizer=sanitizer,
         )
     chaos_tag = f" chaos={args.chaos}" if getattr(args, "chaos", None) else ""
     print(
@@ -445,6 +574,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
     if timeseries is not None:
         _save_timeseries(timeseries, args.timeseries_out)
+    _report_sanitizer(sanitizer, getattr(args, "fingerprint_out", None))
     _warn_dropped(tracer)
     if profiler is not None:
         print("\nphase timings:")
@@ -475,6 +605,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
     else:
         timeseries_factory = None
+    sanitizers: dict[str, object] = {}
+    if getattr(args, "sanitize", False) or getattr(args, "fingerprint_out", None):
+
+        def sanitizer_factory(policy: str):
+            sanitizer = _make_sanitizer(args)
+            sanitizers[policy] = sanitizer
+            return sanitizer
+
+    else:
+        sanitizer_factory = None
     with tracer if tracer is not None else contextlib.nullcontext():
         cmp = compare_policies(
             scenario,
@@ -482,6 +622,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             profiler_factory=profiler_factory,
             invariants=_invariants(args),
             timeseries_factory=timeseries_factory,
+            sanitizer_factory=sanitizer_factory,
         )
     header = f"{'policy':>9} | " + " ".join(f"{name:>16}" for name, _ in _HEADLINE)
     print(f"scenario={scenario.name} epochs={args.epochs} seed={args.seed}")
@@ -498,6 +639,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
     for policy, recorder in ts_recorders.items():
         _save_timeseries(recorder, _policy_timeseries_path(args.timeseries_out, policy))
+    for policy, sanitizer in sanitizers.items():
+        fp_out = getattr(args, "fingerprint_out", None)
+        print(f"[{policy}] ", end="")
+        _report_sanitizer(
+            sanitizer, _policy_timeseries_path(fp_out, policy) if fp_out else None
+        )
     _warn_dropped(tracer)
     if profile:
         for policy in cmp.policies():
@@ -518,6 +665,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     tracer, ring = _capture_for_analysis(args, tracer)
     profiler = _make_profiler(args)
     timeseries = _make_timeseries(args)
+    sanitizer = _make_sanitizer(args)
     with tracer if tracer is not None else contextlib.nullcontext():
         result = run_experiment(
             args.policy,
@@ -526,6 +674,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             profiler=profiler,
             invariants=True,
             timeseries=timeseries,
+            sanitizer=sanitizer,
         )
     sim = result.simulation
     summary = sim.chaos.summary()
@@ -555,6 +704,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
     if timeseries is not None:
         _save_timeseries(timeseries, args.timeseries_out)
+    _report_sanitizer(sanitizer, getattr(args, "fingerprint_out", None))
     _warn_dropped(tracer)
     if profiler is not None:
         print("\nphase timings:")
@@ -717,6 +867,91 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .staticcheck import (
+        DEFAULT_BASELINE_NAME,
+        Baseline,
+        BaselineError,
+        lint_paths,
+        render_github,
+        render_json,
+        render_text,
+    )
+
+    baseline = None
+    baseline_path = args.baseline or DEFAULT_BASELINE_NAME
+    if not args.no_baseline and not args.write_baseline:
+        if args.baseline or pathlib.Path(baseline_path).exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except BaselineError as exc:
+                raise SystemExit(str(exc))
+    try:
+        result = lint_paths(list(args.paths), select=args.select, baseline=baseline)
+    except ValueError as exc:  # unknown --select rule id
+        raise SystemExit(str(exc))
+    if args.write_baseline:
+        new_baseline = Baseline.from_findings(result.findings)
+        new_baseline.save(baseline_path)
+        print(
+            f"wrote {len(new_baseline)} grandfathered finding(s) to {baseline_path}"
+        )
+        return 0
+    if args.format == "json":
+        print(render_json(result))
+    elif args.format == "github":
+        print(render_github(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return result.exit_code
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import json
+
+    from .staticcheck.sanitizer import (
+        DeterminismSanitizer,
+        FingerprintError,
+        FingerprintTrail,
+        bisect_divergence,
+    )
+
+    scenario = _scenario(args)
+
+    def one_run() -> FingerprintTrail:
+        sanitizer = DeterminismSanitizer()
+        run_experiment(args.policy, scenario, sanitizer=sanitizer)
+        return sanitizer.trail()
+
+    candidate = one_run()
+    if args.save:
+        candidate.save(args.save)
+        print(f"wrote fingerprint trail to {args.save}")
+    if args.against:
+        try:
+            baseline = FingerprintTrail.load(args.against)
+        except FingerprintError as exc:
+            raise SystemExit(str(exc))
+        label = f"against {args.against}"
+    else:
+        # The double-run: a fresh simulation replays the same recorded
+        # trace, so any divergence is real nondeterminism, not workload.
+        baseline = one_run()
+        label = "double-run"
+    report = bisect_divergence(baseline, candidate)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(
+            f"sanitize policy={args.policy} scenario={scenario.name} "
+            f"epochs={args.epochs} seed={args.seed} ({label})"
+        )
+        print(f"  {report.describe()}")
+    return report.exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -729,6 +964,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "diff": _cmd_diff,
         "dashboard": _cmd_dashboard,
+        "lint": _cmd_lint,
+        "sanitize": _cmd_sanitize,
     }
     try:
         return commands[args.command](args)

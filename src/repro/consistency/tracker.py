@@ -150,7 +150,7 @@ class ConsistencyTracker:
 
     def _apply_writes(self, queries_per_partition: np.ndarray) -> float:
         ratio = self._config.write_ratio
-        if ratio == 0.0:
+        if ratio <= 0.0:
             return 0.0
         total = 0
         for partition, q in enumerate(queries_per_partition):

@@ -41,7 +41,7 @@ def erlang_b(offered: float, servers: int) -> float:
         raise ConfigurationError(f"offered load must be >= 0, got {offered}")
     if servers < 1:
         raise ConfigurationError(f"server count must be >= 1, got {servers}")
-    if offered == 0.0:
+    if offered <= 0.0:  # negatives already rejected above
         return 0.0
     b = 1.0
     for k in range(1, servers + 1):

@@ -62,6 +62,7 @@ def compare_policies(
     profiler_factory=None,
     invariants=None,
     timeseries_factory=None,
+    sanitizer_factory=None,
 ) -> ComparisonResult:
     """Run every policy on the scenario's shared trace.
 
@@ -71,9 +72,12 @@ def compare_policies(
     must not mix runs.  ``timeseries_factory`` is likewise per-policy —
     called with the policy name, it returns a fresh
     :class:`~repro.obs.timeseries.TimeseriesRecorder` (or ``None``) so
-    each algorithm records its own ``.tsdb.json`` trajectory.
-    Per-policy profilers and recorders stay reachable through
-    ``result[policy].simulation``.
+    each algorithm records its own ``.tsdb.json`` trajectory, and
+    ``sanitizer_factory`` (also called with the policy name) attaches a
+    fresh per-policy
+    :class:`~repro.staticcheck.sanitizer.DeterminismSanitizer`.
+    Per-policy profilers, recorders and sanitizers stay reachable
+    through ``result[policy].simulation``.
     """
     results = {
         policy: run_experiment(
@@ -84,6 +88,9 @@ def compare_policies(
             invariants=invariants,
             timeseries=(
                 timeseries_factory(policy) if timeseries_factory is not None else None
+            ),
+            sanitizer=(
+                sanitizer_factory(policy) if sanitizer_factory is not None else None
             ),
         )
         for policy in policies

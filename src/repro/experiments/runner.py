@@ -48,6 +48,7 @@ def run_experiment(
     instruments=None,
     invariants=None,
     timeseries=None,
+    sanitizer=None,
 ) -> ExperimentResult:
     """Run ``policy`` over the scenario's recorded trace and events.
 
@@ -60,8 +61,15 @@ def run_experiment(
     :class:`~repro.sim.engine.Simulation`).  A time-series recorder
     gets the standard run-identity keys (policy, scenario, seed,
     epochs, chaos) stamped into its artifact metadata unless the caller
-    already set them.
+    already set them; a
+    :class:`~repro.staticcheck.sanitizer.DeterminismSanitizer` gets the
+    same keys stamped into its fingerprint trail metadata.
     """
+    if sanitizer is not None:
+        sanitizer.trail().meta.setdefault("policy", policy)
+        sanitizer.trail().meta.setdefault("scenario", scenario.name)
+        sanitizer.trail().meta.setdefault("seed", scenario.config.seed)
+        sanitizer.trail().meta.setdefault("epochs", scenario.epochs)
     if timeseries is not None:
         timeseries.meta.setdefault("policy", policy)
         timeseries.meta.setdefault("scenario", scenario.name)
@@ -80,6 +88,7 @@ def run_experiment(
         chaos=scenario.chaos,
         invariants=invariants,
         timeseries=timeseries,
+        sanitizer=sanitizer,
     )
     metrics = sim.run(scenario.epochs)
     return ExperimentResult(

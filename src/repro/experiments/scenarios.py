@@ -68,10 +68,14 @@ class Scenario:
             )
 
 
-def _record(config: SimulationConfig, pattern, epochs: int, stream: str) -> WorkloadTrace:
-    generator = QueryGenerator(
-        config.workload, pattern, RngTree(config.seed).stream(stream)
-    )
+def _record(config: SimulationConfig, pattern, epochs: int, rng) -> WorkloadTrace:
+    """Record ``epochs`` of workload drawn from an already-built stream.
+
+    Callers build the stream with a *literal* name (REP006: the stream
+    registry must stay greppable), so this helper takes the generator,
+    not the name.
+    """
+    generator = QueryGenerator(config.workload, pattern, rng)
     return WorkloadTrace.record(generator, epochs)
 
 
@@ -85,7 +89,9 @@ def random_query_scenario(
     return Scenario(
         name="random-query",
         config=config,
-        trace=_record(config, pattern, epochs, "scenario-random"),
+        trace=_record(
+            config, pattern, epochs, RngTree(config.seed).stream("scenario-random")
+        ),
         epochs=epochs,
     )
 
@@ -103,7 +109,9 @@ def flash_crowd_scenario(
     return Scenario(
         name="flash-crowd",
         config=config,
-        trace=_record(config, pattern, epochs, "scenario-flash"),
+        trace=_record(
+            config, pattern, epochs, RngTree(config.seed).stream("scenario-flash")
+        ),
         epochs=epochs,
     )
 
@@ -130,7 +138,9 @@ def failure_recovery_scenario(
     return Scenario(
         name="failure-recovery",
         config=config,
-        trace=_record(config, pattern, epochs, "scenario-failure"),
+        trace=_record(
+            config, pattern, epochs, RngTree(config.seed).stream("scenario-failure")
+        ),
         epochs=epochs,
         events=tuple(events),
     )

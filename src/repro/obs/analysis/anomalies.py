@@ -203,7 +203,7 @@ def detect_churn_hotspots(
     threshold = mean + factor * std
     out: list[Anomaly] = []
     for dc in sorted(churn, key=lambda d: -churn[d]):
-        if std == 0.0 or churn[dc] <= threshold:
+        if std <= 0.0 or churn[dc] <= threshold:
             continue
         out.append(
             Anomaly(

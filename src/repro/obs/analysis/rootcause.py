@@ -148,7 +148,7 @@ def attribute_violations(
                     LAG_DECAY**k for k in range(window + 1)
                 )
                 raw = max(0.0, raw - baseline)
-                if raw == 0.0:
+                if raw <= 0.0:
                     lag = None
             scores[cause] = CAUSE_WEIGHTS[cause] * raw
             lags[cause] = lag

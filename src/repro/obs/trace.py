@@ -79,7 +79,9 @@ class TraceEvent:
     reason: str = ""
     cost: float = 0.0
     policy: str = ""
-    ts: float = field(default_factory=time.time)
+    # Wall-clock on purpose: ``ts`` is observability metadata (when the
+    # record was emitted), never simulation state — replays ignore it.
+    ts: float = field(default_factory=time.time)  # repro: noqa[REP002]
     extra: dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:

@@ -35,7 +35,10 @@ if TYPE_CHECKING:  # imported lazily at runtime (chaos imports sim.events)
     from ..chaos.controller import ChaosController
     from ..chaos.invariants import InvariantChecker
     from ..chaos.schedule import ChaosSchedule
+    from ..consistency.tracker import ConsistencySummary
     from ..obs.timeseries import TimeseriesRecorder
+    from ..staticcheck.sanitizer import DeterminismSanitizer
+    from ..workload.query import QueryBatch
 from ..consistency.tracker import ConsistencyConfig, ConsistencyTracker
 from ..cluster.replicas import ReplicaMap
 from ..config import SimulationConfig
@@ -139,6 +142,13 @@ class Simulation:
         per-datacenter traffic, every instrument counter/gauge (when
         ``instruments`` is attached) and phase timings (when a real
         profiler is attached), plus membership/chaos event markers.
+    sanitizer:
+        Optional :class:`~repro.staticcheck.sanitizer.DeterminismSanitizer`;
+        once per epoch (end of the record phase) the engine feeds it the
+        replica map, cluster storage accounting, RNG stream positions
+        and the epoch's metric values, building a fingerprint hash
+        chain.  Two same-seed runs can then be diffed down to the first
+        divergent epoch and component (``repro sanitize``).
     """
 
     def __init__(
@@ -158,12 +168,14 @@ class Simulation:
         chaos: ChaosSchedule | None = None,
         invariants: InvariantChecker | bool | None = None,
         timeseries: TimeseriesRecorder | None = None,
+        sanitizer: DeterminismSanitizer | None = None,
     ) -> None:
         self.config = config
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self.profiler = profiler if profiler is not None else NullProfiler()
         self.instruments = instruments
         self.timeseries = timeseries
+        self.sanitizer = sanitizer
         #: Response-time model used for the latency/SLA series (the
         #: intro's 300 ms bound by default).
         self.latency = latency if latency is not None else LatencyModel()
@@ -437,13 +449,23 @@ class Simulation:
                     self.router,
                 )
             values = self._record_metrics(batch, result, applied, restored, consistency)
+            if self.sanitizer is not None:
+                self.sanitizer.observe(
+                    epoch,
+                    replicas=self.replicas,
+                    cluster=self.cluster,
+                    rng_tree=self.rng_tree,
+                    metrics=values,
+                )
             if self.timeseries is not None:
                 self._sample_timeseries(epoch, values, result)
             self._check_invariants(epoch)
             self.clock.advance()
         return result
 
-    def _sample_timeseries(self, epoch: int, values: dict[str, float], result) -> None:
+    def _sample_timeseries(
+        self, epoch: int, values: dict[str, float], result: ServiceResult
+    ) -> None:
         """Feed the time-series recorder one flat row for this epoch."""
         row = dict(values)
         per_dc = result.traffic_dc.sum(axis=0)
@@ -663,7 +685,11 @@ class Simulation:
                 self._replica_birth[(partition, owner)] = epoch
         return restored
 
-    def _current_layouts(self):
+    def _current_layouts(
+        self,
+    ) -> tuple[
+        list[int | None], list[int | None], list[dict[int, list[tuple[int, float]]]]
+    ]:
         holder_dc: list[int | None] = []
         holder_sid: list[int | None] = []
         layouts: list[dict[int, list[tuple[int, float]]]] = []
@@ -927,11 +953,11 @@ class Simulation:
 
     def _record_metrics(
         self,
-        batch,
+        batch: "QueryBatch",
         result: ServiceResult,
         applied: dict[str, float],
         restored: int,
-        consistency=None,
+        consistency: "ConsistencySummary | None" = None,
     ) -> dict[str, float]:
         counts = self._replica_count_matrix()
         capacities = np.array(

@@ -81,6 +81,19 @@ class RngTree:
         seq = np.random.SeedSequence([self._root_seed, stable_hash32(name)])
         return np.random.default_rng(seq)
 
+    def stream_states(self) -> dict[str, dict]:
+        """Bit-generator state of every stream created so far, by name.
+
+        Sorted by stream name so the mapping itself is deterministic.
+        The states are the raw ``bit_generator.state`` dicts — two trees
+        whose streams have consumed identical draw sequences compare
+        equal, which is what the determinism sanitizer fingerprints.
+        """
+        return {
+            name: self._streams[name].bit_generator.state
+            for name in sorted(self._streams)
+        }
+
     def child(self, name: str) -> "RngTree":
         """Derive a whole sub-tree, e.g. one per experiment repetition."""
         return RngTree((self._root_seed * 0x9E3779B1 + stable_hash32(name)) % 2**31)

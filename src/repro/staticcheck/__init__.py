@@ -1,0 +1,54 @@
+"""Static analysis and runtime determinism checking (``repro.staticcheck``).
+
+Two halves of one guarantee — that a seeded run is bit-reproducible:
+
+* the **lint engine** (:mod:`.rules`, :mod:`.engine`) finds
+  nondeterminism *sources* in the source tree before they ship
+  (unseeded RNGs, wall-clock reads, set-order iteration, float
+  equality, mutable defaults, non-literal RNG stream names);
+* the **determinism sanitizer** (:mod:`.sanitizer`) fingerprints live
+  engine state per epoch so a same-seed re-run can be diffed and the
+  first divergent epoch — and the component that diverged — named.
+
+CLI entry points: ``repro lint`` and ``repro sanitize`` (plus
+``--sanitize`` on ``run``/``compare``).  See DESIGN.md §9.
+"""
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineError
+from .engine import LintError, LintResult, lint_paths, lint_source
+from .findings import ALL_RULE_IDS, RULES, Finding, Rule
+from .reporting import RENDERERS, render_github, render_json, render_text
+from .sanitizer import (
+    COMPONENTS,
+    DeterminismSanitizer,
+    DivergenceReport,
+    EpochFingerprint,
+    FingerprintError,
+    FingerprintTrail,
+    bisect_divergence,
+)
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "Baseline",
+    "BaselineError",
+    "COMPONENTS",
+    "DEFAULT_BASELINE_NAME",
+    "DeterminismSanitizer",
+    "DivergenceReport",
+    "EpochFingerprint",
+    "Finding",
+    "FingerprintError",
+    "FingerprintTrail",
+    "LintError",
+    "LintResult",
+    "RENDERERS",
+    "RULES",
+    "Rule",
+    "bisect_divergence",
+    "lint_paths",
+    "lint_source",
+    "render_github",
+    "render_json",
+    "render_text",
+]

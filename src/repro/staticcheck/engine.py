@@ -1,0 +1,189 @@
+"""The lint driver: file discovery, noqa suppression, baseline matching.
+
+Separated from :mod:`.rules` so the AST logic stays testable on source
+snippets while this module owns everything filesystem-shaped.  The
+driver is itself deterministic: files are visited in sorted path order
+and findings are reported in (path, line, col, rule) order, so two runs
+over the same tree produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline
+from .findings import ALL_RULE_IDS, RULES, Finding
+from .rules import check_module
+
+__all__ = ["LintError", "LintResult", "lint_paths", "lint_source"]
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa[REP001,REP003]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[\s*(?P<rules>[A-Za-z0-9_,\s]+?)\s*\])?",
+)
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file the linter could not check (syntax or I/O failure)."""
+
+    path: str
+    message: str
+
+
+@dataclass
+class LintResult:
+    """Everything one lint invocation produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[LintError] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings that gate (not noqa'd, not baselined)."""
+        return [f for f in self.findings if f.active]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.active or self.errors) else 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def _noqa_rules_by_line(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line numbers to suppressed rule ids (None = all)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(
+                part.strip() for part in spec.split(",") if part.strip()
+            )
+    return out
+
+
+def _rule_exempt(rule_id: str, posix_path: str) -> bool:
+    rule = RULES.get(rule_id)
+    if rule is None:
+        return False
+    return any(posix_path.endswith(suffix) for suffix in rule.exempt_paths)
+
+
+def lint_source(
+    path: str,
+    source: str,
+    *,
+    select: frozenset[str] | None = None,
+    baseline: Baseline | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob; returns findings with
+    suppression/baseline flags applied.  Raises SyntaxError on a parse
+    failure (callers decide how to report it)."""
+    raw = check_module(path, source)
+    noqa = _noqa_rules_by_line(source)
+    out: list[Finding] = []
+    for finding in raw:
+        if select is not None and finding.rule_id not in select:
+            continue
+        if _rule_exempt(finding.rule_id, path):
+            continue
+        suppressed_rules = noqa.get(finding.line, ())
+        suppressed = suppressed_rules is None or finding.rule_id in suppressed_rules
+        baselined = (
+            not suppressed
+            and baseline is not None
+            and baseline.covers(finding)
+        )
+        if suppressed or baselined:
+            finding = Finding(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule_id=finding.rule_id,
+                message=finding.message,
+                snippet=finding.snippet,
+                occurrence=finding.occurrence,
+                suppressed=suppressed,
+                baselined=baselined,
+            )
+        out.append(finding)
+    return out
+
+
+def _discover(paths: list[str | Path]) -> list[Path]:
+    """Python files under the given paths, sorted, ``__pycache__`` skipped."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def _display_path(path: Path) -> str:
+    """Posix path relative to the CWD when possible (stable baselines)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: list[str | Path],
+    *,
+    select: list[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint files and directories; the package's main entry point.
+
+    ``select`` restricts checking to the given rule ids (default: all).
+    ``baseline`` marks grandfathered findings so they do not gate.
+    """
+    selected = frozenset(select) if select else frozenset(ALL_RULE_IDS)
+    unknown = selected - set(ALL_RULE_IDS)
+    if unknown:
+        raise ValueError(f"unknown rule ids: {sorted(unknown)}; have {ALL_RULE_IDS}")
+    result = LintResult()
+    for file_path in _discover(paths):
+        display = _display_path(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.errors.append(LintError(display, f"cannot read: {exc}"))
+            continue
+        try:
+            findings = lint_source(
+                display, source, select=selected, baseline=baseline
+            )
+        except SyntaxError as exc:
+            result.errors.append(
+                LintError(display, f"syntax error at line {exc.lineno}: {exc.msg}")
+            )
+            continue
+        result.findings.extend(findings)
+        result.files_checked += 1
+    return result

@@ -70,7 +70,9 @@ def _concentrated(num_origins: int, hot: tuple[int, ...], share: float) -> np.nd
     if cold > 0:
         remainder = (1.0 - share) / cold
         for dc in range(num_origins):
-            if weights[dc] == 0.0:
+            # Exact zero means "not a hot DC" (assigned above), a
+            # sentinel, not a computed value.
+            if weights[dc] == 0.0:  # repro: noqa[REP004]
                 weights[dc] = remainder
     else:
         weights /= weights.sum()
