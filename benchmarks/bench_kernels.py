@@ -112,6 +112,44 @@ def test_full_epoch_step_sanitized(benchmark):
     assert len(sanitizer.trail()) > 0
 
 
+def test_full_epoch_step_counters(benchmark):
+    """One engine epoch with work counters attached — the counting
+    overhead (one predictable branch per hot-path site plus the RNG
+    stream proxy) must stay within noise of ``test_full_epoch_step``
+    so cost-model recording can ride along in CI runs."""
+    from repro.obs.perf import WorkCounters
+
+    work = WorkCounters()
+    sim = Simulation(SimulationConfig(seed=7), policy="rfh", work=work)
+    sim.run(50)  # warm state: replicas placed, signals warm
+
+    def step():
+        return sim.step()
+
+    result = benchmark.pedantic(step, rounds=20, iterations=1)
+    assert result.query_count >= 0
+    assert work.decisions_evaluated > 0
+
+
+def test_full_epoch_step_hot_profiler(benchmark):
+    """One engine epoch under the hot-path profiler (phases + nested
+    kernel spans) — the span overhead bounds what ``repro profile``
+    costs in kernels mode."""
+    from repro.obs.perf import HotPathProfiler
+
+    profiler = HotPathProfiler()
+    sim = Simulation(SimulationConfig(seed=7), policy="rfh", profiler=profiler)
+    sim.run(50)
+    profiler.reset()  # attribute the timed epochs only
+
+    def step():
+        return sim.step()
+
+    result = benchmark.pedantic(step, rounds=20, iterations=1)
+    assert result.query_count >= 0
+    assert any(len(node["stack"]) > 1 for node in profiler.span_nodes())
+
+
 def test_full_epoch_step_phase_attribution(benchmark):
     """The same epoch loop under the phase profiler: prints where the
     wall-time goes (membership/workload/serve/observe/apply/record) so a

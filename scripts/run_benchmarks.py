@@ -7,14 +7,21 @@ condenses the raw report into ``BENCH_kernels.json`` — one stable
 record per benchmark with the timing stats a trend dashboard needs.
 Each run also appends a timestamped record to ``BENCH_history.json``
 (kept in-repo), so the repository itself carries the performance
-trajectory, and ``--check`` compares the fresh run against the
-previous history record and fails when any kernel's median slowed by
-more than the threshold (default 20%).  CI uploads both files as
-artifacts, so every merge leaves a point on the trajectory.
+trajectory — **including failed runs**, which append a record marked
+``"status": "failed"`` so a gap in the trajectory is visible instead of
+silent.  Unless ``--no-profile`` is given, each record additionally
+carries deterministic cost data from one small in-process profiled run
+(work counters, per-phase seconds and the hottest kernel spans — see
+``repro.obs.perf``), so the history can attribute a wall-clock trend to
+an algorithmic change.  ``--check`` compares the fresh run against the
+previous successful history record and fails when any kernel's median
+slowed by more than the threshold (default 20%).  CI uploads both
+files as artifacts, so every merge leaves a point on the trajectory.
 
 Run:  python scripts/run_benchmarks.py [--out BENCH_kernels.json]
                                        [--history BENCH_history.json]
                                        [--check] [--threshold 0.20]
+                                       [--no-profile]
 """
 
 from __future__ import annotations
@@ -86,6 +93,48 @@ def condense(raw: dict) -> dict:
     }
 
 
+def perf_attribution(epochs: int = 30, seed: int = 42) -> dict | None:
+    """Deterministic cost data from one small in-process profiled run.
+
+    Work counters are bit-identical across machines for a given seed,
+    so a history record carrying them can say whether a wall-clock
+    trend is an algorithmic change (counters moved too) or a machine
+    difference (counters identical).  Failures here never fail the
+    benchmark run — the attribution is an annotation, not a gate.
+    """
+    try:
+        src = str(REPO_ROOT / "src")
+        if src not in sys.path:
+            sys.path.insert(0, src)
+        from repro.config import SimulationConfig
+        from repro.experiments.scenarios import random_query_scenario
+        from repro.obs.perf import profile_scenario
+
+        scenario = random_query_scenario(SimulationConfig(seed=seed), epochs=epochs)
+        profile = profile_scenario("rfh", scenario, allocations=False)
+        return {
+            "policy": "rfh",
+            "scenario": scenario.name,
+            "seed": seed,
+            "epochs": epochs,
+            "work_counters": profile.counters,
+            "phase_s": {
+                name: stats.get("total") for name, stats in profile.phases.items()
+            },
+            "hottest": [
+                {
+                    "stack": ";".join(node["stack"]),
+                    "self_s": node["self_s"],
+                    "count": node["count"],
+                }
+                for node in profile.hottest(5)
+            ],
+        }
+    except Exception as exc:  # noqa: BLE001 - annotation only, never a gate
+        print(f"warning: perf attribution skipped: {exc}", file=sys.stderr)
+        return None
+
+
 def load_history(path: pathlib.Path) -> list[dict]:
     """The history file is a JSON list of condensed records, oldest
     first; a missing or unreadable file is an empty history."""
@@ -155,6 +204,12 @@ def main(argv: list[str] | None = None) -> int:
         help="--check regression threshold as a fraction (default 0.20)",
     )
     parser.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="skip the in-process perf-attribution run (work counters "
+        "and phase attribution attached to each history record)",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
@@ -164,12 +219,24 @@ def main(argv: list[str] | None = None) -> int:
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = pathlib.Path(tmp) / "raw_benchmark.json"
         code = run_pytest_benchmark(raw_path, args.pytest_args)
+        raw = {}
+        if raw_path.exists():
+            try:
+                raw = json.loads(raw_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"warning: unreadable raw report: {exc}", file=sys.stderr)
         if code != 0:
             print(f"benchmark run failed (exit {code})", file=sys.stderr)
-            return code
-        raw = json.loads(raw_path.read_text())
 
     condensed = condense(raw)
+    condensed["status"] = "ok" if code == 0 else "failed"
+    if code != 0:
+        condensed["exit_code"] = code
+    if not args.no_profile:
+        attribution = perf_attribution()
+        if attribution is not None:
+            condensed["perf"] = attribution
+
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(condensed, indent=1) + "\n")
     print(f"wrote {out} ({len(condensed['benchmarks'])} benchmarks)")
@@ -181,14 +248,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.history:
         history_path = pathlib.Path(args.history)
         history = load_history(history_path)
-        # A usable comparison point is a dict with benchmark rows; a
-        # fresh clone (empty/short/placeholder history) must not gate.
+        # A usable comparison point is a *successful* record with
+        # benchmark rows; a fresh clone (empty/short/placeholder
+        # history) or a string of failed runs must not gate.
         comparable = [
             record
             for record in history
-            if isinstance(record, dict) and record.get("benchmarks")
+            if isinstance(record, dict)
+            and record.get("benchmarks")
+            and record.get("status", "ok") == "ok"
         ]
-        if args.check:
+        if args.check and code == 0:
             if comparable:
                 regressions = check_regressions(
                     comparable[-1], condensed, args.threshold
@@ -199,6 +269,8 @@ def main(argv: list[str] | None = None) -> int:
                     f"{history_path} to compare against (fresh clone?); "
                     "this run seeds the history"
                 )
+        # Every run leaves a record — failed runs included, so a hole
+        # in the trajectory is a visible "failed" entry, never silence.
         history.append(condensed)
         history = history[-max(1, args.history_limit):]
         history_path.write_text(json.dumps(history, indent=1) + "\n")
@@ -206,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
     elif args.check:
         print("--check needs --history; nothing to compare against", file=sys.stderr)
 
+    if code != 0:
+        return code
     if regressions:
         print(
             f"\nREGRESSED: {len(regressions)} kernel(s) slowed by more "

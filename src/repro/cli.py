@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten subcommands cover the workflows a user reaches for first:
+Twelve subcommands cover the workflows a user reaches for first:
 
 * ``run``     — one policy, one scenario, headline metrics (optionally
   exported to CSV/JSON); ``--chaos NAME`` overlays a chaos schedule;
@@ -24,7 +24,13 @@ Ten subcommands cover the workflows a user reaches for first:
 * ``sanitize`` — run a config twice (or against a saved
   ``--fingerprint-out`` artifact) and report the **first divergent
   epoch and which component diverged** (replicas / storage / rng /
-  metrics, down to the RNG stream).
+  metrics, down to the RNG stream);
+* ``profile`` — run one policy under the deterministic hot-path
+  profiler (kernel spans + work counters + allocation accounting) and
+  write a versioned ``.prof.json`` plus flamegraph/speedscope exports;
+* ``perfdiff`` — attribute a perf regression by diffing two
+  ``.prof.json`` artifacts phase by phase, stack by stack and counter
+  by counter (non-zero exit on regression, for CI gating).
 
 Examples::
 
@@ -42,6 +48,8 @@ Examples::
     python -m repro sanitize --policy rfh --epochs 120 --seed 7
     python -m repro run --sanitize --fingerprint-out run.fp.json
     python -m repro sanitize --against run.fp.json
+    python -m repro profile --policy rfh --epochs 120 --out run.prof.json
+    python -m repro perfdiff base.prof.json run.prof.json
 """
 
 from __future__ import annotations
@@ -390,6 +398,90 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the divergence report as JSON",
+    )
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="run one policy under the hot-path profiler and write a "
+        "versioned .prof.json (plus flamegraph/speedscope exports)",
+    )
+    common(prof_p)
+    chaos_opts(prof_p)
+    prof_p.add_argument(
+        "--policy", choices=sorted(POLICIES), default="rfh", help="algorithm to run"
+    )
+    prof_p.add_argument(
+        "--mode",
+        choices=("kernels", "trace"),
+        default="kernels",
+        help="'kernels': deterministic instrumented spans; 'trace': "
+        "sys.setprofile per-function attribution (slower)",
+    )
+    prof_p.add_argument(
+        "--out",
+        metavar="PATH.prof.json",
+        default="run.prof.json",
+        help="profile artifact path (default: run.prof.json)",
+    )
+    prof_p.add_argument(
+        "--flamegraph",
+        metavar="PATH.html",
+        default=None,
+        help="also write a self-contained flamegraph (default: "
+        "<out-stem>.flame.html; pass '' to skip)",
+    )
+    prof_p.add_argument(
+        "--speedscope",
+        metavar="PATH.json",
+        default=None,
+        help="also write a speedscope-format export (default: "
+        "<out-stem>.speedscope.json; pass '' to skip)",
+    )
+    prof_p.add_argument(
+        "--top", type=int, default=10, help="hottest stacks to print (default 10)"
+    )
+    prof_p.add_argument(
+        "--no-alloc",
+        action="store_true",
+        help="skip tracemalloc allocation accounting (faster)",
+    )
+
+    pdiff_p = sub.add_parser(
+        "perfdiff",
+        help="attribute a perf regression: diff two .prof.json artifacts "
+        "by phase, stack and work counter (non-zero exit on regression)",
+    )
+    pdiff_p.add_argument(
+        "baseline", metavar="BASE.prof.json", help="baseline profile artifact"
+    )
+    pdiff_p.add_argument(
+        "candidate", metavar="CAND.prof.json", help="candidate profile artifact"
+    )
+    pdiff_p.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.25,
+        help="relative timing tolerance before a slowdown gates (default 0.25)",
+    )
+    pdiff_p.add_argument(
+        "--abs-tol-ms",
+        type=float,
+        default=2.0,
+        help="absolute timing tolerance in milliseconds (default 2.0)",
+    )
+    pdiff_p.add_argument(
+        "--gate-counters",
+        action="store_true",
+        help="treat deterministic work-counter growth as a regression too",
+    )
+    pdiff_p.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    pdiff_p.add_argument(
+        "--verbose", action="store_true", help="list all improvements"
+    )
+    pdiff_p.add_argument(
+        "--out", help="write the report to this file instead of stdout"
     )
 
     return parser
@@ -952,6 +1044,105 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _derived_profile_path(out: str, suffix: str) -> str:
+    """``run.prof.json`` + ``.flame.html`` -> ``run.flame.html``."""
+    import pathlib
+
+    path = pathlib.Path(out)
+    name = path.name
+    for known in (".prof.json", ".json"):
+        if name.endswith(known):
+            name = name[: -len(known)]
+            break
+    return str(path.with_name(name + suffix))
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .obs.perf import profile_scenario, render_flamegraph
+
+    scenario = _scenario(args)
+    profile = profile_scenario(
+        args.policy,
+        scenario,
+        mode=args.mode,
+        allocations=not args.no_alloc,
+    )
+    profile.save(args.out)
+    print(
+        f"wrote {args.out} (policy={args.policy} scenario={scenario.name} "
+        f"mode={args.mode}, {len(profile.nodes)} stack node(s), "
+        f"{profile.total_seconds() * 1e3:.1f} ms profiled)"
+    )
+    flame_path = args.flamegraph
+    if flame_path is None:
+        flame_path = _derived_profile_path(args.out, ".flame.html")
+    if flame_path:
+        html = render_flamegraph(profile)
+        pathlib.Path(flame_path).write_text(html)
+        print(f"wrote {flame_path} ({len(html) / 1024:.0f} KiB, self-contained)")
+    speedscope_path = args.speedscope
+    if speedscope_path is None:
+        speedscope_path = _derived_profile_path(args.out, ".speedscope.json")
+    if speedscope_path:
+        profile.save_speedscope(speedscope_path)
+        print(f"wrote {speedscope_path}")
+    hottest = profile.hottest(args.top)
+    if hottest:
+        print(f"hottest {len(hottest)} stack(s) by self time:")
+        for node in hottest:
+            print(
+                f"  {node['self_s'] * 1e3:9.3f} ms  x{node['count']:<6d} "
+                f"{';'.join(node['stack'])}"
+            )
+    if profile.counters:
+        print("work counters:")
+        for name, value in profile.counters.items():
+            print(f"  {name}: {value:.0f}")
+    return 0
+
+
+def _cmd_perfdiff(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .obs.perf import (
+        PerfProfile,
+        ProfileError,
+        diff_profiles,
+        render_perfdiff_json,
+        render_perfdiff_text,
+    )
+
+    profiles = []
+    for path in (args.baseline, args.candidate):
+        if not pathlib.Path(path).exists():
+            raise SystemExit(f"no such profile artifact: {path}")
+        try:
+            profiles.append(PerfProfile.load(path))
+        except ProfileError as exc:
+            raise SystemExit(f"cannot load {path}: {exc}")
+    report = diff_profiles(
+        profiles[0],
+        profiles[1],
+        rel_tol=args.rel_tol,
+        abs_tol_s=args.abs_tol_ms / 1e3,
+        gate_counters=args.gate_counters,
+    )
+    if args.format == "json":
+        output = render_perfdiff_json(report)
+    else:
+        output = render_perfdiff_text(report, verbose=args.verbose)
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            output if output.endswith("\n") else output + "\n"
+        )
+        print(f"wrote {args.out}")
+    else:
+        print(output if not output.endswith("\n") else output[:-1])
+    return report.exit_code()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -966,6 +1157,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "dashboard": _cmd_dashboard,
         "lint": _cmd_lint,
         "sanitize": _cmd_sanitize,
+        "profile": _cmd_profile,
+        "perfdiff": _cmd_perfdiff,
     }
     try:
         return commands[args.command](args)

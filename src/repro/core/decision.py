@@ -31,11 +31,17 @@ of epochs instead of jumping.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..config import RFHParameters
 from ..sim.actions import Action, Migrate, Replicate, Suicide
 from ..sim.observation import EpochObservation
+from .traffic import _NULL_SPAN, _null_span
+
+if TYPE_CHECKING:
+    from ..obs.perf.counters import WorkCounters
 from .migration import (
     coldest_replica_dc,
     mean_partition_traffic,
@@ -84,6 +90,18 @@ class RFHDecision:
 
     def __init__(self, params: RFHParameters) -> None:
         self._params = params
+        self._work: "WorkCounters | None" = None
+        self._span = _null_span
+        # Hoisted once here rather than looked up per partition: span
+        # timers are cached per name by the profiler.
+        self._threshold_span = _NULL_SPAN
+
+    def attach_perf(self, *, work: "WorkCounters | None" = None, span=None) -> None:
+        """Opt into work counting and kernel spans (``repro.obs.perf``)."""
+        self._work = work
+        if span is not None:
+            self._span = span
+            self._threshold_span = span("threshold-checks")
 
     # ------------------------------------------------------------------
     def decide_partition(
@@ -124,6 +142,8 @@ class RFHDecision:
             younger than :data:`SUICIDE_WARMUP_EPOCHS` are exempt from
             the suicide branch (their served-EWMA is still warming up).
         """
+        if self._work is not None:
+            self._work.decisions_evaluated += 1
         replicas = obs.replicas
         if not replicas.has_holder(partition):
             return []  # lost partition: the engine restores it first
@@ -207,25 +227,31 @@ class RFHDecision:
         # epoch must agree the holder is drowning: smoothing alone keeps
         # reporting overload for ~1/alpha epochs after relief arrives,
         # which over-builds by exactly that many replicas per partition.
-        raw_holder = float(obs.holder_traffic[partition])
-        blocked = is_blocked(unserved, avg_query)
-        threshold_hit = is_holder_overloaded(
-            holder_traffic, avg_query, params.beta
-        ) and is_holder_overloaded(raw_holder, avg_query, params.beta)
-        if not (blocked or threshold_hit):
+        with self._threshold_span:
+            raw_holder = float(obs.holder_traffic[partition])
+            blocked = is_blocked(unserved, avg_query)
+            threshold_hit = is_holder_overloaded(
+                holder_traffic, avg_query, params.beta
+            ) and is_holder_overloaded(raw_holder, avg_query, params.beta)
+            overload = blocked or threshold_hit
+            # Hub candidates are *nodes not holding the original
+            # partition*; at our datacenter granularity that includes
+            # the holder's own datacenter — its other servers are
+            # forwarders sitting directly on every incoming path, which
+            # is how the paper's same-DC replicas arise ("some replicas
+            # are placed on the same datacenter of the primary
+            # partition holders").
+            hubs = (
+                [
+                    dc
+                    for dc in range(obs.num_datacenters)
+                    if is_traffic_hub(float(traffic_row[dc]), avg_query, params.gamma)
+                ]
+                if overload
+                else []
+            )
+        if not overload:
             return None
-
-        # Hub candidates are *nodes not holding the original partition*;
-        # at our datacenter granularity that includes the holder's own
-        # datacenter — its other servers are forwarders sitting directly
-        # on every incoming path, which is how the paper's same-DC
-        # replicas arise ("some replicas are placed on the same
-        # datacenter of the primary partition holders").
-        hubs = [
-            dc
-            for dc in range(obs.num_datacenters)
-            if is_traffic_hub(float(traffic_row[dc]), avg_query, params.gamma)
-        ]
         if not hubs:
             # Overloaded with no qualifying forwarding hub: relieve locally.
             target = self._choose_server(partition, obs, holder_dc)

@@ -8,6 +8,8 @@ runs the Fig. 2 decision tree for every partition each epoch.  It is the
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..config import RFHParameters
@@ -15,6 +17,10 @@ from ..sim.actions import Action
 from ..sim.observation import EpochObservation
 from .decision import RFHDecision
 from .smoothing import Ewma
+from .traffic import _null_span
+
+if TYPE_CHECKING:
+    from ..obs.perf.counters import WorkCounters
 
 __all__ = ["RFHPolicy"]
 
@@ -37,33 +43,51 @@ class RFHPolicy:
         # warm-up exemption.
         self._birth: dict[tuple[int, int], int] = {}
         self._decision = RFHDecision(self._params)
+        # Perf instrumentation (opt-in via attach_perf): a kernel-span
+        # factory and the shared work counters.
+        self._span = _null_span
 
     @property
     def params(self) -> RFHParameters:
         return self._params
 
+    def attach_perf(self, *, profiler=None, work: "WorkCounters | None" = None) -> None:
+        """Opt into perf observability (``repro.obs.perf``).
+
+        ``profiler`` (when it supports spans) times the EWMA-smoothing
+        and decision-evaluation kernels; ``work`` counts decisions
+        evaluated.  Called by the engine when either is attached.
+        """
+        if profiler is not None and getattr(profiler, "supports_spans", False):
+            self._span = profiler.span
+        self._decision.attach_perf(work=work, span=self._span)
+
     def decide(self, obs: EpochObservation) -> list[Action]:
         """Run the decision tree over all partitions for one epoch."""
-        avg_query = np.asarray(self._avg_query.update(obs.system_average_query()))
-        traffic = np.asarray(self._traffic.update(obs.traffic_dc))
-        holder_traffic = np.asarray(self._holder_traffic.update(obs.holder_traffic))
-        unserved = np.asarray(self._unserved.update(obs.unserved))
-        served = self._update_served(obs.served_server)
+        with self._span("ewma-smoothing"):
+            avg_query = np.asarray(self._avg_query.update(obs.system_average_query()))
+            traffic = np.asarray(self._traffic.update(obs.traffic_dc))
+            holder_traffic = np.asarray(
+                self._holder_traffic.update(obs.holder_traffic)
+            )
+            unserved = np.asarray(self._unserved.update(obs.unserved))
+            served = self._update_served(obs.served_server)
         age = {key: obs.epoch - born for key, born in self._birth.items()}
         actions: list[Action] = []
-        for partition in range(obs.num_partitions):
-            actions.extend(
-                self._decision.decide_partition(
-                    partition,
-                    obs,
-                    float(avg_query[partition]),
-                    traffic[partition],
-                    float(holder_traffic[partition]),
-                    served[partition],
-                    float(unserved[partition]),
-                    replica_age=age,
+        with self._span("decision-eval"):
+            for partition in range(obs.num_partitions):
+                actions.extend(
+                    self._decision.decide_partition(
+                        partition,
+                        obs,
+                        float(avg_query[partition]),
+                        traffic[partition],
+                        float(holder_traffic[partition]),
+                        served[partition],
+                        float(unserved[partition]),
+                        replica_age=age,
+                    )
                 )
-            )
         self._record_births(obs.epoch, actions)
         return actions
 

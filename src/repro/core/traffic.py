@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,10 +38,32 @@ from ..errors import SimulationError
 from ..net.routing import Router
 from ..workload.query import QueryBatch
 
+if TYPE_CHECKING:
+    from ..obs.perf.counters import WorkCounters
+
 __all__ = ["ServiceResult", "serve_epoch"]
 
 #: Per-partition replica layout: ``{dc: [(sid, capacity_queries_per_epoch)]}``.
 ReplicaLayout = Mapping[int, Sequence[tuple[int, float]]]
+
+
+class _NullSpan:
+    """Shared no-op context manager for un-profiled kernel spans."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _null_span(name: str) -> _NullSpan:
+    return _NULL_SPAN
 
 
 @dataclass(frozen=True)
@@ -117,6 +140,8 @@ def serve_epoch(
     num_servers: int,
     holder_sid: Sequence[int | None] | None = None,
     latency=None,
+    work: "WorkCounters | None" = None,
+    profiler=None,
 ) -> ServiceResult:
     """Route one epoch's query matrix and return the full service outcome.
 
@@ -147,6 +172,14 @@ def serve_epoch(
         Optional :class:`~repro.metrics.latency.LatencyModel`; when
         given, SLA misses are accumulated exactly per absorbed flow
         (blocked queries always miss).
+    work:
+        Optional :class:`~repro.obs.perf.counters.WorkCounters`; counts
+        partitions scanned (each partition with queries this epoch) and
+        graph hops (path nodes visited while constructing flows).
+    profiler:
+        Optional profiler exposing ``span(name)``; the routing walk
+        wraps flow construction in a ``"routing"`` span and the
+        level-synchronous capacity walk in ``"overflow-recursion"``.
     """
     num_partitions = queries.num_partitions
     num_dcs = queries.num_origins
@@ -167,11 +200,18 @@ def serve_epoch(
     distance_sum = 0.0
     sla_miss = 0.0
 
+    # Span timers are cached per name by the profiler, so look them up
+    # once per epoch instead of twice per partition in the hot loop.
+    span = profiler.span if profiler is not None else _null_span
+    routing_span = span("routing")
+    overflow_span = span("overflow-recursion")
     counts = queries.counts
     for partition in range(num_partitions):
         row = counts[partition]
         if not row.any():
             continue
+        if work is not None:
+            work.partitions_scanned += 1
         holder = holder_dc[partition]
         if holder is None:
             # Every copy lost: queries reach nothing and fail at distance 0.
@@ -192,6 +232,9 @@ def serve_epoch(
             unserved,
             sid,
             latency,
+            work,
+            routing_span,
+            overflow_span,
         )
         hop_sum += hops
         distance_sum += kms
@@ -222,6 +265,9 @@ def _serve_partition(
     unserved: np.ndarray,
     holder_sid: int | None,
     latency,
+    work: "WorkCounters | None" = None,
+    routing_span=_NULL_SPAN,
+    overflow_span=_NULL_SPAN,
 ) -> tuple[float, float, float]:
     """Walk one partition's flows level-synchronously.
 
@@ -252,27 +298,66 @@ def _serve_partition(
     hop_sum = 0.0
     distance_sum = 0.0
     sla_miss = 0.0
-    for origin in np.nonzero(row)[0]:
-        origin = int(origin)
-        if not router.reachable(origin, holder):
-            # A WAN partition separates the requester from the holder.
-            # Replicas on the requester's side of the cut still serve
-            # (nearest reachable replica datacenter first); the
-            # remainder is blocked at the origin, at zero distance.
-            amount = float(row[origin])
-            traffic_row[origin] += amount
-            for dc in sorted(
-                dc_servers, key=lambda d: (router.distance_km(origin, d), d)
-            ):
-                if amount <= 0.0:
-                    break
-                if dc != origin and not router.reachable(origin, dc):
+    with routing_span:
+        for origin in np.nonzero(row)[0]:
+            origin = int(origin)
+            if not router.reachable(origin, holder):
+                # A WAN partition separates the requester from the holder.
+                # Replicas on the requester's side of the cut still serve
+                # (nearest reachable replica datacenter first); the
+                # remainder is blocked at the origin, at zero distance.
+                amount = float(row[origin])
+                traffic_row[origin] += amount
+                for dc in sorted(
+                    dc_servers, key=lambda d: (router.distance_km(origin, d), d)
+                ):
+                    if amount <= 0.0:
+                        break
+                    if dc != origin and not router.reachable(origin, dc):
+                        continue
+                    if dc != origin:
+                        traffic_row[dc] += amount
+                    hops = router.hop_count(origin, dc)
+                    km = router.distance_km(origin, dc)
+                    for sid in dc_servers[dc]:
+                        if amount <= 0.0:
+                            break
+                        cap = remaining.get(sid, 0.0)
+                        if cap <= 0.0:
+                            continue
+                        take = min(cap, amount)
+                        remaining[sid] = cap - take
+                        served_row[sid] += take
+                        amount -= take
+                        hop_sum += take * hops
+                        distance_sum += take * km
+                        if (
+                            latency is not None
+                            and latency.response_ms(km, hops) > latency.sla_ms
+                        ):
+                            sla_miss += take
+                if amount > 0.0:
+                    unserved[partition] += amount
+                    if latency is not None:
+                        sla_miss += amount  # blocked queries always miss
+                continue
+            path = router.path(origin, holder)
+            if work is not None:
+                work.graph_hops += len(path)
+            flows.append((origin, path, float(row[origin])))
+            max_levels = max(max_levels, len(path))
+    amounts = [f[2] for f in flows]
+    with overflow_span:
+        for level in range(max_levels):
+            for idx, (origin, path, _) in enumerate(flows):
+                amount = amounts[idx]
+                if amount <= 0.0 or level >= len(path):
                     continue
-                if dc != origin:
-                    traffic_row[dc] += amount
-                hops = router.hop_count(origin, dc)
-                km = router.distance_km(origin, dc)
-                for sid in dc_servers[dc]:
+                dc = path[level]
+                # Eq. 8's arriving-flow traffic, including the origin's own
+                # full query load at level 0 (Eq. 5: tr_ijj = q_ij).
+                traffic_row[dc] += amount
+                for sid in dc_servers.get(dc, ()):
                     if amount <= 0.0:
                         break
                     cap = remaining.get(sid, 0.0)
@@ -282,53 +367,21 @@ def _serve_partition(
                     remaining[sid] = cap - take
                     served_row[sid] += take
                     amount -= take
-                    hop_sum += take * hops
+                    hop_sum += take * level
+                    km = router.distance_km(origin, dc)
                     distance_sum += take * km
                     if (
                         latency is not None
-                        and latency.response_ms(km, hops) > latency.sla_ms
+                        and latency.response_ms(km, level) > latency.sla_ms
                     ):
                         sla_miss += take
-            if amount > 0.0:
-                unserved[partition] += amount
-                if latency is not None:
-                    sla_miss += amount  # blocked queries always miss
-            continue
-        path = router.path(origin, holder)
-        flows.append((origin, path, float(row[origin])))
-        max_levels = max(max_levels, len(path))
-    amounts = [f[2] for f in flows]
-    for level in range(max_levels):
-        for idx, (origin, path, _) in enumerate(flows):
-            amount = amounts[idx]
-            if amount <= 0.0 or level >= len(path):
-                continue
-            dc = path[level]
-            # Eq. 8's arriving-flow traffic, including the origin's own
-            # full query load at level 0 (Eq. 5: tr_ijj = q_ij).
-            traffic_row[dc] += amount
-            for sid in dc_servers.get(dc, ()):
-                if amount <= 0.0:
-                    break
-                cap = remaining.get(sid, 0.0)
-                if cap <= 0.0:
-                    continue
-                take = min(cap, amount)
-                remaining[sid] = cap - take
-                served_row[sid] += take
-                amount -= take
-                hop_sum += take * level
-                km = router.distance_km(origin, dc)
-                distance_sum += take * km
-                if latency is not None and latency.response_ms(km, level) > latency.sla_ms:
-                    sla_miss += take
-            if amount > 0.0 and level == len(path) - 1:
-                # Reached the holder and still overflowing: blocked.
-                unserved[partition] += amount
-                hop_sum += amount * level
-                distance_sum += amount * router.distance_km(origin, dc)
-                if latency is not None:
-                    sla_miss += amount  # blocked queries always miss
-                amount = 0.0
-            amounts[idx] = amount
+                if amount > 0.0 and level == len(path) - 1:
+                    # Reached the holder and still overflowing: blocked.
+                    unserved[partition] += amount
+                    hop_sum += amount * level
+                    distance_sum += amount * router.distance_km(origin, dc)
+                    if latency is not None:
+                        sla_miss += amount  # blocked queries always miss
+                    amount = 0.0
+                amounts[idx] = amount
     return hop_sum, distance_sum, sla_miss

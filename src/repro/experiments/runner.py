@@ -49,12 +49,14 @@ def run_experiment(
     invariants=None,
     timeseries=None,
     sanitizer=None,
+    work=None,
 ) -> ExperimentResult:
     """Run ``policy`` over the scenario's recorded trace and events.
 
     Every run constructs a fresh :class:`Simulation` from the scenario's
     config, so repeated calls are bit-identical.  The optional
-    ``tracer`` / ``profiler`` / ``instruments`` / ``timeseries`` hooks
+    ``tracer`` / ``profiler`` / ``instruments`` / ``timeseries`` /
+    ``work`` hooks
     (see :mod:`repro.obs`) pass straight through to the simulation and
     stay reachable afterwards via ``result.simulation``; so do the
     scenario's chaos schedule and the ``invariants`` spec (see
@@ -89,6 +91,7 @@ def run_experiment(
         invariants=invariants,
         timeseries=timeseries,
         sanitizer=sanitizer,
+        work=work,
     )
     metrics = sim.run(scenario.epochs)
     return ExperimentResult(

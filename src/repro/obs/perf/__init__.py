@@ -1,0 +1,65 @@
+"""Performance observability: profile, count, account, attribute.
+
+The instrument panel for the ROADMAP's hot-path optimisation arc, in
+four parts (DESIGN.md "Performance observability"):
+
+* :mod:`repro.obs.perf.profiler` — a deterministic instrumented
+  profiler (:class:`HotPathProfiler`: engine phases + nested kernel
+  spans whose tree shape is seed-determined) and an optional
+  ``sys.setprofile`` mode (:class:`TraceProfiler`) for per-function
+  attribution;
+* :mod:`repro.obs.perf.counters` — :class:`WorkCounters`, a
+  hardware-independent work/cost model (partitions scanned, decisions
+  evaluated, actions applied, RNG draws per stream, ring lookups,
+  graph hops) recorded per epoch into ``.tsdb.json`` frames;
+* allocation accounting via ``tracemalloc`` (per-phase net bytes and
+  top-N sites, folded into the artifact);
+* :mod:`repro.obs.perf.artifact` + :mod:`repro.obs.perf.diffing` — the
+  versioned ``.prof.json`` artifact, collapsed-stack / speedscope /
+  flamegraph exporters, and the ``repro perfdiff`` attribution differ.
+
+Typical use::
+
+    from repro.obs.perf import profile_scenario, diff_profiles
+    profile = profile_scenario("rfh", scenario)
+    profile.save("run.prof.json")
+
+or from the command line::
+
+    python -m repro profile --policy rfh --epochs 120 --out run.prof.json
+    python -m repro perfdiff base.prof.json run.prof.json
+"""
+
+from .artifact import PROF_FORMAT, PROF_VERSION, PerfProfile, ProfileError
+from .counters import WORK_COUNTER_NAMES, WorkCounters
+from .diffing import (
+    PerfDelta,
+    PerfDiffReport,
+    diff_profiles,
+    render_perfdiff_json,
+    render_perfdiff_text,
+)
+from .flamegraph import render_flamegraph
+from .profiler import HotPathProfiler, TraceProfiler, span_node_records
+from .session import PROFILE_MODES, build_profile, profile_scenario
+
+__all__ = [
+    "PROF_FORMAT",
+    "PROF_VERSION",
+    "PROFILE_MODES",
+    "PerfDelta",
+    "PerfDiffReport",
+    "PerfProfile",
+    "ProfileError",
+    "HotPathProfiler",
+    "TraceProfiler",
+    "WORK_COUNTER_NAMES",
+    "WorkCounters",
+    "build_profile",
+    "diff_profiles",
+    "profile_scenario",
+    "render_flamegraph",
+    "render_perfdiff_json",
+    "render_perfdiff_text",
+    "span_node_records",
+]

@@ -1,0 +1,231 @@
+"""Perf-regression attribution: diff two ``.prof.json`` artifacts.
+
+``repro diff`` can say a run got slower; this differ says *where*.  It
+compares two :class:`~repro.obs.perf.artifact.PerfProfile` artifacts
+three ways:
+
+* **phases** — total wall-clock per engine phase;
+* **nodes**  — self-time per stack path (the kernel spans or traced
+  functions), which is the line a fix would edit;
+* **counters** — the hardware-independent work counters.
+
+Timing comparisons gate (``exit_code() == 1`` on any regression beyond
+tolerance) because that is what CI wants to block on.  Counter changes
+are *reported but neutral by default*: more work at equal output is an
+algorithmic observation, not automatically a regression — pass
+``gate_counters=True`` (CLI ``--gate-counters``) to make counter growth
+gate too.  Timing tolerances default wide (25% + 2 ms) because
+wall-clock is noisy across CI machines; counters compare near-exactly
+because they are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .artifact import PerfProfile
+
+__all__ = [
+    "PerfDelta",
+    "PerfDiffReport",
+    "diff_profiles",
+    "render_perfdiff_json",
+    "render_perfdiff_text",
+]
+
+#: Classification buckets, in report order.
+_ORDER = {"regressed": 0, "improved": 1, "changed": 2, "unchanged": 3}
+
+
+@dataclass(frozen=True)
+class PerfDelta:
+    """One compared quantity (a phase, a stack node or a counter)."""
+
+    kind: str  # "phase" | "node" | "counter"
+    name: str
+    base: float
+    cand: float
+    classification: str  # "regressed" | "improved" | "changed" | "unchanged"
+
+    @property
+    def delta(self) -> float:
+        return self.cand - self.base
+
+    @property
+    def ratio(self) -> float:
+        """cand/base (inf-free: 0 base with any growth reports 0.0)."""
+        return self.cand / self.base if self.base > 0 else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "base": self.base,
+            "cand": self.cand,
+            "delta": self.delta,
+            "classification": self.classification,
+        }
+
+
+@dataclass
+class PerfDiffReport:
+    """Everything :func:`diff_profiles` concluded, renderer-ready."""
+
+    deltas: list[PerfDelta]
+    meta_base: dict[str, object] = field(default_factory=dict)
+    meta_cand: dict[str, object] = field(default_factory=dict)
+    gate_counters: bool = False
+
+    def of_kind(self, kind: str) -> list[PerfDelta]:
+        return [d for d in self.deltas if d.kind == kind]
+
+    def regressions(self) -> list[PerfDelta]:
+        """Gating regressions, worst absolute slowdown first."""
+        gating = [
+            d
+            for d in self.deltas
+            if d.classification == "regressed"
+            and (d.kind != "counter" or self.gate_counters)
+        ]
+        return sorted(gating, key=lambda d: (-abs(d.delta), d.name))
+
+    def exit_code(self) -> int:
+        return 1 if self.regressions() else 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "meta_base": self.meta_base,
+            "meta_cand": self.meta_cand,
+            "gate_counters": self.gate_counters,
+            "regressed": len(self.regressions()),
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+
+def _classify_time(
+    base: float, cand: float, rel_tol: float, abs_tol_s: float
+) -> str:
+    allowance = max(abs_tol_s, rel_tol * base)
+    delta = cand - base
+    if delta > allowance:
+        return "regressed"
+    if delta < -allowance:
+        return "improved"
+    return "unchanged"
+
+
+def _classify_counter(
+    base: float, cand: float, rel_tol: float, abs_tol: float
+) -> str:
+    if abs(cand - base) <= max(abs_tol, rel_tol * abs(base)):
+        return "unchanged"
+    return "changed"
+
+
+def diff_profiles(
+    base: PerfProfile,
+    cand: PerfProfile,
+    *,
+    rel_tol: float = 0.25,
+    abs_tol_s: float = 0.002,
+    counter_rel_tol: float = 0.0,
+    counter_abs_tol: float = 0.0,
+    gate_counters: bool = False,
+) -> PerfDiffReport:
+    """Compare ``cand`` against ``base`` and classify every quantity.
+
+    Quantities present on only one side are compared against zero —
+    a new stack burning real time is exactly the regression the differ
+    exists to name.
+    """
+    deltas: list[PerfDelta] = []
+
+    base_phases = {name: float(s.get("total", 0.0)) for name, s in base.phases.items()}
+    cand_phases = {name: float(s.get("total", 0.0)) for name, s in cand.phases.items()}
+    for name in sorted(base_phases | cand_phases):
+        b, c = base_phases.get(name, 0.0), cand_phases.get(name, 0.0)
+        deltas.append(
+            PerfDelta("phase", name, b, c, _classify_time(b, c, rel_tol, abs_tol_s))
+        )
+
+    base_nodes = {";".join(n["stack"]): float(n["self_s"]) for n in base.nodes}
+    cand_nodes = {";".join(n["stack"]): float(n["self_s"]) for n in cand.nodes}
+    for name in sorted(base_nodes | cand_nodes):
+        b, c = base_nodes.get(name, 0.0), cand_nodes.get(name, 0.0)
+        deltas.append(
+            PerfDelta("node", name, b, c, _classify_time(b, c, rel_tol, abs_tol_s))
+        )
+
+    for name in sorted(base.counters | cand.counters):
+        b = float(base.counters.get(name, 0.0))
+        c = float(cand.counters.get(name, 0.0))
+        label = _classify_counter(b, c, counter_rel_tol, counter_abs_tol)
+        if gate_counters and label == "changed" and c > b:
+            label = "regressed"
+        deltas.append(PerfDelta("counter", name, b, c, label))
+
+    return PerfDiffReport(
+        deltas=deltas,
+        meta_base=dict(base.meta),
+        meta_cand=dict(cand.meta),
+        gate_counters=gate_counters,
+    )
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+def _fmt_s(seconds: float) -> str:
+    return f"{seconds * 1e3:9.3f} ms"
+
+
+def render_perfdiff_text(report: PerfDiffReport, *, verbose: bool = False) -> str:
+    """Human report: regressions first, with their phase/function names."""
+    lines: list[str] = []
+    ident = " vs ".join(
+        str(m.get("policy", "?")) + "/" + str(m.get("scenario", "?"))
+        for m in (report.meta_base, report.meta_cand)
+    )
+    lines.append(f"perfdiff: {ident}")
+    regressions = report.regressions()
+    if regressions:
+        lines.append(f"REGRESSED: {len(regressions)} quantit(y/ies) beyond tolerance")
+        for d in regressions:
+            if d.kind == "counter":
+                lines.append(
+                    f"  [counter] {d.name}: {d.base:.0f} -> {d.cand:.0f} "
+                    f"({d.delta:+.0f})"
+                )
+            else:
+                pct = f" ({d.ratio - 1.0:+.0%})" if d.base > 0 else " (new)"
+                lines.append(
+                    f"  [{d.kind}] {d.name}: {_fmt_s(d.base)} -> "
+                    f"{_fmt_s(d.cand)}{pct}"
+                )
+    else:
+        lines.append("ok: no timing regression beyond tolerance")
+    improved = [d for d in report.deltas if d.classification == "improved"]
+    if improved:
+        lines.append(f"improved: {len(improved)}")
+        for d in sorted(improved, key=lambda d: d.delta)[: 5 if not verbose else None]:
+            lines.append(
+                f"  [{d.kind}] {d.name}: {_fmt_s(d.base)} -> {_fmt_s(d.cand)}"
+            )
+    changed = [
+        d
+        for d in report.deltas
+        if d.kind == "counter" and d.classification in ("changed", "regressed")
+    ]
+    if changed:
+        lines.append(f"work counters changed: {len(changed)} (neutral unless gated)")
+        for d in changed:
+            lines.append(f"  [counter] {d.name}: {d.base:.0f} -> {d.cand:.0f}")
+    if verbose:
+        unchanged = [d for d in report.deltas if d.classification == "unchanged"]
+        lines.append(f"unchanged: {len(unchanged)}")
+    return "\n".join(lines)
+
+
+def render_perfdiff_json(report: PerfDiffReport) -> str:
+    return json.dumps(report.to_dict(), indent=1)

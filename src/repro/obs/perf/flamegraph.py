@@ -1,0 +1,198 @@
+"""Self-contained flamegraph HTML for a :class:`PerfProfile`.
+
+Same contract as ``repro dashboard``: one file, zero external
+references (CI greps the output for URLs and fails on any), inline CSS
+and JS only, so the artifact opens from a mail attachment or an
+air-gapped CI artifact store.  The call tree is embedded as JSON and
+rendered client-side into absolutely-positioned frame divs — width
+proportional to inclusive time, click to zoom into a subtree, click
+the root bar to zoom back out.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+
+from .artifact import PerfProfile
+
+__all__ = ["render_flamegraph"]
+
+_CSS = """
+:root { color-scheme: light dark; }
+body { margin: 0; font: 13px/1.45 -apple-system, "Segoe UI", Roboto,
+       sans-serif; background: #16181d; color: #d8dce3; }
+main { max-width: 1200px; margin: 0 auto; padding: 18px 22px 40px; }
+h1 { font-size: 17px; margin: 0 0 2px; }
+p.sub { margin: 0 0 14px; color: #8b93a1; font-size: 12px; }
+#flame { position: relative; width: 100%; }
+.frame { position: absolute; height: 19px; box-sizing: border-box;
+         border: 1px solid #16181d; border-radius: 2px; overflow: hidden;
+         white-space: nowrap; font-size: 11px; line-height: 17px;
+         padding: 0 4px; color: #14161a; cursor: pointer; }
+.frame:hover { filter: brightness(1.18); }
+#detail { margin-top: 14px; padding: 8px 10px; background: #1d2026;
+          border-radius: 6px; min-height: 2.6em; font-size: 12px;
+          color: #aeb6c2; }
+table.hot { border-collapse: collapse; margin-top: 16px; width: 100%; }
+table.hot th, table.hot td { text-align: left; padding: 3px 10px 3px 0;
+          border-bottom: 1px solid #262a31; font-size: 12px; }
+table.hot td.num, table.hot th.num { text-align: right; }
+footer { margin-top: 22px; color: #6b7380; font-size: 11px; }
+"""
+
+_JS = """
+'use strict';
+const DATA = JSON.parse(document.getElementById('profile-data').textContent);
+const el = document.getElementById('flame');
+const detail = document.getElementById('detail');
+
+function buildTree(nodes) {
+  const root = {name: 'all', total: 0, self: 0, count: 0, children: new Map()};
+  for (const n of nodes) {
+    let cur = root;
+    for (const label of n.stack) {
+      if (!cur.children.has(label)) {
+        cur.children.set(label, {name: label, total: 0, self: 0, count: 0,
+                                 children: new Map()});
+      }
+      cur = cur.children.get(label);
+    }
+    cur.total = n.total_s; cur.self = n.self_s; cur.count = n.count;
+  }
+  root.total = 0;
+  for (const child of root.children.values()) root.total += child.total;
+  return root;
+}
+
+function fmt(s) {
+  if (s >= 1) return s.toFixed(2) + ' s';
+  if (s >= 1e-3) return (s * 1e3).toFixed(2) + ' ms';
+  return (s * 1e6).toFixed(0) + ' us';
+}
+
+function color(name) {
+  let h = 2166136261;
+  for (let i = 0; i < name.length; i++) {
+    h ^= name.charCodeAt(i); h = Math.imul(h, 16777619);
+  }
+  const hue = 18 + (Math.abs(h) % 42);        /* warm flame palette */
+  const light = 58 + (Math.abs(h >> 8) % 16);
+  return 'hsl(' + hue + ',82%,' + light + '%)';
+}
+
+const ROW = 20;
+let zoomRoot = null;
+
+function render(root) {
+  zoomRoot = root;
+  el.textContent = '';
+  const frames = [];
+  let maxDepth = 0;
+  (function place(node, depth, x0, span) {
+    if (depth > 0) {
+      frames.push({node, depth, x0, span});
+      maxDepth = Math.max(maxDepth, depth);
+    }
+    let x = x0;
+    const kids = [...node.children.values()];
+    const denom = node === root && depth === 0
+      ? kids.reduce((a, c) => a + c.total, 0) || 1
+      : node.total || 1;
+    for (const child of kids) {
+      const w = span * (child.total / denom);
+      place(child, depth + 1, x, w);
+      x += w;
+    }
+  })(root, 0, 0, 100);
+  el.style.height = ((maxDepth + 1) * ROW + 4) + 'px';
+  const rootBar = document.createElement('div');
+  rootBar.className = 'frame';
+  rootBar.style.cssText = 'left:0;width:100%;top:0;background:#3a4150;color:#d8dce3';
+  rootBar.textContent = root.name === 'all'
+    ? 'all (' + fmt(root.total) + ') — click a frame to zoom'
+    : root.name + ' (' + fmt(root.total) + ') — click to reset zoom';
+  rootBar.onclick = () => render(buildTree(DATA.nodes));
+  el.appendChild(rootBar);
+  for (const f of frames) {
+    if (f.span <= 0.05) continue;          /* sub-half-per-mille: skip */
+    const d = document.createElement('div');
+    d.className = 'frame';
+    d.style.left = f.x0 + '%';
+    d.style.width = f.span + '%';
+    d.style.top = (f.depth * ROW) + 'px';
+    d.style.background = color(f.node.name);
+    d.textContent = f.node.name;
+    const pct = ((f.node.total / (zoomRoot.total || 1)) * 100).toFixed(1);
+    d.title = f.node.name + ' — total ' + fmt(f.node.total) + ' (' + pct +
+              '%), self ' + fmt(f.node.self) + ', ' + f.node.count + ' calls';
+    d.onclick = () => { render(f.node); };
+    d.onmouseenter = () => { detail.textContent = d.title; };
+    el.appendChild(d);
+  }
+}
+
+render(buildTree(DATA.nodes));
+"""
+
+
+def _hot_table(profile: PerfProfile, top_n: int = 12) -> str:
+    rows = []
+    total = profile.total_seconds() or 1.0
+    for node in profile.hottest(top_n):
+        stack = ";".join(node["stack"])
+        self_s = float(node["self_s"])
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(stack)}</td>"
+            f"<td class='num'>{int(node['count'])}</td>"
+            f"<td class='num'>{self_s * 1e3:.3f}</td>"
+            f"<td class='num'>{self_s / total:.1%}</td>"
+            "</tr>"
+        )
+    if not rows:
+        return ""
+    return (
+        '<table class="hot"><thead><tr><th>stack</th><th class="num">calls</th>'
+        '<th class="num">self ms</th><th class="num">share</th></tr></thead>'
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def render_flamegraph(profile: PerfProfile, *, title: str | None = None) -> str:
+    """Render one self-contained flamegraph HTML page."""
+    meta = profile.meta
+    if title is None:
+        bits = [str(meta.get("policy", "run"))]
+        if meta.get("scenario"):
+            bits.append(str(meta["scenario"]))
+        title = "RFH hot-path flamegraph — " + " / ".join(bits)
+    sub_bits = [
+        f"{key}={meta[key]}"
+        for key in ("policy", "scenario", "seed", "epochs", "mode")
+        if meta.get(key) is not None
+    ]
+    sub_bits.append(f"{len(profile.nodes)} stacks")
+    sub_bits.append(f"{profile.total_seconds() * 1e3:.1f} ms profiled")
+    # "<\\/" keeps an embedded "</script>" from terminating the data
+    # block; no other escaping is needed inside a JSON script element.
+    data = json.dumps({"nodes": profile.nodes}, separators=(",", ":")).replace(
+        "</", "<\\/"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n<body>\n<main>\n"
+        f"<h1>{html.escape(title)}</h1>\n"
+        f'<p class="sub">{html.escape(" · ".join(sub_bits))}</p>\n'
+        '<div id="flame"></div>\n'
+        '<div id="detail">hover a frame for details; click to zoom</div>\n'
+        f"{_hot_table(profile)}\n"
+        "<footer>rendered by repro profile · offline: no external "
+        "resources</footer>\n</main>\n"
+        f'<script id="profile-data" type="application/json">{data}</script>\n'
+        f"<script>{_JS}</script>\n"
+        "</body>\n</html>\n"
+    )

@@ -1,0 +1,317 @@
+"""Hot-path profilers: kernel spans and a ``sys.setprofile`` tracer.
+
+Two complementary instruments, both measurement-only (no value they
+produce ever feeds back into simulation state, which is why this module
+shares ``obs/profiler.py``'s wall-clock exemption):
+
+* :class:`HotPathProfiler` — the *deterministic instrumented* mode.  It
+  extends :class:`~repro.obs.profiler.PhaseProfiler` with nested
+  :meth:`~HotPathProfiler.span` context managers at hand-placed kernel
+  sites (decision evaluation, EWMA smoothing, threshold checks,
+  overflow recursion, storage accounting, routing).  The resulting call
+  tree's *shape* — which stacks exist and how often each ran — is a
+  pure function of the seed, so two same-seed runs disagree only in the
+  measured seconds, never in the tree.
+* :class:`TraceProfiler` — the optional ``sys.setprofile`` mode.  It
+  attributes self-time to every Python function call, which finds hot
+  spots the hand-placed spans don't cover (at ~2-5x run-time overhead;
+  use it to *find* a kernel, then instrument it).
+
+Both produce the same node records (``stack``/``count``/``total_s``/
+``self_s``), so the exporters in :mod:`repro.obs.perf.artifact` and the
+flamegraph renderer consume either.
+
+:class:`HotPathProfiler` can also meter allocations: with
+``tracemalloc`` tracing active it records the net allocated bytes per
+engine phase, and :meth:`allocation_sites` snapshots the top allocation
+sites for the profile artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import tracemalloc
+from typing import Any
+
+from ..profiler import PhaseProfiler
+
+__all__ = ["HotPathProfiler", "TraceProfiler", "span_node_records"]
+
+
+def span_node_records(
+    nodes: dict[tuple[str, ...], list[float]], *, self_stored: bool = False
+) -> list[dict[str, object]]:
+    """Normalise a raw node table into sorted, export-ready records.
+
+    ``nodes`` maps stack paths to ``[count, seconds]`` where the seconds
+    are inclusive totals (instrumented spans) or exclusive self-times
+    (``self_stored=True``, the tracer's accounting); the records carry
+    both views so every exporter sees ``total_s`` and ``self_s``.
+    """
+    if self_stored:
+        totals: dict[tuple[str, ...], float] = {}
+        for path, (_count, self_s) in nodes.items():
+            for depth in range(1, len(path) + 1):
+                prefix = path[:depth]
+                totals[prefix] = totals.get(prefix, 0.0) + self_s
+        return [
+            {
+                "stack": list(path),
+                "count": int(nodes[path][0]),
+                "total_s": totals[path],
+                "self_s": nodes[path][1],
+            }
+            for path in sorted(nodes)
+        ]
+    children_total: dict[tuple[str, ...], float] = {}
+    for path, (_count, total) in nodes.items():
+        if len(path) > 1:
+            parent = path[:-1]
+            children_total[parent] = children_total.get(parent, 0.0) + total
+    return [
+        {
+            "stack": list(path),
+            "count": int(nodes[path][0]),
+            "total_s": nodes[path][1],
+            "self_s": max(0.0, nodes[path][1] - children_total.get(path, 0.0)),
+        }
+        for path in sorted(nodes)
+    ]
+
+
+class _SpanTimer:
+    """Reusable context manager timing one kernel span entry."""
+
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "HotPathProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_SpanTimer":
+        self._profiler._stack.append(self._name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.perf_counter() - self._t0
+        profiler = self._profiler
+        node = profiler._nodes.setdefault(tuple(profiler._stack), [0, 0.0])
+        node[0] += 1
+        node[1] += elapsed
+        profiler._stack.pop()
+
+
+class _HotPhaseTimer:
+    """Phase timer that also roots the span stack and meters allocation."""
+
+    __slots__ = ("_profiler", "_phase", "_t0", "_alloc0")
+
+    def __init__(self, profiler: "HotPathProfiler", phase: str) -> None:
+        self._profiler = profiler
+        self._phase = phase
+
+    def __enter__(self) -> "_HotPhaseTimer":
+        profiler = self._profiler
+        profiler._stack.append(self._phase)
+        self._alloc0 = (
+            tracemalloc.get_traced_memory()[0] if tracemalloc.is_tracing() else None
+        )
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.perf_counter() - self._t0
+        profiler = self._profiler
+        profiler._samples[self._phase].append(elapsed)
+        node = profiler._nodes.setdefault(tuple(profiler._stack), [0, 0.0])
+        node[0] += 1
+        node[1] += elapsed
+        if self._alloc0 is not None:
+            grown = tracemalloc.get_traced_memory()[0] - self._alloc0
+            if grown > 0:
+                profiler._phase_alloc[self._phase] = (
+                    profiler._phase_alloc.get(self._phase, 0) + grown
+                )
+        profiler._stack.pop()
+
+
+class HotPathProfiler(PhaseProfiler):
+    """Phase profiler with nested kernel spans and allocation metering.
+
+    Engine phases (via :meth:`phase`) root the stack; hand-placed
+    :meth:`span` sites nest under them, accumulating ``(count, total)``
+    per distinct stack path.  Everything a :class:`PhaseProfiler` does
+    still works — the per-phase table, ``latest()`` for the time-series
+    recorder, ``merge()`` — so it drops into ``Simulation(profiler=...)``
+    unchanged.
+    """
+
+    #: The engine hands this profiler to span-capable components
+    #: (policy, decision tree, service walk) when True.
+    supports_spans: bool = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._timers = {name: _HotPhaseTimer(self, name) for name in self._timers}
+        self._stack: list[str] = []
+        #: ``{stack path: [count, total_seconds]}`` over all entries.
+        self._nodes: dict[tuple[str, ...], list[float]] = {}
+        self._span_timers: dict[str, _SpanTimer] = {}
+        #: Net bytes allocated per phase (only while tracemalloc traces).
+        self._phase_alloc: dict[str, int] = {}
+
+    def phase(self, name: str) -> _HotPhaseTimer:
+        timer = self._timers.get(name)
+        if timer is None:
+            self._samples[name] = self._samples.get(name, [])
+            timer = self._timers[name] = _HotPhaseTimer(self, name)
+        return timer
+
+    def span(self, name: str) -> _SpanTimer:
+        """Context manager timing one nested kernel entry of ``name``."""
+        timer = self._span_timers.get(name)
+        if timer is None:
+            timer = self._span_timers[name] = _SpanTimer(self, name)
+        return timer
+
+    # ------------------------------------------------------------------
+    def span_nodes(self) -> list[dict[str, object]]:
+        """Export-ready span records, sorted by stack path."""
+        return span_node_records(self._nodes)
+
+    def phase_allocations(self) -> dict[str, int]:
+        """Net bytes allocated per phase (empty unless tracemalloc ran)."""
+        return dict(self._phase_alloc)
+
+    @staticmethod
+    def allocation_sites(top_n: int = 15) -> list[dict[str, object]]:
+        """Top-N live allocation sites from the current tracemalloc state.
+
+        Returns ``[]`` when tracing is off, so callers need no guard.
+        """
+        if not tracemalloc.is_tracing():
+            return []
+        snapshot = tracemalloc.take_snapshot().filter_traces(
+            (
+                tracemalloc.Filter(False, tracemalloc.__file__),
+                tracemalloc.Filter(False, "<frozen importlib._bootstrap>"),
+            )
+        )
+        sites = []
+        for stat in snapshot.statistics("lineno")[:top_n]:
+            frame = stat.traceback[0]
+            sites.append(
+                {
+                    "site": f"{os.path.basename(frame.filename)}:{frame.lineno}",
+                    "size_bytes": int(stat.size),
+                    "count": int(stat.count),
+                }
+            )
+        return sites
+
+    def reset(self) -> None:
+        super().reset()
+        self._stack.clear()
+        self._nodes.clear()
+        self._phase_alloc.clear()
+
+    def merge(self, other: PhaseProfiler) -> None:
+        super().merge(other)
+        other_nodes = getattr(other, "_nodes", None)
+        if other_nodes:
+            for path, (count, total) in other_nodes.items():
+                node = self._nodes.setdefault(path, [0, 0.0])
+                node[0] += count
+                node[1] += total
+        other_alloc = getattr(other, "_phase_alloc", None)
+        if other_alloc:
+            for phase, grown in other_alloc.items():
+                self._phase_alloc[phase] = self._phase_alloc.get(phase, 0) + grown
+
+
+class TraceProfiler:
+    """Function-level self-time attribution via ``sys.setprofile``.
+
+    Python call/return events maintain a live stack of
+    ``file.py:qualname`` labels; the elapsed time between consecutive
+    events is charged to the function on top (exclusive self-time).
+    C calls are deliberately not descended into — a ``time.sleep`` or a
+    numpy kernel is charged to the Python function that invoked it,
+    which is the frame a fix would edit.
+
+    Use as a context manager around the code under test::
+
+        tracer = TraceProfiler()
+        with tracer:
+            sim.run(50)
+        nodes = tracer.span_nodes()
+    """
+
+    def __init__(self, max_depth: int = 64) -> None:
+        self.max_depth = max_depth
+        self._stack: list[str] = []
+        #: ``{stack path: [count, self_seconds]}``.
+        self._nodes: dict[tuple[str, ...], list[float]] = {}
+        self._last = 0.0
+        self._skipped = 0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "TraceProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        self._last = time.perf_counter()
+        sys.setprofile(self._event)
+
+    def stop(self) -> None:
+        sys.setprofile(None)
+        self._charge(time.perf_counter())
+        self._stack.clear()
+
+    # ------------------------------------------------------------------
+    def _charge(self, now: float) -> None:
+        """Attribute the time since the last event to the current top."""
+        if self._stack:
+            node = self._nodes.setdefault(tuple(self._stack), [0, 0.0])
+            node[1] += now - self._last
+        self._last = now
+
+    def _event(self, frame: Any, event: str, arg: object) -> None:
+        now = time.perf_counter()
+        # Charge on EVERY event — including c_call/c_return — so the
+        # interval spent inside a C function (time.sleep, a numpy
+        # kernel) lands on the Python frame that invoked it.
+        self._charge(now)
+        if event == "call":
+            if len(self._stack) >= self.max_depth:
+                self._skipped += 1
+                self._last = time.perf_counter()
+                return
+            code = frame.f_code
+            label = f"{os.path.basename(code.co_filename)}:{code.co_qualname}"
+            self._stack.append(label)
+            node = self._nodes.setdefault(tuple(self._stack), [0, 0.0])
+            node[0] += 1
+        elif event == "return":
+            if self._skipped:
+                self._skipped -= 1
+            elif self._stack:
+                self._stack.pop()
+        self._last = time.perf_counter()  # exclude handler overhead
+
+    # ------------------------------------------------------------------
+    def span_nodes(self) -> list[dict[str, object]]:
+        """Export-ready node records, sorted by stack path."""
+        return span_node_records(self._nodes, self_stored=True)
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self._nodes.clear()
+        self._skipped = 0

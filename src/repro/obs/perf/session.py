@@ -1,0 +1,121 @@
+"""One-call profiling sessions: run a scenario, get a PerfProfile.
+
+:func:`profile_scenario` is what ``repro profile``,
+``scripts/run_benchmarks.py`` and the tests share: it wires a
+:class:`~repro.obs.perf.profiler.HotPathProfiler`, a
+:class:`~repro.obs.perf.counters.WorkCounters` and (optionally)
+``tracemalloc`` + a :class:`~repro.obs.perf.profiler.TraceProfiler`
+through one :func:`~repro.experiments.runner.run_experiment` call and
+packages everything into a versioned
+:class:`~repro.obs.perf.artifact.PerfProfile`.
+
+Modes
+-----
+``kernels`` (default)
+    Deterministic instrumented spans only — the call-tree *shape* is a
+    pure function of the seed; overhead is a few percent.
+``trace``
+    Additionally runs the ``sys.setprofile`` tracer and stores
+    per-function stacks instead of the hand-placed spans (2-5x slower;
+    use to find hot spots the spans don't cover).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from ...experiments.runner import run_experiment
+from ...experiments.scenarios import Scenario
+from .artifact import PerfProfile
+from .counters import WorkCounters
+from .profiler import HotPathProfiler, TraceProfiler
+
+__all__ = ["PROFILE_MODES", "build_profile", "profile_scenario"]
+
+PROFILE_MODES = ("kernels", "trace")
+
+
+def build_profile(
+    *,
+    profiler: HotPathProfiler | None = None,
+    tracer: TraceProfiler | None = None,
+    work: WorkCounters | None = None,
+    meta: dict[str, object] | None = None,
+    top_alloc: int = 15,
+) -> PerfProfile:
+    """Package live instruments into a :class:`PerfProfile`.
+
+    The tracer's function stacks take precedence over the profiler's
+    kernel spans when both are present (trace mode); phase summaries
+    and allocation accounting always come from the profiler.
+    """
+    phases: dict[str, dict[str, float]] = {}
+    allocations: dict[str, object] = {}
+    if profiler is not None:
+        phases = {
+            name: stats.to_dict()  # type: ignore[misc]
+            for name, stats in profiler.phase_timings().items()
+        }
+        phase_bytes = profiler.phase_allocations()
+        if phase_bytes or tracemalloc.is_tracing():
+            allocations = {
+                "phase_bytes": phase_bytes,
+                "top_sites": profiler.allocation_sites(top_alloc),
+            }
+    nodes = (
+        tracer.span_nodes()
+        if tracer is not None
+        else (profiler.span_nodes() if profiler is not None else [])
+    )
+    return PerfProfile(
+        meta=dict(meta or {}),
+        phases=phases,
+        nodes=nodes,
+        counters=work.totals() if work is not None else {},
+        allocations=allocations,
+    )
+
+
+def profile_scenario(
+    policy: str,
+    scenario: Scenario,
+    *,
+    mode: str = "kernels",
+    allocations: bool = True,
+    top_alloc: int = 15,
+) -> PerfProfile:
+    """Run ``policy`` over ``scenario`` under full perf instrumentation."""
+    if mode not in PROFILE_MODES:
+        raise ValueError(f"unknown profile mode {mode!r}; choose from {PROFILE_MODES}")
+    profiler = HotPathProfiler()
+    work = WorkCounters()
+    tracer = TraceProfiler() if mode == "trace" else None
+    started_tracemalloc = False
+    if allocations and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started_tracemalloc = True
+    try:
+        if tracer is not None:
+            tracer.start()
+        try:
+            run_experiment(policy, scenario, profiler=profiler, work=work)
+        finally:
+            if tracer is not None:
+                tracer.stop()
+        meta: dict[str, object] = {
+            "policy": policy,
+            "scenario": scenario.name,
+            "seed": scenario.config.seed,
+            "epochs": scenario.epochs,
+            "mode": mode,
+        }
+        return build_profile(
+            profiler=profiler,
+            tracer=tracer,
+            work=work,
+            meta=meta,
+            top_alloc=top_alloc,
+        )
+    finally:
+        if started_tracemalloc:
+            tracemalloc.stop()

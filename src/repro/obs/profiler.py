@@ -61,11 +61,21 @@ class PhaseStats:
 
 
 def _percentile(ordered: list[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted sample."""
+    """Linearly-interpolated percentile of an already-sorted sample.
+
+    Interpolation, not nearest-rank: ``round`` banker-rounds the
+    two-sample median's rank ``0.5`` down to 0, reporting the *minimum*
+    as p50 — exactly the sample size a 2-epoch smoke run produces.
+    """
     if not ordered:
         return 0.0
-    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[rank]
+    position = q * (len(ordered) - 1)
+    lower = min(len(ordered) - 1, max(0, int(position)))
+    upper = min(len(ordered) - 1, lower + 1)
+    fraction = position - lower
+    if fraction <= 0.0 or lower == upper:
+        return ordered[lower]
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
 
 class _PhaseTimer:
@@ -119,6 +129,12 @@ class PhaseProfiler:
             timer = self._timers[name] = _PhaseTimer(self, name)
         return timer
 
+    def span(self, name: str) -> _NullTimer:
+        """Nested kernel spans are a no-op here; the perf subsystem's
+        :class:`~repro.obs.perf.HotPathProfiler` overrides this, so
+        span sites can call it on any attached profiler."""
+        return _NULL_TIMER
+
     # ------------------------------------------------------------------
     def epochs_profiled(self) -> int:
         """Number of samples of the first engine phase (== epochs run)."""
@@ -153,6 +169,22 @@ class PhaseProfiler:
             )
         return out
 
+    def call_counts(self) -> dict[str, int]:
+        """Entries recorded per phase (how often each phase ran)."""
+        return {name: len(samples) for name, samples in self._samples.items()}
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's samples into this one.
+
+        Aggregates timing across runs (e.g. the four policies of a
+        ``compare``, or repeated benchmark rounds) without losing the
+        per-sample distribution the percentiles are computed from.
+        """
+        for name, samples in other._samples.items():
+            if name not in self._samples:
+                self.phase(name)  # registers the phase with this class's timer
+            self._samples[name].extend(samples)
+
     def reset(self) -> None:
         for samples in self._samples.values():
             samples.clear()
@@ -182,8 +214,14 @@ class NullProfiler:
     def phase(self, name: str) -> _NullTimer:
         return _NULL_TIMER
 
+    def span(self, name: str) -> _NullTimer:
+        return _NULL_TIMER
+
     def epochs_profiled(self) -> int:
         return 0
+
+    def call_counts(self) -> dict[str, int]:
+        return {}
 
     def latest(self) -> dict[str, float]:
         return {}

@@ -515,6 +515,15 @@ def _phase_series(art: TsdbArtifact) -> list[_PanelSeries]:
     ]
 
 
+def _work_series(art: TsdbArtifact) -> list[_PanelSeries]:
+    """The per-epoch work-counter columns (``repro.obs.perf``)."""
+    names = [n for n in art.column_names() if n.startswith("work/")]
+    return [
+        _PanelSeries(n.split("/", 1)[1], art.column(n), slot)
+        for slot, n in enumerate(names, start=1)
+    ]
+
+
 # ----------------------------------------------------------------------
 # Stat tiles
 # ----------------------------------------------------------------------
@@ -729,6 +738,28 @@ def render_dashboard(
             _render_panel(
                 "phases", "Engine phase timings", "ms/epoch",
                 epochs, phases, markers,
+            )
+        )
+    work = _work_series(run)
+    if work:
+        # Work counters are deterministic, so a dashed baseline overlay
+        # stays readable even with many series: divergence from the
+        # baseline is an algorithmic change, not noise.
+        base_work = None
+        if baseline is not None:
+            slots = {s.name: s.slot for s in work}
+            n = len(epochs)
+            base_work = [
+                _PanelSeries(name, baseline.column(f"work/{name}")[:n], slot)
+                for name, slot in slots.items()
+                if f"work/{name}" in baseline.columns
+            ] or None
+            if base_work and any(len(s.values) != n for s in base_work):
+                base_work = None
+        panels.append(
+            _render_panel(
+                "work", "Work per epoch", "units/epoch",
+                epochs, work, markers, base_work,
             )
         )
 

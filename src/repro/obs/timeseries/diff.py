@@ -90,6 +90,10 @@ POLARITY: tuple[tuple[str, int], ...] = (
     ("gauge/total_replicas*", -1),
     ("gauge/alive_servers*", 0),
     ("phase_s/*", -1),
+    # Work counters are algorithmic observations: more work at equal
+    # output is worth seeing, not worth gating (repro perfdiff
+    # --gate-counters exists for the strict stance).
+    ("work/*", 0),
     ("traffic_dc/*", 0),
     ("counter/*", 0),
     ("gauge/*", 0),
@@ -110,6 +114,7 @@ DEFAULT_TOLERANCES: tuple[tuple[str, tuple[float, float]], ...] = (
     ("sla_attainment", (0.01, 0.002)),
     ("mean_availability", (0.01, 0.001)),
     ("phase_s/*", (0.50, 1e-3)),
+    ("work/*", (0.05, 2.0)),
     ("counter/*", (0.10, 2.0)),
     ("gauge/*", (0.10, 2.0)),
 )

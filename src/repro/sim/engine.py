@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # imported lazily at runtime (chaos imports sim.events)
     from ..chaos.invariants import InvariantChecker
     from ..chaos.schedule import ChaosSchedule
     from ..consistency.tracker import ConsistencySummary
+    from ..obs.perf.counters import WorkCounters
     from ..obs.timeseries import TimeseriesRecorder
     from ..staticcheck.sanitizer import DeterminismSanitizer
     from ..workload.query import QueryBatch
@@ -149,6 +150,14 @@ class Simulation:
         and the epoch's metric values, building a fingerprint hash
         chain.  Two same-seed runs can then be diffed down to the first
         divergent epoch and component (``repro sanitize``).
+    work:
+        Optional :class:`~repro.obs.perf.counters.WorkCounters`; when
+        attached, the engine and the kernels it drives count units of
+        algorithmic work (partitions scanned, decisions evaluated,
+        actions applied, ring lookups, graph hops, RNG draws per
+        stream).  Per-epoch deltas are recorded into the timeseries as
+        ``work/*`` columns.  Counters are deterministic: two same-seed
+        runs produce identical values.
     """
 
     def __init__(
@@ -169,6 +178,7 @@ class Simulation:
         invariants: InvariantChecker | bool | None = None,
         timeseries: TimeseriesRecorder | None = None,
         sanitizer: DeterminismSanitizer | None = None,
+        work: WorkCounters | None = None,
     ) -> None:
         self.config = config
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
@@ -176,10 +186,17 @@ class Simulation:
         self.instruments = instruments
         self.timeseries = timeseries
         self.sanitizer = sanitizer
+        #: Hardware-independent work counters (``repro.obs.perf``); when
+        #: attached, the hot paths bump cheap integer counters and the
+        #: per-epoch deltas ride into the timeseries as ``work/*`` columns.
+        self.work = work
         #: Response-time model used for the latency/SLA series (the
         #: intro's 300 ms bound by default).
         self.latency = latency if latency is not None else LatencyModel()
         self.rng_tree = RngTree(config.seed)
+        if work is not None:
+            # Must attach before any component caches its stream.
+            self.rng_tree.attach_draw_counter(work.rng_draws)
         self.hierarchy = hierarchy if hierarchy is not None else build_default_hierarchy()
         self.wan = wan if wan is not None else build_wan(self.hierarchy)
         self.router = Router(self.wan)
@@ -246,6 +263,14 @@ class Simulation:
         self.policy_name: str = getattr(
             self.policy, "name", type(self.policy).__name__
         )
+        # Perf instrumentation hand-off: policies that support it receive
+        # the kernel-span profiler and work counters (duck-typed so the
+        # ReplicationPolicy protocol stays unchanged).
+        attach = getattr(self.policy, "attach_perf", None)
+        if attach is not None and (
+            work is not None or getattr(self.profiler, "supports_spans", False)
+        ):
+            attach(profiler=self.profiler, work=work)
         # Birth epochs of live copies, feeding the replica-lifetime
         # histogram; only maintained when instruments are attached.
         self._replica_birth: dict[tuple[int, int], int] = {}
@@ -382,6 +407,8 @@ class Simulation:
                 self.cluster.num_servers,
                 holder_sid=holder_sid,
                 latency=self.latency,
+                work=self.work,
+                profiler=profiler,
             )
             self.last_result = result
 
@@ -482,6 +509,9 @@ class Simulation:
         if self.profiler.enabled:
             for phase, seconds in self.profiler.latest().items():
                 row[f"phase_s/{phase}"] = seconds
+        if self.work is not None:
+            for name, count in self.work.epoch_deltas().items():
+                row[f"work/{name}"] = float(count)
         self.timeseries.sample(epoch, row)
 
     def _check_invariants(self, epoch: int) -> None:
@@ -664,6 +694,8 @@ class Simulation:
             if self.replicas.has_holder(partition):
                 continue
             owner = self.mapper.holder(partition)  # ring holds alive servers only
+            if self.work is not None:
+                self.work.ring_lookups += 1
             self.replicas.restore(partition, owner)
             restored += 1
             if self.timeseries is not None:
@@ -847,6 +879,8 @@ class Simulation:
             return
         self.replicas.add(action.partition, action.target_sid)
         stats["replication_count"] += 1
+        if self.work is not None:
+            self.work.replicate_actions += 1
         cost = replication_cost(
             self._transfer_distance_km(source.dc, target.dc),
             self.config.rfh.failure_rate,
@@ -894,6 +928,8 @@ class Simulation:
             return
         self.replicas.move(action.partition, action.source_sid, action.target_sid)
         stats["migration_count"] += 1
+        if self.work is not None:
+            self.work.migrate_actions += 1
         cost = migration_cost(
             self._transfer_distance_km(source.dc, target.dc),
             self.config.rfh.failure_rate,
@@ -929,6 +965,8 @@ class Simulation:
             return
         self.replicas.remove(action.partition, action.sid)
         stats["suicide_count"] += 1
+        if self.work is not None:
+            self.work.evict_actions += 1
         self._observe_replica_death(epoch, action.partition, action.sid)
         self._trace_action(
             epoch,
@@ -959,14 +997,15 @@ class Simulation:
         restored: int,
         consistency: "ConsistencySummary | None" = None,
     ) -> dict[str, float]:
-        counts = self._replica_count_matrix()
-        capacities = np.array(
-            [s.replica_capacity for s in self.cluster.servers], dtype=np.float64
-        )
-        alive_mask = np.array([s.alive for s in self.cluster.servers], dtype=bool)
-        summary = availability_summary(
-            self.replicas, self.config.rfh.failure_rate, self.rmin
-        )
+        with self.profiler.span("storage-accounting"):
+            counts = self._replica_count_matrix()
+            capacities = np.array(
+                [s.replica_capacity for s in self.cluster.servers], dtype=np.float64
+            )
+            alive_mask = np.array([s.alive for s in self.cluster.servers], dtype=bool)
+            summary = availability_summary(
+                self.replicas, self.config.rfh.failure_rate, self.rmin
+            )
         latency = self.latency.summarize_epoch(
             result.distance_sum_km,
             result.hop_sum,

@@ -15,6 +15,7 @@ the mapping is stable across processes and Python versions (no reliance on
 from __future__ import annotations
 
 import hashlib
+from typing import Any, cast
 
 import numpy as np
 
@@ -29,6 +30,48 @@ def stable_hash32(name: str) -> int:
     """
     digest = hashlib.sha256(name.encode("utf-8")).digest()
     return int.from_bytes(digest[:4], "big")
+
+
+class _CountingStream:
+    """Forwarding proxy that counts method invocations on a stream.
+
+    The perf work-counter model (``repro.obs.perf``) wants "RNG draws
+    per stream" without touching any draw site: the proxy forwards
+    every attribute to the real generator and bumps a shared counter
+    once per *method call* (one vectorised ``poisson(size=N)`` call is
+    one unit of work — the cost model counts kernel invocations, not
+    variates).  The real generator stays in the tree's ``_streams``
+    cache, so ``stream_states()`` and the determinism sanitizer are
+    unaffected.
+    """
+
+    __slots__ = ("_gen", "_counts", "_name")
+
+    def __init__(
+        self, gen: np.random.Generator, counts: dict[str, int], name: str
+    ) -> None:
+        self._gen = gen
+        self._counts = counts
+        self._name = name
+
+    @property
+    def bit_generator(self) -> np.random.BitGenerator:
+        return self._gen.bit_generator
+
+    def __getattr__(self, attr: str) -> Any:
+        value = getattr(self._gen, attr)
+        if not callable(value):
+            return value
+        counts, name = self._counts, self._name
+
+        def counted(*args: Any, **kwargs: Any) -> Any:
+            counts[name] = counts.get(name, 0) + 1
+            return value(*args, **kwargs)
+
+        return counted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_CountingStream({self._name!r}, {self._gen!r})"
 
 
 class RngTree:
@@ -51,6 +94,8 @@ class RngTree:
             raise ValueError(f"root seed must be non-negative, got {root_seed}")
         self._root_seed = int(root_seed)
         self._streams: dict[str, np.random.Generator] = {}
+        self._draw_counts: dict[str, int] | None = None
+        self._proxies: dict[str, _CountingStream] = {}
 
     @property
     def root_seed(self) -> int:
@@ -69,7 +114,29 @@ class RngTree:
             seq = np.random.SeedSequence([self._root_seed, stable_hash32(name)])
             gen = np.random.default_rng(seq)
             self._streams[name] = gen
-        return gen
+        if self._draw_counts is None:
+            return gen
+        proxy = self._proxies.get(name)
+        if proxy is None:
+            proxy = self._proxies[name] = _CountingStream(
+                gen, self._draw_counts, name
+            )
+        return cast(np.random.Generator, proxy)
+
+    def attach_draw_counter(self, counts: dict[str, int]) -> None:
+        """Count stream method invocations into ``counts`` (by name).
+
+        Must be attached before components cache their streams: from
+        then on :meth:`stream` hands out counting proxies (the cached
+        real generators are untouched, so fingerprints and replay stay
+        bit-identical with or without counting).
+        """
+        if self._streams:
+            raise ValueError(
+                "attach_draw_counter must be called before any stream is "
+                f"created (streams exist: {sorted(self._streams)})"
+            )
+        self._draw_counts = counts
 
     def fresh(self, name: str) -> np.random.Generator:
         """Return a *new* generator for ``name`` positioned at its origin.

@@ -418,16 +418,28 @@ class TestPercentile:
         assert _percentile(ordered, 0.0) == 1.0
         assert _percentile(ordered, 1.0) == 5.0
 
-    def test_two_sample_nearest_rank(self):
-        # round(0.5 * 1) banker-rounds to 0: the median of two samples
-        # is the lower one under nearest-rank, never an interpolation.
-        assert _percentile([1.0, 9.0], 0.5) == 1.0
-        assert _percentile([1.0, 9.0], 0.95) == 9.0
+    def test_two_sample_interpolation(self):
+        # Linear interpolation between order statistics: the median of
+        # two samples is their midpoint (the old nearest-rank rule
+        # banker-rounded p50 of [1, 9] down to 1.0).
+        assert _percentile([1.0, 9.0], 0.5) == 5.0
+        assert _percentile([1.0, 9.0], 0.95) == pytest.approx(8.6)
 
-    def test_never_interpolates(self):
+    def test_interpolates_between_neighbours(self):
         ordered = [1.0, 2.0, 10.0]
+        # q=0.75 lands at position 1.5: halfway between 2 and 10.
+        assert _percentile(ordered, 0.75) == pytest.approx(6.0)
+        # Results are always bracketed by the neighbouring samples.
         for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0):
-            assert _percentile(ordered, q) in ordered
+            value = _percentile(ordered, q)
+            assert ordered[0] <= value <= ordered[-1]
+
+    def test_matches_numpy_linear_method(self):
+        ordered = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+        for q in (0.0, 0.1, 0.25, 0.5, 0.77, 0.95, 1.0):
+            assert _percentile(ordered, q) == pytest.approx(
+                float(np.percentile(ordered, q * 100))
+            )
 
 
 # ----------------------------------------------------------------------
