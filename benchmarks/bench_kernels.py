@@ -131,6 +131,27 @@ def test_full_epoch_step_counters(benchmark):
     assert work.decisions_evaluated > 0
 
 
+def test_full_epoch_step_provenance(benchmark):
+    """One engine epoch with the decision-provenance recorder attached —
+    the per-decision draft capture (predicates, candidate sets, fates)
+    must stay close enough to ``test_full_epoch_step`` that
+    ``--provenance-out`` is viable in CI smoke jobs; the detached path
+    is covered by ``test_full_epoch_step`` itself since the disabled
+    recorder is a ``None`` check."""
+    from repro.obs.provenance import ProvenanceRecorder
+
+    recorder = ProvenanceRecorder()
+    sim = Simulation(SimulationConfig(seed=7), policy="rfh", provenance=recorder)
+    sim.run(50)  # warm state: replicas placed, signals warm
+
+    def step():
+        return sim.step()
+
+    result = benchmark.pedantic(step, rounds=20, iterations=1)
+    assert result.query_count >= 0
+    assert len(recorder.records) > 0
+
+
 def test_full_epoch_step_hot_profiler(benchmark):
     """One engine epoch under the hot-path profiler (phases + nested
     kernel spans) — the span overhead bounds what ``repro profile``

@@ -34,6 +34,7 @@ from ..config import RFHParameters
 from ..geo.availability_level import AvailabilityLevel, availability_level
 from ..sim.actions import Action, Migrate, Replicate
 from ..sim.observation import EpochObservation
+from ..sim.reasons import MEMBERSHIP_REBALANCE
 from .base import SmoothedSignals
 
 __all__ = ["OwnerOrientedPolicy"]
@@ -179,5 +180,5 @@ class OwnerOrientedPolicy:
             if other != worst
         )
         if int(target_level) > worst_level:
-            return Migrate(partition, worst, target, reason="membership-rebalance")
+            return Migrate(partition, worst, target, reason=MEMBERSHIP_REBALANCE)
         return None

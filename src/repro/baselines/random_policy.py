@@ -23,6 +23,7 @@ from ..core.placement import eligible_servers
 from ..ring.partition import PartitionMapper
 from ..sim.actions import Action, Replicate
 from ..sim.observation import EpochObservation
+from ..sim.reasons import OVERLOAD, SUCCESSOR
 from .base import SmoothedSignals
 
 __all__ = ["RandomPolicy"]
@@ -57,7 +58,7 @@ class RandomPolicy:
                 target = self._next_successor(partition, obs)
                 if target is not None:
                     actions.append(
-                        Replicate(partition, holder_sid, target, reason="successor")
+                        Replicate(partition, holder_sid, target, reason=SUCCESSOR)
                     )
                 continue
 
@@ -65,7 +66,7 @@ class RandomPolicy:
                 target = self._random_server(partition, obs)
                 if target is not None:
                     actions.append(
-                        Replicate(partition, holder_sid, target, reason="overload")
+                        Replicate(partition, holder_sid, target, reason=OVERLOAD)
                     )
         return actions
 

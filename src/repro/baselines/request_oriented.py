@@ -35,6 +35,7 @@ from ..config import RFHParameters
 from ..core.placement import choose_random_server
 from ..sim.actions import Action, Migrate, Replicate
 from ..sim.observation import EpochObservation
+from ..sim.reasons import AVAILABILITY, DEMAND, TOP3_CHANGE
 from .base import SmoothedSignals
 
 __all__ = ["RequestOrientedPolicy"]
@@ -96,7 +97,7 @@ class RequestOrientedPolicy:
         if replica_count < obs.rmin:
             target = self._place_at(partition, obs, top)
             if target is not None:
-                return Replicate(partition, holder_sid, target, reason="availability")
+                return Replicate(partition, holder_sid, target, reason=AVAILABILITY)
             return None
 
         # Migration trigger: a top requester site with no replica pulls
@@ -122,7 +123,7 @@ class RequestOrientedPolicy:
                     exclude=[sid for sid, _ in obs.replicas.servers_with(partition)],
                 )
                 if target is not None:
-                    return Migrate(partition, src_sid, target, reason="top3-change")
+                    return Migrate(partition, src_sid, target, reason=TOP3_CHANGE)
 
         if signals.holder_overloaded(partition, self._params.beta):
             unmet = [
@@ -133,7 +134,7 @@ class RequestOrientedPolicy:
             if unmet:
                 target = self._place_at(partition, obs, unmet)
                 if target is not None:
-                    return Replicate(partition, holder_sid, target, reason="demand")
+                    return Replicate(partition, holder_sid, target, reason=DEMAND)
         return None
 
     # ------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Twelve subcommands cover the workflows a user reaches for first:
+Fourteen subcommands cover the workflows a user reaches for first:
 
 * ``run``     — one policy, one scenario, headline metrics (optionally
   exported to CSV/JSON); ``--chaos NAME`` overlays a chaos schedule;
@@ -30,7 +30,14 @@ Twelve subcommands cover the workflows a user reaches for first:
   write a versioned ``.prof.json`` plus flamegraph/speedscope exports;
 * ``perfdiff`` — attribute a perf regression by diffing two
   ``.prof.json`` artifacts phase by phase, stack by stack and counter
-  by counter (non-zero exit on regression, for CI gating).
+  by counter (non-zero exit on regression, for CI gating);
+* ``explain`` — render a ``--provenance-out`` decision ledger as a
+  causal narrative: which Eq. 12/13/15/16 predicate fired for a
+  partition, with the actual numbers and threshold slack, and why the
+  rejected alternatives lost (``--why-not DC``);
+* ``provdiff`` — align two ``.prov.json`` ledgers decision by decision
+  and name the first divergent decision and the exact Eq. term that
+  differed (non-zero exit on divergence, for CI gating).
 
 Examples::
 
@@ -50,6 +57,9 @@ Examples::
     python -m repro sanitize --against run.fp.json
     python -m repro profile --policy rfh --epochs 120 --out run.prof.json
     python -m repro perfdiff base.prof.json run.prof.json
+    python -m repro run --provenance-out run.prov.json
+    python -m repro explain run.prov.json --partition 7 --why-not 3
+    python -m repro provdiff base.prov.json run.prov.json
 """
 
 from __future__ import annotations
@@ -72,6 +82,7 @@ from .experiments.scenarios import (
     flash_crowd_scenario,
     random_query_scenario,
 )
+from .obs.paths import derived_path, tagged_path
 
 __all__ = ["main", "build_parser"]
 
@@ -177,6 +188,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="save the determinism fingerprint trail to this file "
             "(implies --sanitize; feed it to `repro sanitize --against`); "
             "the compare command writes one file per policy",
+        )
+        p.add_argument(
+            "--provenance-out",
+            metavar="PATH.prov.json",
+            help="record a decision-provenance ledger (every threshold "
+            "predicate, candidate and action fate) and save it as a "
+            "versioned artifact (query with `repro explain`, compare "
+            "runs with `repro provdiff`); the compare command writes "
+            "one file per policy",
+        )
+        p.add_argument(
+            "--provenance-budget",
+            type=int,
+            default=None,
+            metavar="N",
+            help="cap the ledger at N decision records; oldest no-op "
+            "decisions are compacted away first (default 50000)",
         )
 
     run_p = sub.add_parser("run", help="run one policy and print headline metrics")
@@ -484,6 +512,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="write the report to this file instead of stdout"
     )
 
+    exp_p = sub.add_parser(
+        "explain",
+        help="answer 'why did the policy do that?' from a .prov.json "
+        "decision ledger: the causal narrative for one partition with "
+        "every threshold term, slack and rejected alternative",
+    )
+    exp_p.add_argument(
+        "artifact", metavar="RUN.prov.json", help="provenance artifact to query"
+    )
+    exp_p.add_argument(
+        "--partition",
+        type=int,
+        required=True,
+        metavar="P",
+        help="partition whose decisions to explain",
+    )
+    exp_p.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        metavar="E",
+        help="restrict to one epoch (default: the partition's whole history)",
+    )
+    exp_p.add_argument(
+        "--why-not",
+        type=int,
+        default=None,
+        metavar="DC",
+        help="also explain why this datacenter was NOT chosen "
+        "(how far its traffic was from each threshold)",
+    )
+    exp_p.add_argument(
+        "--out", default=None, help="write the narrative to this file"
+    )
+
+    pvd_p = sub.add_parser(
+        "provdiff",
+        help="diff two .prov.json decision ledgers decision-by-decision; "
+        "names the first divergent decision and exact threshold term "
+        "(non-zero exit on divergence, for CI gating)",
+    )
+    pvd_p.add_argument(
+        "baseline", metavar="BASE.prov.json", help="baseline provenance artifact"
+    )
+    pvd_p.add_argument(
+        "candidate", metavar="CAND.prov.json", help="candidate provenance artifact"
+    )
+
     return parser
 
 
@@ -551,6 +627,31 @@ def _make_sanitizer(args: argparse.Namespace):
     return None
 
 
+def _make_provenance(args: argparse.Namespace):
+    if getattr(args, "provenance_out", None):
+        from .obs.provenance import ProvenanceRecorder
+
+        budget = getattr(args, "provenance_budget", None)
+        if budget is not None and budget < 1:
+            raise SystemExit(f"--provenance-budget must be >= 1, got {budget}")
+        if budget is not None:
+            return ProvenanceRecorder(budget=budget)
+        return ProvenanceRecorder()
+    return None
+
+
+def _save_provenance(recorder, path: str) -> None:
+    artifact = recorder.artifact()
+    artifact.save(path)
+    dropped = artifact.noop_dropped_total
+    compacted = f" ({dropped} no-op decisions compacted)" if dropped else ""
+    print(
+        f"wrote {artifact.num_decisions} decision records "
+        f"({artifact.num_actions} with actions){compacted} to {path}; "
+        f"query with `repro explain {path} --partition P`"
+    )
+
+
 def _report_sanitizer(sanitizer, fingerprint_out: str | None) -> None:
     """Print the final chain (and save the trail) after a sanitized run."""
     if sanitizer is None:
@@ -563,17 +664,6 @@ def _report_sanitizer(sanitizer, fingerprint_out: str | None) -> None:
     if fingerprint_out:
         trail.save(fingerprint_out)
         print(f"wrote fingerprint trail to {fingerprint_out}")
-
-
-def _policy_timeseries_path(path: str, policy: str) -> str:
-    """Per-policy artifact name for ``compare``: ``out.tsdb.json`` +
-    ``rfh`` -> ``out.rfh.tsdb.json`` (fallback: append before the last
-    suffix, or plain ``path.policy`` when there is none)."""
-    for suffix in (".tsdb.json", ".json"):
-        if path.endswith(suffix):
-            return f"{path[: -len(suffix)]}.{policy}{suffix}"
-    root, dot, ext = path.rpartition(".")
-    return f"{root}.{policy}.{ext}" if dot else f"{path}.{policy}"
 
 
 def _save_timeseries(recorder, path: str) -> None:
@@ -630,6 +720,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     profiler = _make_profiler(args)
     timeseries = _make_timeseries(args)
     sanitizer = _make_sanitizer(args)
+    provenance = _make_provenance(args)
     # The context manager guarantees the JSONL sink is flushed/closed on
     # every path — including an engine error mid-run, so a partial trace
     # stays analysable.
@@ -642,6 +733,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             invariants=_invariants(args),
             timeseries=timeseries,
             sanitizer=sanitizer,
+            provenance=provenance,
         )
     chaos_tag = f" chaos={args.chaos}" if getattr(args, "chaos", None) else ""
     print(
@@ -666,6 +758,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
     if timeseries is not None:
         _save_timeseries(timeseries, args.timeseries_out)
+    if provenance is not None:
+        _save_provenance(provenance, args.provenance_out)
     _report_sanitizer(sanitizer, getattr(args, "fingerprint_out", None))
     _warn_dropped(tracer)
     if profiler is not None:
@@ -707,6 +801,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
     else:
         sanitizer_factory = None
+    prov_recorders: dict[str, object] = {}
+    if getattr(args, "provenance_out", None):
+
+        def provenance_factory(policy: str):
+            recorder = _make_provenance(args)
+            prov_recorders[policy] = recorder
+            return recorder
+
+    else:
+        provenance_factory = None
     with tracer if tracer is not None else contextlib.nullcontext():
         cmp = compare_policies(
             scenario,
@@ -715,6 +819,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             invariants=_invariants(args),
             timeseries_factory=timeseries_factory,
             sanitizer_factory=sanitizer_factory,
+            provenance_factory=provenance_factory,
         )
     header = f"{'policy':>9} | " + " ".join(f"{name:>16}" for name, _ in _HEADLINE)
     print(f"scenario={scenario.name} epochs={args.epochs} seed={args.seed}")
@@ -730,12 +835,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if getattr(args, "trace_out", None):
         print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
     for policy, recorder in ts_recorders.items():
-        _save_timeseries(recorder, _policy_timeseries_path(args.timeseries_out, policy))
+        _save_timeseries(recorder, tagged_path(args.timeseries_out, policy))
+    for policy, recorder in prov_recorders.items():
+        _save_provenance(recorder, tagged_path(args.provenance_out, policy))
     for policy, sanitizer in sanitizers.items():
         fp_out = getattr(args, "fingerprint_out", None)
         print(f"[{policy}] ", end="")
         _report_sanitizer(
-            sanitizer, _policy_timeseries_path(fp_out, policy) if fp_out else None
+            sanitizer, tagged_path(fp_out, policy) if fp_out else None
         )
     _warn_dropped(tracer)
     if profile:
@@ -758,6 +865,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     profiler = _make_profiler(args)
     timeseries = _make_timeseries(args)
     sanitizer = _make_sanitizer(args)
+    provenance = _make_provenance(args)
     with tracer if tracer is not None else contextlib.nullcontext():
         result = run_experiment(
             args.policy,
@@ -767,6 +875,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             invariants=True,
             timeseries=timeseries,
             sanitizer=sanitizer,
+            provenance=provenance,
         )
     sim = result.simulation
     summary = sim.chaos.summary()
@@ -796,6 +905,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"wrote {tracer.emitted} trace records to {args.trace_out}")
     if timeseries is not None:
         _save_timeseries(timeseries, args.timeseries_out)
+    if provenance is not None:
+        _save_provenance(provenance, args.provenance_out)
     _report_sanitizer(sanitizer, getattr(args, "fingerprint_out", None))
     _warn_dropped(tracer)
     if profiler is not None:
@@ -1041,20 +1152,56 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             f"epochs={args.epochs} seed={args.seed} ({label})"
         )
         print(f"  {report.describe()}")
+        if report.exit_code != 0:
+            print(
+                "  hint: re-run both sides with --provenance-out and use "
+                "`repro provdiff A.prov.json B.prov.json` to pinpoint the "
+                "first divergent decision and threshold term"
+            )
     return report.exit_code
 
 
-def _derived_profile_path(out: str, suffix: str) -> str:
-    """``run.prof.json`` + ``.flame.html`` -> ``run.flame.html``."""
-    import pathlib
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .errors import ProvenanceError
+    from .obs.provenance import ProvArtifact, render_explanation
 
-    path = pathlib.Path(out)
-    name = path.name
-    for known in (".prof.json", ".json"):
-        if name.endswith(known):
-            name = name[: -len(known)]
-            break
-    return str(path.with_name(name + suffix))
+    try:
+        artifact = ProvArtifact.load(args.artifact)
+    except ProvenanceError as exc:
+        raise SystemExit(f"cannot load {args.artifact}: {exc}")
+    try:
+        text = render_explanation(
+            artifact,
+            args.partition,
+            epoch=args.epoch,
+            why_not=args.why_not,
+        )
+    except ProvenanceError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_provdiff(args: argparse.Namespace) -> int:
+    from .errors import ProvenanceError
+    from .obs.provenance import ProvArtifact, diff_provenance
+
+    artifacts = []
+    for path in (args.baseline, args.candidate):
+        try:
+            artifacts.append(ProvArtifact.load(path))
+        except ProvenanceError as exc:
+            raise SystemExit(f"cannot load {path}: {exc}")
+    report = diff_provenance(artifacts[0], artifacts[1])
+    print(f"provdiff {args.baseline} vs {args.candidate}")
+    print(report.describe())
+    return report.exit_code
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -1077,14 +1224,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     flame_path = args.flamegraph
     if flame_path is None:
-        flame_path = _derived_profile_path(args.out, ".flame.html")
+        flame_path = derived_path(args.out, ".flame.html")
     if flame_path:
         html = render_flamegraph(profile)
         pathlib.Path(flame_path).write_text(html)
         print(f"wrote {flame_path} ({len(html) / 1024:.0f} KiB, self-contained)")
     speedscope_path = args.speedscope
     if speedscope_path is None:
-        speedscope_path = _derived_profile_path(args.out, ".speedscope.json")
+        speedscope_path = derived_path(args.out, ".speedscope.json")
     if speedscope_path:
         profile.save_speedscope(speedscope_path)
         print(f"wrote {speedscope_path}")
@@ -1159,6 +1306,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sanitize": _cmd_sanitize,
         "profile": _cmd_profile,
         "perfdiff": _cmd_perfdiff,
+        "explain": _cmd_explain,
+        "provdiff": _cmd_provdiff,
     }
     try:
         return commands[args.command](args)

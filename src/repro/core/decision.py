@@ -38,10 +38,19 @@ import numpy as np
 from ..config import RFHParameters
 from ..sim.actions import Action, Migrate, Replicate, Suicide
 from ..sim.observation import EpochObservation
+from ..sim.reasons import (
+    AVAILABILITY,
+    COLD_REPLICA,
+    HUB_MIGRATION,
+    LOCAL_RELIEF,
+    TRAFFIC_HUB,
+)
 from .traffic import _NULL_SPAN, _null_span
 
 if TYPE_CHECKING:
     from ..obs.perf.counters import WorkCounters
+    from ..obs.provenance.recorder import ProvenanceRecorder
+    from ..obs.provenance.records import DecisionDraft
 from .migration import (
     coldest_replica_dc,
     mean_partition_traffic,
@@ -91,6 +100,7 @@ class RFHDecision:
     def __init__(self, params: RFHParameters) -> None:
         self._params = params
         self._work: "WorkCounters | None" = None
+        self._prov: "ProvenanceRecorder | None" = None
         self._span = _null_span
         # Hoisted once here rather than looked up per partition: span
         # timers are cached per name by the profiler.
@@ -102,6 +112,16 @@ class RFHDecision:
         if span is not None:
             self._span = span
             self._threshold_span = span("threshold-checks")
+
+    def attach_provenance(self, recorder: "ProvenanceRecorder | None") -> None:
+        """Opt into decision-provenance recording (``repro.obs.provenance``).
+
+        While attached, every ``decide_partition`` call opens a draft,
+        records each threshold predicate and candidate it evaluates, and
+        seals the draft into the recorder's ledger.  Detach with ``None``;
+        the disabled path is a single ``is None`` check per site.
+        """
+        self._prov = recorder
 
     # ------------------------------------------------------------------
     def decide_partition(
@@ -153,6 +173,22 @@ class RFHDecision:
         replica_dcs = list(layout_by_dc)
         replica_count = replicas.replica_count(partition)
 
+        draft = (
+            None
+            if self._prov is None
+            else self._prov.open(
+                epoch=obs.epoch,
+                partition=partition,
+                avg_query=avg_query,
+                holder_traffic=holder_traffic,
+                unserved=unserved,
+                mean_traffic=mean_partition_traffic(traffic_row),
+                replica_count=replica_count,
+                rmin=obs.rmin,
+                holder_dc=holder_dc,
+            )
+        )
+
         actions: list[Action] = []
         grow = self._growth_action(
             partition,
@@ -167,6 +203,7 @@ class RFHDecision:
             replica_dcs,
             replica_count,
             replica_age,
+            draft,
         )
         if grow is not None:
             actions.append(grow)
@@ -175,11 +212,26 @@ class RFHDecision:
         # a partition that is still relieving load (or rebuilding its
         # availability floor) never reclaims replicas in the same epoch —
         # otherwise replicate/suicide chase each other forever.
-        comfortable = unserved <= SUICIDE_HEADROOM * blocked_tolerance(
-            avg_query
-        ) and not is_holder_overloaded(
+        headroom_tol = SUICIDE_HEADROOM * blocked_tolerance(avg_query)
+        relaxed = not is_holder_overloaded(
             holder_traffic, avg_query, self._params.beta * SUICIDE_HEADROOM
         )
+        comfortable = unserved <= headroom_tol and relaxed
+        if grow is None and draft is not None:
+            draft.predicate(
+                "headroom-blocked",
+                f"partition:{partition}",
+                unserved,
+                headroom_tol,
+                unserved <= headroom_tol,
+            )
+            draft.predicate(
+                "headroom-load",
+                f"partition:{partition}",
+                holder_traffic,
+                self._params.beta * SUICIDE_HEADROOM * avg_query,
+                relaxed,
+            )
         if grow is None and comfortable:
             shrink = self._suicide_action(
                 partition,
@@ -188,9 +240,12 @@ class RFHDecision:
                 served_row,
                 replica_count,
                 replica_age,
+                draft,
             )
             if shrink is not None:
                 actions.append(shrink)
+        if draft is not None and self._prov is not None:
+            self._prov.close(draft, actions, dc_of=obs.cluster.dc_of)
         return actions
 
     # ------------------------------------------------------------------
@@ -210,16 +265,25 @@ class RFHDecision:
         replica_dcs: list[int],
         replica_count: int,
         replica_age: dict[tuple[int, int], int] | None,
+        draft: "DecisionDraft | None" = None,
     ) -> Action | None:
         params = self._params
 
         # --- availability branch (Eq. 14 floor) -----------------------
-        if replica_count < obs.rmin:
+        floor_met = replica_count >= obs.rmin
+        if draft is not None:
+            draft.predicate(
+                "eq14", f"partition:{partition}", replica_count, obs.rmin, floor_met
+            )
+        if not floor_met:
+            if draft is not None:
+                draft.branch = "availability"
             target = self._place_by_traffic(
-                partition, obs, traffic_row, replica_dcs, prefer_new_dc=True
+                partition, obs, traffic_row, replica_dcs, prefer_new_dc=True,
+                draft=draft,
             )
             if target is not None:
-                return Replicate(partition, holder_sid, target, reason="availability")
+                return Replicate(partition, holder_sid, target, reason=AVAILABILITY)
             return None
 
         # --- load branch (Eqs. 12/13) ----------------------------------
@@ -250,17 +314,65 @@ class RFHDecision:
                 if overload
                 else []
             )
+        if draft is not None:
+            beta_bar = params.beta * avg_query
+            draft.predicate(
+                "blocked",
+                f"partition:{partition}",
+                unserved,
+                blocked_tolerance(avg_query),
+                blocked,
+            )
+            draft.predicate(
+                "eq12",
+                f"server:{holder_sid}",
+                holder_traffic,
+                beta_bar,
+                is_holder_overloaded(holder_traffic, avg_query, params.beta),
+            )
+            draft.predicate(
+                "eq12-raw",
+                f"server:{holder_sid}",
+                raw_holder,
+                beta_bar,
+                is_holder_overloaded(raw_holder, avg_query, params.beta),
+            )
+            if overload:
+                draft.branch = "load"
+                gamma_bar = params.gamma * avg_query
+                hub_set = set(hubs)
+                for dc in range(obs.num_datacenters):
+                    draft.candidate(
+                        "hub",
+                        dc,
+                        cause="not-tried" if dc in hub_set else "below-gamma",
+                        value=float(traffic_row[dc]),
+                        threshold=gamma_bar,
+                    )
         if not overload:
             return None
         if not hubs:
             # Overloaded with no qualifying forwarding hub: relieve locally.
             target = self._choose_server(partition, obs, holder_dc)
+            if draft is not None:
+                draft.candidate(
+                    "local-relief",
+                    holder_dc,
+                    sid=-1 if target is None else target,
+                    verdict="rejected" if target is None else "chosen",
+                    cause="no-eligible-server" if target is None else "same-dc-relief",
+                )
             if target is not None:
-                return Replicate(partition, holder_sid, target, reason="local-relief")
+                return Replicate(partition, holder_sid, target, reason=LOCAL_RELIEF)
             return None
 
         top = sorted(hubs, key=lambda dc: (-float(traffic_row[dc]), dc))
         top = top[: params.hub_fanout]
+        if draft is not None and len(hubs) > len(top):
+            top_set = set(top)
+            for dc in hubs:
+                if dc not in top_set:
+                    draft.resolve_candidate("hub", dc, "rejected", "outside-top-fanout")
         chosen_dc = pick_hub_target(top, traffic_row, replica_dcs)
         if chosen_dc is None:
             return None
@@ -275,10 +387,11 @@ class RFHDecision:
         if outside and threshold_hit:
             src_dc = coldest_replica_dc(traffic_row, outside)
             if src_dc is not None:
+                mean_traffic = mean_partition_traffic(traffic_row)
                 benefit = migration_benefit_met(
                     float(traffic_row[chosen_dc]),
                     float(traffic_row[src_dc]),
-                    mean_partition_traffic(traffic_row),
+                    mean_traffic,
                     params.mu,
                 )
                 src_sid = replica_sid_in_dc(layout_by_dc, src_dc)
@@ -287,14 +400,72 @@ class RFHDecision:
                     or replica_age.get((partition, src_sid), SUICIDE_WARMUP_EPOCHS)
                     >= SUICIDE_WARMUP_EPOCHS
                 )
+                if draft is not None:
+                    draft.predicate(
+                        "eq16",
+                        f"dc:{src_dc}->dc:{chosen_dc}",
+                        float(traffic_row[chosen_dc]) - float(traffic_row[src_dc]),
+                        params.mu * mean_traffic,
+                        benefit,
+                    )
+                    if src_sid is not None:
+                        age = (
+                            SUICIDE_WARMUP_EPOCHS
+                            if replica_age is None
+                            else replica_age.get(
+                                (partition, src_sid), SUICIDE_WARMUP_EPOCHS
+                            )
+                        )
+                        draft.predicate(
+                            "maturity",
+                            f"server:{src_sid}",
+                            age,
+                            SUICIDE_WARMUP_EPOCHS,
+                            mature,
+                        )
                 if benefit and mature and src_sid != holder_sid:
                     target = self._choose_server(
                         partition, obs, chosen_dc, exclude=(src_sid,)
                     )
                     if target is not None:
+                        if draft is not None:
+                            draft.candidate(
+                                "migration-source",
+                                src_dc,
+                                sid=src_sid if src_sid is not None else -1,
+                                verdict="chosen",
+                                cause="coldest-outside-replica",
+                                value=float(traffic_row[src_dc]),
+                            )
+                            draft.resolve_candidate(
+                                "hub", chosen_dc, "chosen", "migration-destination"
+                            )
                         return Migrate(
-                            partition, src_sid, target, reason="hub-migration"
+                            partition, src_sid, target, reason=HUB_MIGRATION
                         )
+                    elif draft is not None:
+                        draft.candidate(
+                            "migration-source",
+                            src_dc,
+                            sid=src_sid if src_sid is not None else -1,
+                            verdict="rejected",
+                            cause="no-eligible-server",
+                            value=float(traffic_row[src_dc]),
+                        )
+                elif draft is not None:
+                    cause = (
+                        "below-mu"
+                        if not benefit
+                        else ("warming-up" if not mature else "holder-replica")
+                    )
+                    draft.candidate(
+                        "migration-source",
+                        src_dc,
+                        sid=src_sid if src_sid is not None else -1,
+                        verdict="rejected",
+                        cause=cause,
+                        value=float(traffic_row[src_dc]),
+                    )
         # Replicate into the chosen hub; if every eligible server there
         # already holds a copy, fall through the remaining top hubs in
         # preference order (fresh datacenters first, then traffic).
@@ -306,7 +477,16 @@ class RFHDecision:
         for dc in ordered:
             target = self._choose_server(partition, obs, dc)
             if target is not None:
-                return Replicate(partition, holder_sid, target, reason="traffic-hub")
+                if draft is not None:
+                    draft.resolve_candidate(
+                        "hub",
+                        dc,
+                        "chosen",
+                        "preferred-hub" if dc == chosen_dc else "fallback-hub",
+                    )
+                return Replicate(partition, holder_sid, target, reason=TRAFFIC_HUB)
+            if draft is not None:
+                draft.resolve_candidate("hub", dc, "rejected", "no-eligible-server")
         return None
 
     # ------------------------------------------------------------------
@@ -320,27 +500,80 @@ class RFHDecision:
         served_row: np.ndarray,
         replica_count: int,
         replica_age: dict[tuple[int, int], int] | None,
+        draft: "DecisionDraft | None" = None,
     ) -> Suicide | None:
-        if replica_count - 1 < obs.rmin:
+        floor_holds = replica_count - 1 >= obs.rmin
+        if draft is not None:
+            draft.predicate(
+                "eq14-next",
+                f"partition:{partition}",
+                replica_count - 1,
+                obs.rmin,
+                floor_holds,
+            )
+        if not floor_holds:
             return None  # availability without the replica would fail
         params = self._params
         holder_sid = obs.replicas.holder(partition)
-        candidates = [
-            sid
-            for sid, _count in obs.replicas.servers_with(partition)
-            if sid != holder_sid
-            and is_suicide_candidate(float(served_row[sid]), avg_query, params.delta)
-            and float(served_row[sid]) <= SUICIDE_IDLE_BAR
-            and (
-                replica_age is None
-                or replica_age.get((partition, sid), SUICIDE_WARMUP_EPOCHS)
-                >= SUICIDE_WARMUP_EPOCHS
-            )
-        ]
+        if draft is None:
+            candidates = [
+                sid
+                for sid, _count in obs.replicas.servers_with(partition)
+                if sid != holder_sid
+                and is_suicide_candidate(
+                    float(served_row[sid]), avg_query, params.delta
+                )
+                and float(served_row[sid]) <= SUICIDE_IDLE_BAR
+                and (
+                    replica_age is None
+                    or replica_age.get((partition, sid), SUICIDE_WARMUP_EPOCHS)
+                    >= SUICIDE_WARMUP_EPOCHS
+                )
+            ]
+        else:
+            draft.branch = "suicide"
+            delta_bar = params.delta * avg_query
+            candidates = []
+            for sid, _count in obs.replicas.servers_with(partition):
+                if sid == holder_sid:
+                    continue
+                served = float(served_row[sid])
+                if not is_suicide_candidate(served, avg_query, params.delta):
+                    cause = "above-delta"
+                elif served > SUICIDE_IDLE_BAR:
+                    cause = "above-idle-bar"
+                elif not (
+                    replica_age is None
+                    or replica_age.get((partition, sid), SUICIDE_WARMUP_EPOCHS)
+                    >= SUICIDE_WARMUP_EPOCHS
+                ):
+                    cause = "warming-up"
+                else:
+                    candidates.append(sid)
+                    continue  # verdict recorded once the coldest is known
+                draft.candidate(
+                    "suicide",
+                    obs.cluster.dc_of(sid),
+                    sid=sid,
+                    cause=cause,
+                    value=served,
+                    threshold=delta_bar,
+                )
         if not candidates:
             return None
         coldest = min(candidates, key=lambda sid: (float(served_row[sid]), sid))
-        return Suicide(partition, coldest, reason="cold-replica")
+        if draft is not None:
+            for sid in candidates:
+                draft.candidate(
+                    "suicide",
+                    obs.cluster.dc_of(sid),
+                    sid=sid,
+                    verdict="chosen" if sid == coldest else "rejected",
+                    cause="coldest" if sid == coldest else "warmer-than-chosen",
+                    value=float(served_row[sid]),
+                    threshold=params.delta * avg_query,
+                )
+        return Suicide(partition, coldest, reason=COLD_REPLICA)
 
     # ------------------------------------------------------------------
     # Placement helpers
@@ -371,6 +604,7 @@ class RFHDecision:
         traffic_row: np.ndarray,
         replica_dcs: list[int],
         prefer_new_dc: bool,
+        draft: "DecisionDraft | None" = None,
     ) -> int | None:
         """Most-forwarding datacenter placement for the availability branch.
 
@@ -389,5 +623,21 @@ class RFHDecision:
         for dc in order:
             target = self._choose_server(partition, obs, dc)
             if target is not None:
+                if draft is not None:
+                    draft.candidate(
+                        "availability-target",
+                        dc,
+                        sid=target,
+                        verdict="chosen",
+                        cause="most-forwarding",
+                        value=float(traffic_row[dc]),
+                    )
                 return target
+            if draft is not None:
+                draft.candidate(
+                    "availability-target",
+                    dc,
+                    cause="no-eligible-server",
+                    value=float(traffic_row[dc]),
+                )
         return None

@@ -62,6 +62,10 @@ class RFHPolicy:
             self._span = profiler.span
         self._decision.attach_perf(work=work, span=self._span)
 
+    def attach_provenance(self, recorder) -> None:
+        """Opt into decision-provenance recording (``repro.obs.provenance``)."""
+        self._decision.attach_provenance(recorder)
+
     def decide(self, obs: EpochObservation) -> list[Action]:
         """Run the decision tree over all partitions for one epoch."""
         with self._span("ewma-smoothing"):

@@ -54,3 +54,8 @@ class WorkloadError(ReproError):
 class TsdbError(ReproError):
     """A time-series artifact (``.tsdb.json``) is malformed, has an
     unsupported format/version, or two artifacts cannot be aligned."""
+
+
+class ProvenanceError(ReproError):
+    """A decision-provenance artifact (``.prov.json``) is malformed, has
+    an unsupported format/version, or a recorder was misused."""

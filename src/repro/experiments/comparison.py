@@ -63,6 +63,7 @@ def compare_policies(
     invariants=None,
     timeseries_factory=None,
     sanitizer_factory=None,
+    provenance_factory=None,
 ) -> ComparisonResult:
     """Run every policy on the scenario's shared trace.
 
@@ -75,7 +76,10 @@ def compare_policies(
     each algorithm records its own ``.tsdb.json`` trajectory, and
     ``sanitizer_factory`` (also called with the policy name) attaches a
     fresh per-policy
-    :class:`~repro.staticcheck.sanitizer.DeterminismSanitizer`.
+    :class:`~repro.staticcheck.sanitizer.DeterminismSanitizer`, and
+    ``provenance_factory`` a fresh per-policy
+    :class:`~repro.obs.provenance.ProvenanceRecorder` (one ``.prov.json``
+    decision ledger per algorithm).
     Per-policy profilers, recorders and sanitizers stay reachable
     through ``result[policy].simulation``.
     """
@@ -91,6 +95,9 @@ def compare_policies(
             ),
             sanitizer=(
                 sanitizer_factory(policy) if sanitizer_factory is not None else None
+            ),
+            provenance=(
+                provenance_factory(policy) if provenance_factory is not None else None
             ),
         )
         for policy in policies

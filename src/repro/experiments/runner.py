@@ -50,6 +50,7 @@ def run_experiment(
     timeseries=None,
     sanitizer=None,
     work=None,
+    provenance=None,
 ) -> ExperimentResult:
     """Run ``policy`` over the scenario's recorded trace and events.
 
@@ -79,6 +80,13 @@ def run_experiment(
         timeseries.meta.setdefault("epochs", scenario.epochs)
         if scenario.chaos is not None:
             timeseries.meta.setdefault("chaos", scenario.chaos.name)
+    if provenance is not None:
+        provenance.meta.setdefault("policy", policy)
+        provenance.meta.setdefault("scenario", scenario.name)
+        provenance.meta.setdefault("seed", scenario.config.seed)
+        provenance.meta.setdefault("epochs", scenario.epochs)
+        if scenario.chaos is not None:
+            provenance.meta.setdefault("chaos", scenario.chaos.name)
     sim = Simulation(
         scenario.config,
         policy=policy,
@@ -92,6 +100,7 @@ def run_experiment(
         timeseries=timeseries,
         sanitizer=sanitizer,
         work=work,
+        provenance=provenance,
     )
     metrics = sim.run(scenario.epochs)
     return ExperimentResult(

@@ -22,6 +22,13 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+from ...sim.reasons import (
+    CAUSE_LOST_PARTITION_RESTORE,
+    CAUSE_OVERLOAD_UNMITIGATED,
+    CAUSE_REPLICATION_STORM,
+    CAUSE_SERVER_FAILURE,
+    CAUSE_UNATTRIBUTED,
+)
 from ..trace import TraceEvent
 
 __all__ = [
@@ -37,10 +44,10 @@ __all__ = [
 #: scrolled out of the window); storms and unmitigated overloads are
 #: weaker signals that win only when nothing structural happened.
 CAUSE_WEIGHTS: dict[str, float] = {
-    "server-failure": 3.0,
-    "lost-partition-restore": 2.0,
-    "replication-storm": 1.0,
-    "overload-unmitigated": 1.0,
+    CAUSE_SERVER_FAILURE: 3.0,
+    CAUSE_LOST_PARTITION_RESTORE: 2.0,
+    CAUSE_REPLICATION_STORM: 1.0,
+    CAUSE_OVERLOAD_UNMITIGATED: 1.0,
 }
 
 #: Per-epoch-of-lag geometric decay applied to every contribution.
@@ -89,10 +96,10 @@ def _index_by_epoch(events: Sequence[TraceEvent]) -> dict[str, dict[int, float]]
         elif event.kind == "action_skipped":
             skipped[event.epoch] = skipped.get(event.epoch, 0.0) + 1.0
     return {
-        "server-failure": failures,
-        "lost-partition-restore": restores,
-        "replication-storm": actions,
-        "overload-unmitigated": skipped,
+        CAUSE_SERVER_FAILURE: failures,
+        CAUSE_LOST_PARTITION_RESTORE: restores,
+        CAUSE_REPLICATION_STORM: actions,
+        CAUSE_OVERLOAD_UNMITIGATED: skipped,
     }
 
 
@@ -130,7 +137,7 @@ def attribute_violations(
         return []
 
     # Baseline replication rate: a storm only scores for its *excess*.
-    action_series = index["replication-storm"]
+    action_series = index[CAUSE_REPLICATION_STORM]
     epochs_seen = {e.epoch for e in stream}
     span = max(1, len(epochs_seen))
     mean_actions = sum(action_series.values()) / span
@@ -142,7 +149,7 @@ def attribute_violations(
         lags: dict[str, int | None] = {}
         for cause, series in index.items():
             raw, lag = _windowed_score(series, violation.epoch, window)
-            if cause == "replication-storm":
+            if cause == CAUSE_REPLICATION_STORM:
                 # Subtract the decayed baseline so steady traffic scores 0.
                 baseline = mean_actions * sum(
                     LAG_DECAY**k for k in range(window + 1)
@@ -158,7 +165,7 @@ def attribute_violations(
                 Attribution(
                     epoch=violation.epoch,
                     misses=misses,
-                    cause="unattributed",
+                    cause=CAUSE_UNATTRIBUTED,
                     confidence=0.0,
                     lag=None,
                     detail=f"no candidate cause within {window} epochs",
@@ -184,10 +191,10 @@ def attribute_violations(
 def _describe(cause: str, lag: int | None) -> str:
     where = "same epoch" if lag == 0 else f"{lag} epochs earlier" if lag else "in window"
     return {
-        "server-failure": f"server failure {where}",
-        "lost-partition-restore": f"lost-partition restore {where}",
-        "replication-storm": f"replication traffic above baseline ({where})",
-        "overload-unmitigated": f"actions gated/skipped under load ({where})",
+        CAUSE_SERVER_FAILURE: f"server failure {where}",
+        CAUSE_LOST_PARTITION_RESTORE: f"lost-partition restore {where}",
+        CAUSE_REPLICATION_STORM: f"replication traffic above baseline ({where})",
+        CAUSE_OVERLOAD_UNMITIGATED: f"actions gated/skipped under load ({where})",
     }.get(cause, cause)
 
 

@@ -1,0 +1,60 @@
+"""The lineage guarantee: provenance ↔ trace cross-validation.
+
+Every applied action in the engine's trace must have a matching
+provenance record that says it was applied, and vice versa.  The check
+compares the two streams as multisets of ``(epoch, kind, partition,
+server)`` so ordering differences cannot mask a lost or invented
+record.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .artifact import ProvArtifact
+
+__all__ = ["crosscheck_trace"]
+
+#: Trace record kinds that correspond to applied policy actions.
+_ACTION_KINDS = ("replicate", "migrate", "suicide")
+
+
+def _trace_key(event: object) -> tuple[int, str, int, int] | None:
+    kind = str(getattr(event, "kind", ""))
+    if kind not in _ACTION_KINDS:
+        return None
+    return (
+        int(getattr(event, "epoch", -1)),
+        kind,
+        int(getattr(event, "partition", -1)),
+        int(getattr(event, "server", -1)),
+    )
+
+
+def crosscheck_trace(artifact: ProvArtifact, events: Iterable[object]) -> list[str]:
+    """Mismatches between applied provenance records and trace actions.
+
+    Returns human-readable mismatch strings; an empty list means the
+    lineage guarantee holds.
+    """
+    prov: dict[tuple[int, str, int, int], int] = {}
+    for rec in artifact.records:
+        if rec.fate != "applied" or rec.action == "none":
+            continue
+        key = (rec.epoch, rec.action, rec.partition, rec.target_sid)
+        prov[key] = prov.get(key, 0) + 1
+    trace: dict[tuple[int, str, int, int], int] = {}
+    for event in events:
+        key2 = _trace_key(event)
+        if key2 is not None:
+            trace[key2] = trace.get(key2, 0) + 1
+    mismatches: list[str] = []
+    for key in sorted(set(prov) | set(trace)):
+        n_prov, n_trace = prov.get(key, 0), trace.get(key, 0)
+        if n_prov != n_trace:
+            epoch, kind, partition, server = key
+            mismatches.append(
+                f"epoch {epoch} {kind} partition {partition} server {server}: "
+                f"{n_prov} applied provenance record(s) vs {n_trace} trace event(s)"
+            )
+    return mismatches

@@ -1,0 +1,284 @@
+"""Render a ``.prov.json`` ledger as a human-readable causal narrative.
+
+``repro explain RUN.prov.json --partition P`` answers "why did this
+partition get that action?" with the actual Eq. 12/13/15/16 numbers:
+which predicate fired, by how much (slack), which candidates were
+considered and why the losers lost.  ``--why-not DC`` inverts the
+question: for every recorded decision it names the gate that kept the
+given datacenter from receiving a copy and what would have had to
+change.
+
+Output is byte-stable for a fixed artifact: floats are formatted with a
+fixed-precision formatter and all iteration orders are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...errors import ProvenanceError
+from .artifact import ProvArtifact
+from .records import CandidateEval, DecisionRecord, PredicateEval
+
+__all__ = ["render_explanation"]
+
+#: Cap on fully-detailed action decisions when no ``--epoch`` is given.
+_MAX_DETAILED = 12
+#: Cap on per-epoch lines in the ``--why-not`` section.
+_MAX_WHY_NOT = 15
+
+# eq tag -> (label, lhs symbol, threshold symbol, comparator, direction)
+# direction "ge": predicate holds when lhs >= threshold (slack = lhs-thr)
+# direction "le": predicate holds when lhs <= threshold (slack = thr-lhs)
+_EQ_INFO: dict[str, tuple[str, str, str, str, str]] = {
+    "eq14": ("Eq. 14 availability floor", "replicas", "r_min", ">=", "ge"),
+    "eq14-next": ("Eq. 14 floor w/o one copy", "replicas-1", "r_min", ">=", "ge"),
+    "blocked": ("blocked-queries gate", "unserved", "tol(q̄)", ">", "ge"),
+    "eq12": ("Eq. 12 overload (smoothed)", "tr_iit", "β·q̄", ">=", "ge"),
+    "eq12-raw": ("Eq. 12 overload (raw epoch)", "tr_ii", "β·q̄", ">=", "ge"),
+    "eq16": ("Eq. 16 migration benefit", "tr_ij−tr_ik", "μ·t̄r_i", ">=", "ge"),
+    "maturity": ("replica maturity", "age", "warm-up", ">=", "ge"),
+    "headroom-blocked": ("suicide headroom (blocked)", "unserved", "½·tol(q̄)", "<=", "le"),
+    "headroom-load": ("suicide headroom (load)", "tr_iit", "½·β·q̄", "<", "le"),
+}
+
+
+def eq_term(eq: str) -> str:
+    """The paper-notation threshold term an eq tag compares against."""
+    info = _EQ_INFO.get(eq)
+    if info is None:
+        return eq
+    return f"{eq} threshold ({info[2]})"
+
+
+def _num(x: float) -> str:
+    if math.isnan(x):
+        return "n/a"
+    if math.isinf(x):
+        return "inf" if x > 0 else "-inf"
+    text = f"{x:.4f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+def _predicate_line(pred: PredicateEval) -> str:
+    label, lhs_sym, thr_sym, cmp_sym, direction = _EQ_INFO.get(
+        pred.eq, (pred.eq, "lhs", "threshold", ">=", "ge")
+    )
+    if direction == "le":
+        slack = pred.threshold - pred.lhs
+    else:
+        slack = pred.lhs - pred.threshold
+    comparison = (
+        f"{lhs_sym}={_num(pred.lhs)} {cmp_sym} {thr_sym}={_num(pred.threshold)}"
+    )
+    if pred.passed:
+        verdict = f"holds (slack {_num(slack)})"
+    else:
+        verdict = f"fails (needs {_num(-slack)} more)"
+    subject = f" [{pred.subject}]" if pred.subject else ""
+    return f"    {label:<28} {comparison:<40} {verdict}{subject}"
+
+
+def _candidate_line(cand: CandidateEval) -> str:
+    if cand.sid >= 0 and cand.dc >= 0:
+        where = f"server {cand.sid} (dc {cand.dc})"
+    elif cand.sid >= 0:
+        where = f"server {cand.sid}"
+    else:
+        where = f"dc {cand.dc}"
+    score = ""
+    if not math.isnan(cand.value):
+        score = f" value={_num(cand.value)}"
+        if not math.isnan(cand.threshold):
+            score += f" vs {_num(cand.threshold)}"
+    verdict = "CHOSEN" if cand.verdict == "chosen" else "rejected"
+    cause = f" ({cand.cause})" if cand.cause else ""
+    hint = ""
+    if (
+        cand.verdict != "chosen"
+        and not math.isnan(cand.value)
+        and not math.isnan(cand.threshold)
+        and cand.value < cand.threshold
+    ):
+        hint = f" — needed {_num(cand.threshold - cand.value)} more"
+    return f"    {cand.role:<18} {where:<18}{score}  {verdict}{cause}{hint}"
+
+
+def _action_phrase(rec: DecisionRecord) -> str:
+    if rec.action == "none":
+        return "no action"
+    reason = f" ({rec.reason})" if rec.reason else ""
+    if rec.action == "suicide":
+        target = f" of server {rec.target_sid}"
+    else:
+        dc = f" in dc {rec.target_dc}" if rec.target_dc >= 0 else ""
+        target = f" → server {rec.target_sid}{dc}"
+        if rec.action == "migrate" and rec.source_sid >= 0:
+            target = f" from server {rec.source_sid}{target}"
+    return f"{rec.action}{reason}{target}"
+
+
+def _fate_phrase(rec: DecisionRecord) -> str:
+    if rec.fate == "applied":
+        return "applied"
+    if rec.fate == "skipped":
+        cause = f" ({rec.fate_cause})" if rec.fate_cause else ""
+        return f"skipped{cause}"
+    return "no fate recorded"
+
+
+def _record_detail(rec: DecisionRecord) -> list[str]:
+    lines = [
+        f"[epoch {rec.epoch}] partition {rec.partition} — branch: "
+        f"{rec.branch or 'synthesized'} — {_action_phrase(rec)} — fate: "
+        f"{_fate_phrase(rec)}"
+    ]
+    context = (
+        f"  context: q̄={_num(rec.avg_query)}  tr_iit={_num(rec.holder_traffic)}"
+        f"  unserved={_num(rec.unserved)}  t̄r_i={_num(rec.mean_traffic)}"
+    )
+    if rec.replica_count >= 0:
+        context += f"  replicas={rec.replica_count}/r_min={rec.rmin}"
+    if rec.holder_dc >= 0:
+        context += f"  holder dc={rec.holder_dc}"
+    lines.append(context)
+    if rec.predicates:
+        lines.append("  predicates:")
+        lines.extend(_predicate_line(p) for p in rec.predicates)
+    if rec.candidates:
+        lines.append("  candidates:")
+        lines.extend(_candidate_line(c) for c in rec.candidates)
+    return lines
+
+
+def _record_summary(rec: DecisionRecord) -> str:
+    return (
+        f"[epoch {rec.epoch}] branch: {rec.branch or 'synthesized'} — "
+        f"{_action_phrase(rec)} — fate: {_fate_phrase(rec)}"
+    )
+
+
+def _why_not(records: tuple[DecisionRecord, ...], dc: int) -> list[str]:
+    lines = [f"Why not dc {dc}?"]
+    emitted = 0
+    for rec in records:
+        if emitted >= _MAX_WHY_NOT:
+            lines.append("  ... (further epochs elided)")
+            break
+        if rec.target_dc == dc and rec.action in ("replicate", "migrate"):
+            lines.append(
+                f"  [epoch {rec.epoch}] it WAS chosen: {_action_phrase(rec)}"
+                f" — fate: {_fate_phrase(rec)}"
+            )
+            emitted += 1
+            continue
+        cands = [c for c in rec.candidates if c.dc == dc]
+        if cands:
+            for cand in cands:
+                detail = f"as {cand.role}"
+                if not math.isnan(cand.value) and not math.isnan(cand.threshold):
+                    detail += f": value={_num(cand.value)} vs {_num(cand.threshold)}"
+                cause = cand.cause or "rejected"
+                hint = ""
+                if (
+                    not math.isnan(cand.value)
+                    and not math.isnan(cand.threshold)
+                    and cand.value < cand.threshold
+                ):
+                    hint = (
+                        f" — its traffic would have had to rise by "
+                        f"{_num(cand.threshold - cand.value)}"
+                    )
+                lines.append(
+                    f"  [epoch {rec.epoch}] considered {detail} — {cause}{hint}"
+                )
+                emitted += 1
+            continue
+        eq12 = next((p for p in rec.predicates if p.eq == "eq12"), None)
+        if eq12 is not None and not eq12.passed:
+            lines.append(
+                f"  [epoch {rec.epoch}] load branch never engaged: "
+                f"tr_iit={_num(eq12.lhs)} < β·q̄={_num(eq12.threshold)} "
+                f"(needed {_num(eq12.threshold - eq12.lhs)} more holder traffic)"
+            )
+            emitted += 1
+        elif rec.branch not in ("load", ""):
+            lines.append(
+                f"  [epoch {rec.epoch}] decision took the {rec.branch or 'none'} "
+                f"branch; dc {dc} was never in the candidate set"
+            )
+            emitted += 1
+    if emitted == 0:
+        lines.append("  no recorded decision ever evaluated this datacenter.")
+    return lines
+
+
+def render_explanation(
+    artifact: ProvArtifact,
+    partition: int,
+    *,
+    epoch: int | None = None,
+    why_not: int | None = None,
+) -> str:
+    """Human-readable causal narrative for one partition's decisions."""
+    records = artifact.for_partition(partition, epoch)
+    if not records:
+        where = f" at epoch {epoch}" if epoch is not None else ""
+        raise ProvenanceError(
+            f"no provenance records for partition {partition}{where} "
+            f"(recorded partitions: "
+            f"{', '.join(map(str, artifact.partitions())) or 'none'})"
+        )
+    lines: list[str] = []
+    meta = artifact.meta
+    tags = "  ".join(
+        f"{key}={meta[key]}" for key in sorted(meta) if not isinstance(meta[key], dict)
+    )
+    lines.append(f"Provenance: {tags}" if tags else "Provenance ledger")
+    epochs = [rec.epoch for rec in records]
+    dropped = artifact.noop_dropped_total
+    drop_note = f"; {dropped} no-op decisions compacted away run-wide" if dropped else ""
+    lines.append(
+        f"Partition {partition} — {len(records)} decisions recorded "
+        f"(epochs {min(epochs)}..{max(epochs)}){drop_note}"
+    )
+    lines.append("")
+    detailed = [rec for rec in records if rec.action != "none" or epoch is not None]
+    noops = [rec for rec in records if rec.action == "none" and epoch is None]
+    shown = detailed[:_MAX_DETAILED]
+    for rec in shown:
+        lines.extend(_record_detail(rec))
+        lines.append("")
+    if len(detailed) > len(shown):
+        lines.append(
+            f"... {len(detailed) - len(shown)} further action decisions elided "
+            f"(narrow with --epoch)"
+        )
+        lines.append("")
+    if noops:
+        lines.append(
+            f"{len(noops)} quiet epochs (no action; re-run with --epoch E for "
+            f"any epoch's full predicate table). Quiet epochs: "
+            + _span_text([rec.epoch for rec in noops])
+        )
+        lines.append("")
+    if why_not is not None:
+        lines.extend(_why_not(records, why_not))
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def _span_text(epochs: list[int]) -> str:
+    """Compress sorted epoch lists to ``0-3, 7, 9-12`` spans."""
+    spans: list[str] = []
+    start = prev = epochs[0]
+    for e in epochs[1:]:
+        if e == prev + 1:
+            prev = e
+            continue
+        spans.append(f"{start}-{prev}" if prev > start else f"{start}")
+        start = prev = e
+    spans.append(f"{start}-{prev}" if prev > start else f"{start}")
+    if len(spans) > 20:
+        spans = spans[:20] + ["..."]
+    return ", ".join(spans)

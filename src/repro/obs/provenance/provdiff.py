@@ -1,0 +1,246 @@
+"""Decision-granular diff of two provenance ledgers.
+
+``repro provdiff A B`` aligns two runs decision-by-decision (by epoch,
+partition and within-pair sequence) and reports the *first* divergent
+decision with the exact Eq. term that differed — "epoch 3, partition
+17, eq12 threshold (β·q̄): 6 vs 6.6" — which is the decision-level
+answer the sanitizer's epoch-level bisection cannot give.
+
+Comparison is exact (this repo's determinism claim is bit-level):
+floats must match exactly, except that NaN == NaN counts as equal so an
+unrecorded term never reads as a divergence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .artifact import ProvArtifact
+from .explain import _EQ_INFO
+from .records import DecisionRecord
+
+__all__ = ["Divergence", "ProvDiffReport", "diff_provenance"]
+
+#: How many divergences beyond the first are kept in the report.
+_MAX_KEPT = 25
+
+_RECORD_FIELDS: tuple[tuple[str, str], ...] = (
+    ("branch", "branch"),
+    ("action", "action kind"),
+    ("reason", "action reason"),
+    ("target_dc", "target datacenter"),
+    ("target_sid", "target server"),
+    ("source_sid", "source server"),
+    ("fate", "apply fate"),
+    ("fate_cause", "skip cause"),
+    ("replica_count", "replica count"),
+    ("rmin", "r_min"),
+    ("holder_dc", "holder datacenter"),
+    ("avg_query", "q̄_it (Eq. 10)"),
+    ("holder_traffic", "tr_iit (Eq. 11)"),
+    ("unserved", "unserved queries"),
+    ("mean_traffic", "t̄r_i (Eq. 17)"),
+)
+
+
+def _same(a: object, b: object) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b
+    return a == b
+
+
+def _show(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
+        return f"{value!r}"
+    return str(value)
+
+
+def _eq_field_term(eq: str, which: str) -> str:
+    info = _EQ_INFO.get(eq)
+    if info is None:
+        return f"{eq} {which}"
+    _, lhs_sym, thr_sym, _, _ = info
+    if which == "lhs":
+        return f"{eq} lhs ({lhs_sym})"
+    if which == "threshold":
+        return f"{eq} threshold ({thr_sym})"
+    return f"{eq} {which}"
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One aligned decision pair that differs, and where."""
+
+    epoch: int
+    partition: int
+    seq: int
+    term: str
+    a: str
+    b: str
+
+    def describe(self) -> str:
+        return (
+            f"epoch {self.epoch}, partition {self.partition} "
+            f"(decision #{self.seq}): {self.term}: {self.a} vs {self.b}"
+        )
+
+
+@dataclass
+class ProvDiffReport:
+    """Outcome of aligning two ledgers decision-by-decision."""
+
+    total_a: int
+    total_b: int
+    aligned: int
+    divergent_decisions: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def first(self) -> Divergence | None:
+        return self.divergences[0] if self.divergences else None
+
+    @property
+    def identical(self) -> bool:
+        return self.divergent_decisions == 0 and self.total_a == self.total_b
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.identical else 1
+
+    def describe(self) -> str:
+        lines = [
+            f"decisions: {self.total_a} vs {self.total_b}, "
+            f"{self.aligned} aligned pairs"
+        ]
+        if self.identical:
+            lines.append("IDENTICAL decision-for-decision.")
+            return "\n".join(lines)
+        if self.first is not None:
+            lines.append(f"FIRST DIVERGENCE: {self.first.describe()}")
+        extra = self.divergent_decisions - 1
+        if extra > 0:
+            shown = min(len(self.divergences) - 1, _MAX_KEPT - 1)
+            lines.append(
+                f"{self.divergent_decisions} divergent decisions total"
+                + (f" (next {shown} shown):" if shown else ".")
+            )
+            for div in self.divergences[1:_MAX_KEPT]:
+                lines.append(f"  {div.describe()}")
+            if self.divergent_decisions > _MAX_KEPT:
+                lines.append(
+                    f"  ... {self.divergent_decisions - _MAX_KEPT} more elided"
+                )
+        return "\n".join(lines)
+
+
+def _first_difference(a: DecisionRecord, b: DecisionRecord) -> tuple[str, str, str] | None:
+    """(term, a_value, b_value) for the first differing field, if any."""
+    for attr, term in _RECORD_FIELDS:
+        va, vb = getattr(a, attr), getattr(b, attr)
+        if not _same(va, vb):
+            return term, _show(va), _show(vb)
+    if len(a.predicates) != len(b.predicates):
+        return (
+            "predicate count",
+            str(len(a.predicates)),
+            str(len(b.predicates)),
+        )
+    for pa, pb in zip(a.predicates, b.predicates):
+        if pa.eq != pb.eq:
+            return "predicate order", pa.eq, pb.eq
+        if pa.subject != pb.subject:
+            return f"{pa.eq} subject", pa.subject, pb.subject
+        if not _same(pa.lhs, pb.lhs):
+            return _eq_field_term(pa.eq, "lhs"), _show(pa.lhs), _show(pb.lhs)
+        if not _same(pa.threshold, pb.threshold):
+            return (
+                _eq_field_term(pa.eq, "threshold"),
+                _show(pa.threshold),
+                _show(pb.threshold),
+            )
+        if pa.passed != pb.passed:
+            return f"{pa.eq} verdict", str(pa.passed), str(pb.passed)
+    if len(a.candidates) != len(b.candidates):
+        return (
+            "candidate count",
+            str(len(a.candidates)),
+            str(len(b.candidates)),
+        )
+    for ca, cb in zip(a.candidates, b.candidates):
+        where = f"{ca.role} dc {ca.dc}"
+        if ca.role != cb.role or ca.dc != cb.dc:
+            return (
+                "candidate order",
+                f"{ca.role} dc {ca.dc}",
+                f"{cb.role} dc {cb.dc}",
+            )
+        if ca.sid != cb.sid:
+            return f"{where} server", str(ca.sid), str(cb.sid)
+        if ca.verdict != cb.verdict:
+            return f"{where} verdict", ca.verdict, cb.verdict
+        if ca.cause != cb.cause:
+            return f"{where} cause", ca.cause, cb.cause
+        if not _same(ca.value, cb.value):
+            return f"{where} score", _show(ca.value), _show(cb.value)
+        if not _same(ca.threshold, cb.threshold):
+            return f"{where} threshold", _show(ca.threshold), _show(cb.threshold)
+    return None
+
+
+def _keyed(art: ProvArtifact) -> dict[tuple[int, int, int], DecisionRecord]:
+    seq: dict[tuple[int, int], int] = {}
+    out: dict[tuple[int, int, int], DecisionRecord] = {}
+    for rec in art.records:
+        pair = (rec.epoch, rec.partition)
+        n = seq.get(pair, 0)
+        seq[pair] = n + 1
+        out[(rec.epoch, rec.partition, n)] = rec
+    return out
+
+
+def diff_provenance(a: ProvArtifact, b: ProvArtifact) -> ProvDiffReport:
+    """Align two ledgers and report divergences in (epoch, partition) order."""
+    keyed_a, keyed_b = _keyed(a), _keyed(b)
+    report = ProvDiffReport(
+        total_a=len(a.records), total_b=len(b.records), aligned=0
+    )
+    for key in sorted(set(keyed_a) | set(keyed_b)):
+        epoch, partition, seq = key
+        rec_a, rec_b = keyed_a.get(key), keyed_b.get(key)
+        if rec_a is None or rec_b is None:
+            present = rec_b if rec_a is None else rec_a
+            report.divergent_decisions += 1
+            if len(report.divergences) < _MAX_KEPT:
+                report.divergences.append(
+                    Divergence(
+                        epoch=epoch,
+                        partition=partition,
+                        seq=seq,
+                        term="decision presence",
+                        a="absent" if rec_a is None else f"{present.action}",
+                        b="absent" if rec_b is None else f"{present.action}",
+                    )
+                )
+            continue
+        report.aligned += 1
+        diff = _first_difference(rec_a, rec_b)
+        if diff is not None:
+            term, va, vb = diff
+            report.divergent_decisions += 1
+            if len(report.divergences) < _MAX_KEPT:
+                report.divergences.append(
+                    Divergence(
+                        epoch=epoch,
+                        partition=partition,
+                        seq=seq,
+                        term=term,
+                        a=va,
+                        b=vb,
+                    )
+                )
+    return report

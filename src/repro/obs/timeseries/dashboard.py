@@ -507,21 +507,30 @@ def _traffic_series(art: TsdbArtifact, max_slots: int = 8) -> list[_PanelSeries]
     return out
 
 
-def _phase_series(art: TsdbArtifact) -> list[_PanelSeries]:
-    names = [n for n in art.column_names() if n.startswith("phase_s/")]
+def _family_series(
+    art: TsdbArtifact, prefix: str, scale: float = 1.0
+) -> list[_PanelSeries]:
+    """One series per ``prefix/<name>`` column, labelled by the name part."""
+    names = [n for n in art.column_names() if n.startswith(prefix)]
     return [
-        _PanelSeries(n.split("/", 1)[1], art.column(n) * 1e3, slot)
+        _PanelSeries(n.split("/", 1)[1], art.column(n) * scale, slot)
         for slot, n in enumerate(names, start=1)
     ]
+
+
+def _phase_series(art: TsdbArtifact) -> list[_PanelSeries]:
+    return _family_series(art, "phase_s/", scale=1e3)
 
 
 def _work_series(art: TsdbArtifact) -> list[_PanelSeries]:
     """The per-epoch work-counter columns (``repro.obs.perf``)."""
-    names = [n for n in art.column_names() if n.startswith("work/")]
-    return [
-        _PanelSeries(n.split("/", 1)[1], art.column(n), slot)
-        for slot, n in enumerate(names, start=1)
-    ]
+    return _family_series(art, "work/")
+
+
+def _decision_series(art: TsdbArtifact) -> list[_PanelSeries]:
+    """Per-epoch applied-action counts keyed by decision reason
+    (``decision/<reason>`` columns from the provenance-aware engine)."""
+    return _family_series(art, "decision/")
 
 
 # ----------------------------------------------------------------------
@@ -760,6 +769,28 @@ def render_dashboard(
             _render_panel(
                 "work", "Work per epoch", "units/epoch",
                 epochs, work, markers, base_work,
+            )
+        )
+    decisions = _decision_series(run)
+    if decisions:
+        # Same dashed-overlay treatment as the work panel: the decision
+        # mix is deterministic, so baseline divergence means the policy
+        # chose differently, not that the workload wiggled.
+        base_decisions = None
+        if baseline is not None:
+            slots = {s.name: s.slot for s in decisions}
+            n = len(epochs)
+            base_decisions = [
+                _PanelSeries(name, baseline.column(f"decision/{name}")[:n], slot)
+                for name, slot in slots.items()
+                if f"decision/{name}" in baseline.columns
+            ] or None
+            if base_decisions and any(len(s.values) != n for s in base_decisions):
+                base_decisions = None
+        panels.append(
+            _render_panel(
+                "decisions", "Decisions per epoch by reason", "actions/epoch",
+                epochs, decisions, markers, base_decisions,
             )
         )
 

@@ -94,6 +94,11 @@ POLARITY: tuple[tuple[str, int], ...] = (
     # output is worth seeing, not worth gating (repro perfdiff
     # --gate-counters exists for the strict stance).
     ("work/*", 0),
+    # Decision-mix columns are polarity-neutral: replicating for a
+    # different *reason* is a behaviour change worth seeing, but neither
+    # direction is inherently better (repro provdiff gives the
+    # decision-level answer).
+    ("decision/*", 0),
     ("traffic_dc/*", 0),
     ("counter/*", 0),
     ("gauge/*", 0),
@@ -115,6 +120,7 @@ DEFAULT_TOLERANCES: tuple[tuple[str, tuple[float, float]], ...] = (
     ("mean_availability", (0.01, 0.001)),
     ("phase_s/*", (0.50, 1e-3)),
     ("work/*", (0.05, 2.0)),
+    ("decision/*", (0.25, 5.0)),
     ("counter/*", (0.10, 2.0)),
     ("gauge/*", (0.10, 2.0)),
 )

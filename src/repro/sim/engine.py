@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # imported lazily at runtime (chaos imports sim.events)
     from ..chaos.schedule import ChaosSchedule
     from ..consistency.tracker import ConsistencySummary
     from ..obs.perf.counters import WorkCounters
+    from ..obs.provenance.recorder import ProvenanceRecorder
     from ..obs.timeseries import TimeseriesRecorder
     from ..staticcheck.sanitizer import DeterminismSanitizer
     from ..workload.query import QueryBatch
@@ -81,6 +82,19 @@ from .events import (
 )
 from .observation import EpochObservation
 from .policy import ReplicationPolicy
+from .reasons import (
+    ALL_COPIES_LOST,
+    BOOTSTRAP,
+    JOIN,
+    LATENCY_BOUND_EXCEEDED,
+    MASS_FAILURE,
+    RECOVERY,
+    SERVER_FAILURE,
+    SKIP_BANDWIDTH,
+    SKIP_LAST_COPY,
+    SKIP_NETWORK_PARTITION,
+    SKIP_STORAGE_GATE,
+)
 from .rng import RngTree
 
 __all__ = ["Simulation"]
@@ -179,6 +193,7 @@ class Simulation:
         timeseries: TimeseriesRecorder | None = None,
         sanitizer: DeterminismSanitizer | None = None,
         work: WorkCounters | None = None,
+        provenance: ProvenanceRecorder | None = None,
     ) -> None:
         self.config = config
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
@@ -186,6 +201,10 @@ class Simulation:
         self.instruments = instruments
         self.timeseries = timeseries
         self.sanitizer = sanitizer
+        #: Decision-provenance ledger (``repro.obs.provenance``); when
+        #: attached, the policy's decision tree records every threshold
+        #: predicate and the apply phase stamps each action's fate.
+        self.provenance = provenance
         #: Hardware-independent work counters (``repro.obs.perf``); when
         #: attached, the hot paths bump cheap integer counters and the
         #: per-epoch deltas ride into the timeseries as ``work/*`` columns.
@@ -271,6 +290,13 @@ class Simulation:
             work is not None or getattr(self.profiler, "supports_spans", False)
         ):
             attach(profiler=self.profiler, work=work)
+        # Provenance hand-off (same duck-typed pattern): policies without
+        # an instrumented decision tree still get ledger coverage through
+        # the apply phase's fate notes (synthesized minimal records).
+        if provenance is not None:
+            attach_prov = getattr(self.policy, "attach_provenance", None)
+            if attach_prov is not None:
+                attach_prov(provenance)
         # Birth epochs of live copies, feeding the replica-lifetime
         # histogram; only maintained when instruments are attached.
         self._replica_birth: dict[tuple[int, int], int] = {}
@@ -290,7 +316,7 @@ class Simulation:
                             kind="replica_bootstrap",
                             server=sid,
                             partition=partition,
-                            reason="bootstrap",
+                            reason=BOOTSTRAP,
                             policy=self.policy_name,
                             extra={"dc": self.cluster.dc_of(sid)},
                         )
@@ -298,6 +324,9 @@ class Simulation:
         # High-water mark of the tracer's drop counter already exported
         # to the trace_events_dropped_total instrument.
         self._dropped_exported = 0.0
+        # Applied-action counts by policy reason for the last epoch,
+        # exported as ``decision/<reason>`` time-series columns.
+        self._decision_counts: dict[str, float] = {}
         self.last_result: ServiceResult | None = None
         # Optional consistency extension (the paper's future work; off by
         # default so every reproduced figure is unaffected).
@@ -440,7 +469,7 @@ class Simulation:
                     TraceEvent(
                         epoch=epoch,
                         kind="sla_violation",
-                        reason="latency-bound-exceeded",
+                        reason=LATENCY_BOUND_EXCEEDED,
                         policy=self.policy_name,
                         extra={
                             "count": float(result.sla_miss),
@@ -512,6 +541,8 @@ class Simulation:
         if self.work is not None:
             for name, count in self.work.epoch_deltas().items():
                 row[f"work/{name}"] = float(count)
+        for reason, count in self._decision_counts.items():
+            row[f"decision/{reason}"] = count
         self.timeseries.sample(epoch, row)
 
     def _check_invariants(self, epoch: int) -> None:
@@ -548,9 +579,9 @@ class Simulation:
         for event in self._events.pop_due(epoch):
             if isinstance(event, MassFailureEvent):
                 victims = self.injector.choose_victims(event.count)
-                self._fail(victims, epoch, cause="mass-failure")
+                self._fail(victims, epoch, cause=MASS_FAILURE)
             elif isinstance(event, ServerFailureEvent):
-                self._fail(event.sids, epoch, cause="server-failure")
+                self._fail(event.sids, epoch, cause=SERVER_FAILURE)
             elif isinstance(event, ServerRecoveryEvent):
                 sids = event.sids or tuple(
                     s.sid for s in self.cluster.servers if not s.alive
@@ -562,7 +593,7 @@ class Simulation:
                         epoch,
                         "server_recovery",
                         sid,
-                        "recovery",
+                        RECOVERY,
                         dc=self.cluster.dc_of(sid),
                     )
             elif isinstance(event, ServerJoinEvent):
@@ -570,7 +601,7 @@ class Simulation:
                     server = self.cluster.join_server(event.dc)
                     self.ring.add_server(server.sid)
                     self._trace_membership(
-                        epoch, "server_join", server.sid, "join", dc=event.dc
+                        epoch, "server_join", server.sid, JOIN, dc=event.dc
                     )
             elif isinstance(event, ChaosFailureEvent):
                 # Chaos injections may overlap (flapping over a rolling
@@ -699,7 +730,7 @@ class Simulation:
             self.replicas.restore(partition, owner)
             restored += 1
             if self.timeseries is not None:
-                self.timeseries.mark(epoch, "partition_restore", "all-copies-lost")
+                self.timeseries.mark(epoch, "partition_restore", ALL_COPIES_LOST)
             if self.tracer.enabled:
                 self.tracer.emit(
                     TraceEvent(
@@ -707,7 +738,7 @@ class Simulation:
                         kind="partition_restore",
                         server=owner,
                         partition=partition,
-                        reason="all-copies-lost",
+                        reason=ALL_COPIES_LOST,
                         policy=self.policy_name,
                         extra={"dc": self.cluster.dc_of(owner)},
                     )
@@ -772,6 +803,8 @@ class Simulation:
             "suicide_count": 0.0,
             "skipped_actions": 0.0,
         }
+        if self.timeseries is not None:
+            self._decision_counts = {}
         for action in actions:
             if isinstance(action, Replicate):
                 self._apply_replicate(action, stats, epoch)
@@ -782,6 +815,28 @@ class Simulation:
             else:  # pragma: no cover - closed union
                 raise ActionError(f"unknown action type: {action!r}")
         return stats
+
+    def _count_decision(self, action: Action) -> None:
+        """Bump the per-epoch applied-action count for the action's reason."""
+        if self.timeseries is None:
+            return
+        reason = action.reason or "unspecified"
+        self._decision_counts[reason] = self._decision_counts.get(reason, 0.0) + 1.0
+
+    def _note_fate(
+        self,
+        epoch: int,
+        kind: str,
+        action: Action,
+        fate: str,
+        cause: str = "",
+        target_dc: int = -1,
+    ) -> None:
+        """Report an action's applied/skipped fate to the provenance ledger."""
+        if self.provenance is not None:
+            self.provenance.note_fate(
+                epoch, kind, action, fate, cause=cause, target_dc=target_dc
+            )
 
     def _trace_action(
         self,
@@ -820,6 +875,7 @@ class Simulation:
     ) -> None:
         """A gate refused the action: count it and say which gate."""
         stats["skipped_actions"] += 1
+        self._note_fate(epoch, kind, action, "skipped", cause=cause)
         if self.tracer.enabled:
             self.tracer.emit(
                 TraceEvent(
@@ -867,15 +923,15 @@ class Simulation:
                 f"{action.partition}: {action}"
             )
         if not self.router.reachable(source.dc, target.dc):
-            self._skip_action(epoch, "replicate", action, "network-partition", stats)
+            self._skip_action(epoch, "replicate", action, SKIP_NETWORK_PARTITION, stats)
             return
         size = self.config.workload.partition_size_mb
         # Resource races between same-epoch actions are skips, not bugs.
         if not target.storage_gate_open(size, self.config.rfh.phi):
-            self._skip_action(epoch, "replicate", action, "storage-gate", stats)
+            self._skip_action(epoch, "replicate", action, SKIP_STORAGE_GATE, stats)
             return
         if not source.consume_replication_bandwidth(size):
-            self._skip_action(epoch, "replicate", action, "bandwidth", stats)
+            self._skip_action(epoch, "replicate", action, SKIP_BANDWIDTH, stats)
             return
         self.replicas.add(action.partition, action.target_sid)
         stats["replication_count"] += 1
@@ -890,6 +946,8 @@ class Simulation:
         stats["replication_cost"] += cost
         if self.instruments is not None:
             self._replica_birth[(action.partition, action.target_sid)] = epoch
+        self._count_decision(action)
+        self._note_fate(epoch, "replicate", action, "applied", target_dc=target.dc)
         self._trace_action(
             epoch,
             "replicate",
@@ -917,14 +975,14 @@ class Simulation:
                 f"{action.partition}: {action}"
             )
         if not self.router.reachable(source.dc, target.dc):
-            self._skip_action(epoch, "migrate", action, "network-partition", stats)
+            self._skip_action(epoch, "migrate", action, SKIP_NETWORK_PARTITION, stats)
             return
         size = self.config.workload.partition_size_mb
         if not target.storage_gate_open(size, self.config.rfh.phi):
-            self._skip_action(epoch, "migrate", action, "storage-gate", stats)
+            self._skip_action(epoch, "migrate", action, SKIP_STORAGE_GATE, stats)
             return
         if not source.consume_migration_bandwidth(size):
-            self._skip_action(epoch, "migrate", action, "bandwidth", stats)
+            self._skip_action(epoch, "migrate", action, SKIP_BANDWIDTH, stats)
             return
         self.replicas.move(action.partition, action.source_sid, action.target_sid)
         stats["migration_count"] += 1
@@ -940,6 +998,8 @@ class Simulation:
         if self.instruments is not None:
             self._observe_replica_death(epoch, action.partition, action.source_sid)
             self._replica_birth[(action.partition, action.target_sid)] = epoch
+        self._count_decision(action)
+        self._note_fate(epoch, "migrate", action, "applied", target_dc=target.dc)
         self._trace_action(
             epoch,
             "migrate",
@@ -961,13 +1021,21 @@ class Simulation:
                 f"{action.partition}: {action}"
             )
         if self.replicas.replica_count(action.partition) <= 1:
-            self._skip_action(epoch, "suicide", action, "last-copy", stats)
+            self._skip_action(epoch, "suicide", action, SKIP_LAST_COPY, stats)
             return
         self.replicas.remove(action.partition, action.sid)
         stats["suicide_count"] += 1
         if self.work is not None:
             self.work.evict_actions += 1
         self._observe_replica_death(epoch, action.partition, action.sid)
+        self._count_decision(action)
+        self._note_fate(
+            epoch,
+            "suicide",
+            action,
+            "applied",
+            target_dc=self.cluster.dc_of(action.sid),
+        )
         self._trace_action(
             epoch,
             "suicide",

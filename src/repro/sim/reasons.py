@@ -1,0 +1,147 @@
+"""The shared action-reason and cause vocabulary.
+
+Policies tag every action with a ``reason`` string, the engine tags
+every skipped action and membership event with a ``cause``, the
+root-cause analyser weighs attribution categories, and the provenance
+ledger records all of them.  Before this module each site spelled its
+own literals, so one typo ("trafic-hub") would silently split a
+category across traces, instrument labels, time-series columns and
+root-cause tables.  Import the constants instead; the ``*_REASONS`` /
+``*_CAUSES`` tuples enumerate each closed family for validation and
+docs.
+
+Nothing here is interpreted by the engine — reasons stay free-form tags
+(:mod:`repro.sim.actions`) — but every literal the repo emits lives
+here.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AVAILABILITY",
+    "LOCAL_RELIEF",
+    "TRAFFIC_HUB",
+    "HUB_MIGRATION",
+    "COLD_REPLICA",
+    "SUCCESSOR",
+    "OVERLOAD",
+    "DEMAND",
+    "TOP3_CHANGE",
+    "MEMBERSHIP_REBALANCE",
+    "ACTION_REASONS",
+    "SKIP_NETWORK_PARTITION",
+    "SKIP_STORAGE_GATE",
+    "SKIP_BANDWIDTH",
+    "SKIP_LAST_COPY",
+    "SKIP_CAUSES",
+    "BOOTSTRAP",
+    "RECOVERY",
+    "JOIN",
+    "MASS_FAILURE",
+    "SERVER_FAILURE",
+    "ALL_COPIES_LOST",
+    "LATENCY_BOUND_EXCEEDED",
+    "MEMBERSHIP_CAUSES",
+    "CAUSE_SERVER_FAILURE",
+    "CAUSE_LOST_PARTITION_RESTORE",
+    "CAUSE_REPLICATION_STORM",
+    "CAUSE_OVERLOAD_UNMITIGATED",
+    "CAUSE_UNATTRIBUTED",
+    "ATTRIBUTION_CAUSES",
+]
+
+# ----------------------------------------------------------------------
+# Action reasons emitted by the RFH decision tree (core.decision).
+# ----------------------------------------------------------------------
+#: Eq. 14 availability floor unmet — replicate regardless of load.
+AVAILABILITY: str = "availability"
+#: Holder overloaded but no forwarding node cleared Eq. 13 — replicate
+#: inside the holder's own datacenter.
+LOCAL_RELIEF: str = "local-relief"
+#: Holder overloaded (Eq. 12) and a forwarding hub qualified (Eq. 13).
+TRAFFIC_HUB: str = "traffic-hub"
+#: A cold replica moves to a top-traffic hub (Eq. 16 benefit met).
+HUB_MIGRATION: str = "hub-migration"
+#: Eq. 15 suicide: a barely-visited replica reclaims itself.
+COLD_REPLICA: str = "cold-replica"
+
+# ----------------------------------------------------------------------
+# Action reasons emitted by the baseline policies.
+# ----------------------------------------------------------------------
+#: Random policy: copy placed on the ring successor.
+SUCCESSOR: str = "successor"
+#: Random policy: extra copy on overload.
+OVERLOAD: str = "overload"
+#: Request-oriented policy: replicate toward observed demand.
+DEMAND: str = "demand"
+#: Request-oriented policy: the top-3 requester set changed.
+TOP3_CHANGE: str = "top3-change"
+#: Owner-oriented policy: rebalance after membership churn.
+MEMBERSHIP_REBALANCE: str = "membership-rebalance"
+
+#: Every action reason any shipped policy emits.
+ACTION_REASONS: tuple[str, ...] = (
+    AVAILABILITY,
+    LOCAL_RELIEF,
+    TRAFFIC_HUB,
+    HUB_MIGRATION,
+    COLD_REPLICA,
+    SUCCESSOR,
+    OVERLOAD,
+    DEMAND,
+    TOP3_CHANGE,
+    MEMBERSHIP_REBALANCE,
+)
+
+# ----------------------------------------------------------------------
+# Engine gates that refuse an action (``action_skipped`` trace records).
+# ----------------------------------------------------------------------
+SKIP_NETWORK_PARTITION: str = "network-partition"
+SKIP_STORAGE_GATE: str = "storage-gate"
+SKIP_BANDWIDTH: str = "bandwidth"
+SKIP_LAST_COPY: str = "last-copy"
+
+#: Every cause the engine's apply-phase gates can report.
+SKIP_CAUSES: tuple[str, ...] = (
+    SKIP_NETWORK_PARTITION,
+    SKIP_STORAGE_GATE,
+    SKIP_BANDWIDTH,
+    SKIP_LAST_COPY,
+)
+
+# ----------------------------------------------------------------------
+# Membership / lifecycle causes on engine trace records.
+# ----------------------------------------------------------------------
+BOOTSTRAP: str = "bootstrap"
+RECOVERY: str = "recovery"
+JOIN: str = "join"
+MASS_FAILURE: str = "mass-failure"
+SERVER_FAILURE: str = "server-failure"
+ALL_COPIES_LOST: str = "all-copies-lost"
+LATENCY_BOUND_EXCEEDED: str = "latency-bound-exceeded"
+
+MEMBERSHIP_CAUSES: tuple[str, ...] = (
+    BOOTSTRAP,
+    RECOVERY,
+    JOIN,
+    MASS_FAILURE,
+    SERVER_FAILURE,
+    ALL_COPIES_LOST,
+)
+
+# ----------------------------------------------------------------------
+# Root-cause attribution categories (obs.analysis.rootcause).
+# ----------------------------------------------------------------------
+CAUSE_SERVER_FAILURE: str = SERVER_FAILURE
+CAUSE_LOST_PARTITION_RESTORE: str = "lost-partition-restore"
+CAUSE_REPLICATION_STORM: str = "replication-storm"
+CAUSE_OVERLOAD_UNMITIGATED: str = "overload-unmitigated"
+CAUSE_UNATTRIBUTED: str = "unattributed"
+
+ATTRIBUTION_CAUSES: tuple[str, ...] = (
+    CAUSE_SERVER_FAILURE,
+    CAUSE_LOST_PARTITION_RESTORE,
+    CAUSE_REPLICATION_STORM,
+    CAUSE_OVERLOAD_UNMITIGATED,
+    CAUSE_UNATTRIBUTED,
+)

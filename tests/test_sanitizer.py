@@ -227,5 +227,7 @@ class TestSanitizeCli:
 
         fp = tmp_path / "cmp.fp.json"
         assert main(["compare", *FAST[:2], *FAST[2:], "--fingerprint-out", str(fp)]) == 0
+        # The policy tag lands *before* the compound ``.fp.json`` suffix
+        # (shared repro.obs.paths helper, same shape as ``.tsdb.json``).
         for policy in ("request", "owner", "random", "rfh"):
-            assert (tmp_path / f"cmp.fp.{policy}.json").exists()
+            assert (tmp_path / f"cmp.{policy}.fp.json").exists()
