@@ -7,14 +7,23 @@ lookups and one full engine epoch.
 """
 
 import numpy as np
+import pytest
 
-from repro.config import SimulationConfig
+from repro.config import ClusterParameters, SimulationConfig, WorkloadParameters
 from repro.core.blocking import erlang_b
 from repro.core.traffic import serve_epoch
-from repro.net import Router, build_default_wan
+from repro.geo import build_synthetic_hierarchy
+from repro.net import Router, build_default_wan, build_ring_wan
 from repro.ring import FingerTable, HashRing, stable_hash
 from repro.sim import Simulation
-from repro.workload import QueryBatch
+from repro.sim.columnar import ColumnarSimulation
+from repro.workload import QueryBatch, WorkloadTrace
+
+#: The two epoch engines under test.  The scalar engine is the
+#: reference implementation; the columnar one must produce bit-identical
+#: trajectories (tests/test_columnar_equivalence.py), so these rows are
+#: directly comparable — same work, different arithmetic route.
+_ENGINES = {"scalar": Simulation, "columnar": ColumnarSimulation}
 
 
 def test_serve_epoch_kernel(benchmark):
@@ -62,15 +71,83 @@ def test_ring_lookup_kernel(benchmark):
     assert hops > 0
 
 
-def test_full_epoch_step(benchmark):
+@pytest.mark.parametrize("engine", sorted(_ENGINES))
+def test_full_epoch_step(benchmark, engine):
     """One complete engine epoch (workload -> route -> decide -> apply)."""
-    sim = Simulation(SimulationConfig(seed=7), policy="rfh")
+    sim = _ENGINES[engine](SimulationConfig(seed=7), policy="rfh")
     sim.run(50)  # warm state: replicas placed, signals warm
 
     def step():
         return sim.step()
 
     result = benchmark.pedantic(step, rounds=20, iterations=1)
+    assert result.query_count >= 0
+
+
+# Large-scale case: 100 datacenters (one server each), 10^5 partitions,
+# heavy skew.  The workload is pre-sampled into a trace during setup so
+# the timed region measures the *engine* (serve / observe / apply /
+# record), not the Poisson/multinomial sampling both engines share.
+_LARGE_DCS = 100
+_LARGE_PARTITIONS = 100_000
+_LARGE_WARM_EPOCHS = 14
+_LARGE_ROUNDS = 5
+_LARGE_SCALE: dict = {}
+
+
+def _large_scale_config() -> SimulationConfig:
+    return SimulationConfig(
+        seed=7,
+        cluster=ClusterParameters(
+            rooms_per_datacenter=1, racks_per_room=1, servers_per_rack=1
+        ),
+        workload=WorkloadParameters(
+            queries_per_epoch_mean=50_000.0,
+            num_partitions=_LARGE_PARTITIONS,
+            zipf_exponent=2.0,
+        ),
+    )
+
+
+def _large_scale_trace() -> WorkloadTrace:
+    """One shared trace, recorded from the engine's own generator."""
+    if "trace" not in _LARGE_SCALE:
+        hierarchy = build_synthetic_hierarchy(_LARGE_DCS)
+        probe = Simulation(
+            _large_scale_config(),
+            policy="rfh",
+            hierarchy=hierarchy,
+            wan=build_ring_wan(hierarchy),
+        )
+        _LARGE_SCALE["trace"] = WorkloadTrace.record(
+            probe.workload, _LARGE_WARM_EPOCHS + _LARGE_ROUNDS + 3
+        )
+    return _LARGE_SCALE["trace"]
+
+
+@pytest.mark.parametrize("engine", sorted(_ENGINES))
+def test_large_scale_epoch_step(benchmark, engine):
+    """One engine epoch at 100 DCs / 10^5 partitions, traced workload.
+
+    This is where the columnar rewrite pays: the scalar per-flow walk
+    and per-partition decision loop scale with P x D, the columnar
+    kernels with the number of nonzero flows.
+    """
+    trace = _large_scale_trace()
+    hierarchy = build_synthetic_hierarchy(_LARGE_DCS)
+    sim = _ENGINES[engine](
+        _large_scale_config(),
+        policy="rfh",
+        hierarchy=hierarchy,
+        wan=build_ring_wan(hierarchy),
+        workload=trace,
+    )
+    sim.run(_LARGE_WARM_EPOCHS)  # warm state: replicas placed, signals warm
+
+    def step():
+        return sim.step()
+
+    result = benchmark.pedantic(step, rounds=_LARGE_ROUNDS, iterations=1)
     assert result.query_count >= 0
 
 

@@ -2,7 +2,8 @@
 """Run the kernel benchmarks and write machine-readable results.
 
 Drives ``benchmarks/bench_kernels.py`` (the hot-kernel suite, including
-the phase-attribution benchmark) through pytest-benchmark, then
+the engine-parametrized epoch benchmarks and the phase-attribution
+benchmark) through pytest-benchmark, then
 condenses the raw report into ``BENCH_kernels.json`` — one stable
 record per benchmark with the timing stats a trend dashboard needs.
 Each run also appends a timestamped record to ``BENCH_history.json``
@@ -65,10 +66,17 @@ def condense(raw: dict) -> dict:
     benchmarks = []
     for bench in raw.get("benchmarks", ()):
         stats = bench.get("stats", {})
+        params = bench.get("params") or {}
         benchmarks.append(
             {
                 "name": bench.get("name"),
                 "group": bench.get("group"),
+                # Engine-parametrized benchmarks keep the engine in both
+                # the name (``test_full_epoch_step[columnar]``) and this
+                # field, so ``--check`` — which matches records by name —
+                # always compares an engine against itself, and dashboards
+                # can split trajectories per engine without parsing names.
+                "engine": params.get("engine", "scalar"),
                 "rounds": stats.get("rounds"),
                 "iterations": stats.get("iterations"),
                 "mean_s": stats.get("mean"),

@@ -42,6 +42,7 @@ Fourteen subcommands cover the workflows a user reaches for first:
 Examples::
 
     python -m repro run --policy rfh --epochs 200 --seed 7
+    python -m repro run --engine columnar --policy rfh --epochs 200 --seed 7
     python -m repro run --chaos flapping --epochs 200
     python -m repro chaos rack-outage --seed 42
     python -m repro compare --scenario flash --epochs 400
@@ -55,6 +56,7 @@ Examples::
     python -m repro sanitize --policy rfh --epochs 120 --seed 7
     python -m repro run --sanitize --fingerprint-out run.fp.json
     python -m repro sanitize --against run.fp.json
+    python -m repro sanitize --engine columnar --against run.fp.json
     python -m repro profile --policy rfh --epochs 120 --out run.prof.json
     python -m repro perfdiff base.prof.json run.prof.json
     python -m repro run --provenance-out run.prov.json
@@ -73,7 +75,7 @@ from collections.abc import Sequence
 
 from .config import SimulationConfig, WorkloadParameters
 from .experiments.comparison import POLICIES, compare_policies
-from .experiments.runner import run_experiment
+from .experiments.runner import ENGINES, run_experiment
 from .experiments.scenarios import (
     CHAOS_SCENARIOS,
     Scenario,
@@ -123,6 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
             choices=sorted(_SCENARIOS),
             default="random",
             help="workload scenario",
+        )
+
+    def engine_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default="scalar",
+            help="epoch core: 'scalar' (reference implementation) or "
+            "'columnar' (vectorized numpy kernels; bit-identical "
+            "fingerprint chains by contract, enforced by the "
+            "differential suite)",
         )
 
     def chaos_opts(p: argparse.ArgumentParser) -> None:
@@ -210,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one policy and print headline metrics")
     common(run_p)
     chaos_opts(run_p)
+    engine_opt(run_p)
     run_p.add_argument(
         "--policy", choices=sorted(POLICIES), default="rfh", help="algorithm to run"
     )
@@ -220,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p = sub.add_parser("compare", help="run all four algorithms on one trace")
     common(cmp_p)
     chaos_opts(cmp_p)
+    engine_opt(cmp_p)
     observability(cmp_p)
 
     chaos_p = sub.add_parser(
@@ -245,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", choices=sorted(POLICIES), default="rfh", help="algorithm to run"
     )
     chaos_p.add_argument("--csv", help="export the metric series to this CSV file")
+    engine_opt(chaos_p)
     observability(chaos_p)
 
     fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
@@ -406,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
         "and component",
     )
     common(san_p)
+    engine_opt(san_p)
     san_p.add_argument(
         "--policy", choices=sorted(POLICIES), default="rfh", help="algorithm to run"
     )
@@ -435,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(prof_p)
     chaos_opts(prof_p)
+    engine_opt(prof_p)
     prof_p.add_argument(
         "--policy", choices=sorted(POLICIES), default="rfh", help="algorithm to run"
     )
@@ -734,11 +752,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             timeseries=timeseries,
             sanitizer=sanitizer,
             provenance=provenance,
+            engine=args.engine,
         )
     chaos_tag = f" chaos={args.chaos}" if getattr(args, "chaos", None) else ""
+    engine_tag = f" engine={args.engine}" if args.engine != "scalar" else ""
     print(
         f"policy={args.policy} scenario={scenario.name} "
-        f"epochs={args.epochs}{chaos_tag}"
+        f"epochs={args.epochs}{chaos_tag}{engine_tag}"
     )
     for name, fmt in _HEADLINE:
         print(f"  {name:<18} {fmt.format(result.steady(name))}")
@@ -820,6 +840,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             timeseries_factory=timeseries_factory,
             sanitizer_factory=sanitizer_factory,
             provenance_factory=provenance_factory,
+            engine=args.engine,
         )
     header = f"{'policy':>9} | " + " ".join(f"{name:>16}" for name, _ in _HEADLINE)
     print(f"scenario={scenario.name} epochs={args.epochs} seed={args.seed}")
@@ -876,6 +897,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             timeseries=timeseries,
             sanitizer=sanitizer,
             provenance=provenance,
+            engine=args.engine,
         )
     sim = result.simulation
     summary = sim.chaos.summary()
@@ -1125,7 +1147,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 
     def one_run() -> FingerprintTrail:
         sanitizer = DeterminismSanitizer()
-        run_experiment(args.policy, scenario, sanitizer=sanitizer)
+        run_experiment(args.policy, scenario, sanitizer=sanitizer, engine=args.engine)
         return sanitizer.trail()
 
     candidate = one_run()
@@ -1149,7 +1171,8 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     else:
         print(
             f"sanitize policy={args.policy} scenario={scenario.name} "
-            f"epochs={args.epochs} seed={args.seed} ({label})"
+            f"epochs={args.epochs} seed={args.seed} "
+            f"engine={args.engine} ({label})"
         )
         print(f"  {report.describe()}")
         if report.exit_code != 0:
@@ -1215,6 +1238,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         scenario,
         mode=args.mode,
         allocations=not args.no_alloc,
+        engine=args.engine,
     )
     profile.save(args.out)
     print(

@@ -49,6 +49,21 @@ class ReplicaMap:
         self._holder: list[int | None] = [None] * num_partitions
         # Lazily-built per-partition grouping {dc: [(sid, count), ...]}.
         self._dc_cache: list[dict[int, list[tuple[int, int]]] | None] = [None] * num_partitions
+        # Optional columnar mirror (repro.sim.columnar.state.SimState):
+        # notified on every count/holder mutation so a dense replica
+        # matrix can track this map without O(P*S) rebuilds.
+        self._mirror = None
+
+    # ------------------------------------------------------------------
+    # Columnar mirror
+    # ------------------------------------------------------------------
+    def attach_mirror(self, mirror) -> None:
+        """Attach an object receiving ``on_count(partition, sid, count)``
+        and ``on_holder(partition, sid_or_none)`` on every mutation.
+
+        The mirror is responsible for syncing itself to the current state
+        at attach time; only one mirror is supported."""
+        self._mirror = mirror
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -63,6 +78,8 @@ class ReplicaMap:
             if self._holder[partition] is not None:
                 raise SimulationError(f"partition {partition} already bootstrapped")
             self._holder[partition] = sid
+            if self._mirror is not None:
+                self._mirror.on_holder(partition, sid)
             self._cluster.server(sid).store(self._size_mb)
             self._add_count(partition, sid)
 
@@ -183,9 +200,13 @@ class ReplicaMap:
         else:
             self._counts[partition][sid] = current - 1
         self._dc_cache[partition] = None
+        if self._mirror is not None:
+            self._mirror.on_count(partition, sid, current - 1)
         # Keep the holder pointer on a server that still has a copy.
         if self._holder[partition] == sid and self._counts[partition].get(sid, 0) == 0:
             self._holder[partition] = min(self._counts[partition])
+            if self._mirror is not None:
+                self._mirror.on_holder(partition, self._holder[partition])
 
     def move(self, partition: int, src_sid: int, dst_sid: int) -> None:
         """Migrate one copy from ``src_sid`` to ``dst_sid`` atomically."""
@@ -203,6 +224,8 @@ class ReplicaMap:
                 f"server {sid} holds no copy of partition {partition}; cannot be holder"
             )
         self._holder[partition] = sid
+        if self._mirror is not None:
+            self._mirror.on_holder(partition, sid)
 
     # ------------------------------------------------------------------
     # Failure handling
@@ -221,9 +244,13 @@ class ReplicaMap:
             if self._counts[partition].pop(sid, 0) > 0:
                 affected.append(partition)
                 self._dc_cache[partition] = None
+                if self._mirror is not None:
+                    self._mirror.on_count(partition, sid, 0)
                 if self._holder[partition] == sid:
                     survivors = self._counts[partition]
                     self._holder[partition] = min(survivors) if survivors else None
+                    if self._mirror is not None:
+                        self._mirror.on_holder(partition, self._holder[partition])
         return tuple(affected)
 
     def restore(self, partition: int, sid: int) -> None:
@@ -232,6 +259,8 @@ class ReplicaMap:
         if self._holder[partition] is not None:
             raise SimulationError(f"partition {partition} still has a holder")
         self._holder[partition] = sid
+        if self._mirror is not None:
+            self._mirror.on_holder(partition, sid)
         server = self._cluster.server(sid)
         server.store(self._size_mb)
         self._add_count(partition, sid)
@@ -243,6 +272,8 @@ class ReplicaMap:
         counts = self._counts[partition]
         counts[sid] = counts.get(sid, 0) + 1
         self._dc_cache[partition] = None
+        if self._mirror is not None:
+            self._mirror.on_count(partition, sid, counts[sid])
 
     def _check_partition(self, partition: int) -> None:
         if not 0 <= partition < self._num_partitions:

@@ -31,7 +31,7 @@ of epochs instead of jumping.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
@@ -67,7 +67,15 @@ from .thresholds import (
     migration_benefit_met,
 )
 
-__all__ = ["RFHDecision"]
+__all__ = ["AgeLookup", "RFHDecision"]
+
+
+class AgeLookup(Protocol):
+    """Replica-age source: a plain dict or a lazy view over birth records."""
+
+    def get(self, key: tuple[int, int], default: int) -> int:
+        """Age in epochs of replica ``(partition, sid)``, or ``default``."""
+        ...
 
 #: Anti-flapping deadband: a replica may only suicide while the holder's
 #: smoothed traffic sits below this fraction of the Eq. 12 overload
@@ -133,7 +141,7 @@ class RFHDecision:
         holder_traffic: float,
         served_row: np.ndarray,
         unserved: float,
-        replica_age: dict[tuple[int, int], int] | None = None,
+        replica_age: AgeLookup | None = None,
     ) -> list[Action]:
         """Run the Fig. 2 tree for one partition.
 
@@ -264,7 +272,7 @@ class RFHDecision:
         layout_by_dc: dict[int, list[tuple[int, int]]],
         replica_dcs: list[int],
         replica_count: int,
-        replica_age: dict[tuple[int, int], int] | None,
+        replica_age: AgeLookup | None,
         draft: "DecisionDraft | None" = None,
     ) -> Action | None:
         params = self._params
@@ -305,15 +313,17 @@ class RFHDecision:
             # is how the paper's same-DC replicas arise ("some replicas
             # are placed on the same datacenter of the primary
             # partition holders").
-            hubs = (
-                [
-                    dc
-                    for dc in range(obs.num_datacenters)
-                    if is_traffic_hub(float(traffic_row[dc]), avg_query, params.gamma)
-                ]
-                if overload
-                else []
-            )
+            # One vectorized Eq. 13 sweep over the datacenters: the
+            # γ·q̄ bar is a single double and each lane runs the same
+            # ``>=`` the scalar :func:`is_traffic_hub` call performs
+            # (zero-demand pinned false first), so the candidate list
+            # is element-for-element the per-dc loop's.
+            if overload and avg_query > 0.0:
+                hubs = np.nonzero(traffic_row >= params.gamma * avg_query)[
+                    0
+                ].tolist()
+            else:
+                hubs = []
         if draft is not None:
             beta_bar = params.beta * avg_query
             draft.predicate(
@@ -499,7 +509,7 @@ class RFHDecision:
         avg_query: float,
         served_row: np.ndarray,
         replica_count: int,
-        replica_age: dict[tuple[int, int], int] | None,
+        replica_age: AgeLookup | None,
         draft: "DecisionDraft | None" = None,
     ) -> Suicide | None:
         floor_holds = replica_count - 1 >= obs.rmin

@@ -69,24 +69,32 @@ class Ewma:
         return self._value
 
     def update(self, raw: np.ndarray | float) -> np.ndarray | float:
-        """Fold one raw observation in; returns the new smoothed value."""
+        """Fold one raw observation in; returns the new smoothed value.
+
+        Array returns are defensive copies — mutating one never touches
+        the smoothing state.
+        """
         if isinstance(raw, np.ndarray):
-            raw = raw.astype(np.float64, copy=True)
-        else:
-            raw = float(raw)
+            if self._value is None:
+                self._value = raw.astype(np.float64, copy=True)
+            elif not isinstance(self._value, np.ndarray):
+                raise ValueError("Ewma updates must keep a consistent type")
+            elif raw.shape != self._value.shape:
+                raise ValueError(
+                    f"Ewma shape changed from {self._value.shape} to {raw.shape}"
+                )
+            else:
+                # ``alpha * raw`` promotes any integer input to float64
+                # with the same values an explicit astype would produce.
+                self._value = (1.0 - self._alpha) * self._value + self._alpha * raw
+            return self._value.copy()
+        raw = float(raw)
         if self._value is None:
             self._value = raw
+        elif isinstance(self._value, np.ndarray):
+            raise ValueError("Ewma updates must keep a consistent type")
         else:
-            if isinstance(self._value, np.ndarray) != isinstance(raw, np.ndarray):
-                raise ValueError("Ewma updates must keep a consistent type")
-            if isinstance(raw, np.ndarray) and isinstance(self._value, np.ndarray):
-                if raw.shape != self._value.shape:
-                    raise ValueError(
-                        f"Ewma shape changed from {self._value.shape} to {raw.shape}"
-                    )
             self._value = (1.0 - self._alpha) * self._value + self._alpha * raw
-        if isinstance(self._value, np.ndarray):
-            return self._value.copy()
         return self._value
 
     def reset(self) -> None:

@@ -61,17 +61,28 @@ def is_blocked(unserved: float, avg_query: float) -> bool:
 
 
 def is_holder_overloaded(holder_traffic: float, avg_query: float, beta: float) -> bool:
-    """Eq. 12: ``tr_iit ≥ β · q̄_it``."""
-    return holder_traffic >= beta * avg_query
+    """Eq. 12: ``tr_iit ≥ β · q̄_it``, for partitions with demand.
+
+    With ``q̄ = 0`` the printed inequality reads ``0 ≥ 0`` — vacuously
+    true, declaring every never-queried partition permanently
+    overloaded (and, via Eq. 13's identical degeneracy, every idle node
+    a "hub").  Harmless at the paper's 64-partition scale where every
+    partition sees traffic, but at 10⁵ partitions it makes the tree
+    grow replicas for idle data forever.  A partition with no smoothed
+    demand cannot be overloaded, so the zero case is pinned false.
+    """
+    return avg_query > 0.0 and holder_traffic >= beta * avg_query
 
 
 def is_traffic_hub(node_traffic: float, avg_query: float, gamma: float) -> bool:
-    """Eq. 13: ``tr_ikt ≥ γ · q̄_it``.
+    """Eq. 13: ``tr_ikt ≥ γ · q̄_it``, for partitions with demand.
 
     Only meaningful for nodes *not* holding the original partition; the
-    decision tree applies it to forwarding nodes.
+    decision tree applies it to forwarding nodes.  As with Eq. 12, the
+    ``q̄ = 0`` degeneracy (``0 ≥ 0``) is pinned false — a node that
+    forwards no traffic for an idle partition is not a hub.
     """
-    return node_traffic >= gamma * avg_query
+    return avg_query > 0.0 and node_traffic >= gamma * avg_query
 
 
 def is_suicide_candidate(node_traffic: float, avg_query: float, delta: float) -> bool:

@@ -196,9 +196,18 @@ def serve_epoch(
     traffic = np.zeros((num_partitions, num_dcs), dtype=np.float64)
     unserved = np.zeros(num_partitions, dtype=np.float64)
     holder_flow = np.zeros(num_partitions, dtype=np.float64)
-    hop_sum = 0.0
-    distance_sum = 0.0
-    sla_miss = 0.0
+
+    # Per-flow reduction terms: one slot per nonzero (partition, origin)
+    # query cell, appended in walk order.  Each flow accumulates its own
+    # hop/distance/SLA contributions in (level, slot) order and the
+    # totals are reduced with a single ``np.sum`` over the finished
+    # arrays.  The columnar engine follows the same contract — same
+    # per-flow slots, same internal accumulation order, same final
+    # reduction — so the two engines produce bit-identical totals even
+    # though the columnar walk is scheduled very differently.
+    flow_hops: list[float] = []
+    flow_kms: list[float] = []
+    flow_miss: list[float] = []
 
     # Span timers are cached per name by the profiler, so look them up
     # once per epoch instead of twice per partition in the hot loop.
@@ -216,12 +225,16 @@ def serve_epoch(
         if holder is None:
             # Every copy lost: queries reach nothing and fail at distance 0.
             unserved[partition] = float(row.sum())
-            sla_miss += float(row.sum()) if latency is not None else 0.0
             for origin in np.nonzero(row)[0]:
                 traffic[partition, origin] += float(row[origin])
+                flow_hops.append(0.0)
+                flow_kms.append(0.0)
+                flow_miss.append(
+                    float(row[origin]) if latency is not None else 0.0
+                )
             continue
         sid = holder_sid[partition] if holder_sid is not None else None
-        hops, kms, misses = _serve_partition(
+        _serve_partition(
             row,
             int(holder),
             layouts[partition],
@@ -235,10 +248,10 @@ def serve_epoch(
             work,
             routing_span,
             overflow_span,
+            flow_hops,
+            flow_kms,
+            flow_miss,
         )
-        hop_sum += hops
-        distance_sum += kms
-        sla_miss += misses
         if sid is not None:
             holder_flow[partition] = served[partition, sid] + unserved[partition]
 
@@ -247,9 +260,9 @@ def serve_epoch(
         traffic_dc=traffic,
         unserved=unserved,
         holder_traffic=holder_flow,
-        hop_sum=hop_sum,
-        distance_sum_km=distance_sum,
-        sla_miss=sla_miss,
+        hop_sum=float(np.sum(np.asarray(flow_hops, dtype=np.float64))),
+        distance_sum_km=float(np.sum(np.asarray(flow_kms, dtype=np.float64))),
+        sla_miss=float(np.sum(np.asarray(flow_miss, dtype=np.float64))),
         query_count=queries.total,
     )
 
@@ -268,11 +281,21 @@ def _serve_partition(
     work: "WorkCounters | None" = None,
     routing_span=_NULL_SPAN,
     overflow_span=_NULL_SPAN,
-) -> tuple[float, float, float]:
+    flow_hops: list[float] | None = None,
+    flow_kms: list[float] | None = None,
+    flow_miss: list[float] | None = None,
+) -> None:
     """Walk one partition's flows level-synchronously.
 
-    Returns ``(hop_sum, distance_sum_km, sla_miss)`` for this partition.
+    Appends one hop/distance/SLA reduction term per nonzero origin to
+    ``flow_hops`` / ``flow_kms`` / ``flow_miss`` (see ``serve_epoch``).
     """
+    if flow_hops is None:
+        flow_hops = []
+    if flow_kms is None:
+        flow_kms = []
+    if flow_miss is None:
+        flow_miss = []
     # Shared remaining capacity per replica-holding server this epoch.
     remaining: dict[int, float] = {}
     dc_servers: dict[int, list[int]] = {}
@@ -295,9 +318,6 @@ def _serve_partition(
     # Flows: (origin, path, remaining_amount); origins in ascending order.
     flows: list[tuple[int, tuple[int, ...], float]] = []
     max_levels = 0
-    hop_sum = 0.0
-    distance_sum = 0.0
-    sla_miss = 0.0
     with routing_span:
         for origin in np.nonzero(row)[0]:
             origin = int(origin)
@@ -307,6 +327,9 @@ def _serve_partition(
                 # (nearest reachable replica datacenter first); the
                 # remainder is blocked at the origin, at zero distance.
                 amount = float(row[origin])
+                hop_f = 0.0
+                km_f = 0.0
+                miss_f = 0.0
                 traffic_row[origin] += amount
                 for dc in sorted(
                     dc_servers, key=lambda d: (router.distance_km(origin, d), d)
@@ -329,17 +352,20 @@ def _serve_partition(
                         remaining[sid] = cap - take
                         served_row[sid] += take
                         amount -= take
-                        hop_sum += take * hops
-                        distance_sum += take * km
+                        hop_f += take * hops
+                        km_f += take * km
                         if (
                             latency is not None
                             and latency.response_ms(km, hops) > latency.sla_ms
                         ):
-                            sla_miss += take
+                            miss_f += take
                 if amount > 0.0:
                     unserved[partition] += amount
                     if latency is not None:
-                        sla_miss += amount  # blocked queries always miss
+                        miss_f += amount  # blocked queries always miss
+                flow_hops.append(hop_f)
+                flow_kms.append(km_f)
+                flow_miss.append(miss_f)
                 continue
             path = router.path(origin, holder)
             if work is not None:
@@ -347,6 +373,9 @@ def _serve_partition(
             flows.append((origin, path, float(row[origin])))
             max_levels = max(max_levels, len(path))
     amounts = [f[2] for f in flows]
+    f_hops = [0.0] * len(flows)
+    f_kms = [0.0] * len(flows)
+    f_miss = [0.0] * len(flows)
     with overflow_span:
         for level in range(max_levels):
             for idx, (origin, path, _) in enumerate(flows):
@@ -357,6 +386,7 @@ def _serve_partition(
                 # Eq. 8's arriving-flow traffic, including the origin's own
                 # full query load at level 0 (Eq. 5: tr_ijj = q_ij).
                 traffic_row[dc] += amount
+                entry = amount
                 for sid in dc_servers.get(dc, ()):
                     if amount <= 0.0:
                         break
@@ -367,21 +397,29 @@ def _serve_partition(
                     remaining[sid] = cap - take
                     served_row[sid] += take
                     amount -= take
-                    hop_sum += take * level
-                    km = router.distance_km(origin, dc)
-                    distance_sum += take * km
-                    if (
-                        latency is not None
-                        and latency.response_ms(km, level) > latency.sla_ms
-                    ):
-                        sla_miss += take
+                # One hop/distance/SLA term per (flow, level): everything
+                # absorbed at this datacenter shares the same hop count
+                # and origin distance, so the level's absorption is
+                # charged with a single multiply-add (the columnar kernel
+                # computes the identical ``entry - amount`` difference).
+                absorbed = entry - amount
+                f_hops[idx] += absorbed * level
+                km = router.distance_km(origin, dc)
+                f_kms[idx] += absorbed * km
+                if (
+                    latency is not None
+                    and latency.response_ms(km, level) > latency.sla_ms
+                ):
+                    f_miss[idx] += absorbed
                 if amount > 0.0 and level == len(path) - 1:
                     # Reached the holder and still overflowing: blocked.
                     unserved[partition] += amount
-                    hop_sum += amount * level
-                    distance_sum += amount * router.distance_km(origin, dc)
+                    f_hops[idx] += amount * level
+                    f_kms[idx] += amount * km
                     if latency is not None:
-                        sla_miss += amount  # blocked queries always miss
+                        f_miss[idx] += amount  # blocked queries always miss
                     amount = 0.0
                 amounts[idx] = amount
-    return hop_sum, distance_sum, sla_miss
+    flow_hops.extend(f_hops)
+    flow_kms.extend(f_kms)
+    flow_miss.extend(f_miss)

@@ -64,6 +64,7 @@ def compare_policies(
     timeseries_factory=None,
     sanitizer_factory=None,
     provenance_factory=None,
+    engine: str = "scalar",
 ) -> ComparisonResult:
     """Run every policy on the scenario's shared trace.
 
@@ -81,7 +82,9 @@ def compare_policies(
     :class:`~repro.obs.provenance.ProvenanceRecorder` (one ``.prov.json``
     decision ledger per algorithm).
     Per-policy profilers, recorders and sanitizers stay reachable
-    through ``result[policy].simulation``.
+    through ``result[policy].simulation``.  ``engine`` selects the
+    epoch core for every run (see
+    :func:`~repro.experiments.runner.run_experiment`).
     """
     results = {
         policy: run_experiment(
@@ -99,6 +102,7 @@ def compare_policies(
             provenance=(
                 provenance_factory(policy) if provenance_factory is not None else None
             ),
+            engine=engine,
         )
         for policy in policies
     }

@@ -6,11 +6,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..metrics.collector import MetricsCollector
 from ..sim.engine import Simulation
 from .scenarios import Scenario
 
-__all__ = ["ExperimentResult", "run_experiment"]
+__all__ = ["ENGINES", "ExperimentResult", "run_experiment"]
+
+#: Selectable epoch engines.  ``scalar`` is the reference
+#: implementation; ``columnar`` is the vectorized engine of
+#: :mod:`repro.sim.columnar`, bit-identical by contract.
+ENGINES: tuple[str, ...] = ("scalar", "columnar")
+
+
+def _engine_class(engine: str) -> type[Simulation]:
+    if engine == "scalar":
+        return Simulation
+    if engine == "columnar":
+        from ..sim.columnar import ColumnarSimulation
+
+        return ColumnarSimulation
+    raise ConfigurationError(f"unknown engine {engine!r}; choose from {ENGINES}")
 
 
 @dataclass(frozen=True)
@@ -21,6 +37,7 @@ class ExperimentResult:
     scenario: str
     metrics: MetricsCollector
     simulation: Simulation
+    engine: str = "scalar"
 
     def series(self, name: str) -> np.ndarray:
         """A metric series as an array."""
@@ -51,8 +68,16 @@ def run_experiment(
     sanitizer=None,
     work=None,
     provenance=None,
+    engine: str = "scalar",
 ) -> ExperimentResult:
     """Run ``policy`` over the scenario's recorded trace and events.
+
+    ``engine`` selects the epoch core: ``"scalar"`` (the reference
+    :class:`~repro.sim.engine.Simulation`) or ``"columnar"`` (the
+    vectorized :class:`~repro.sim.columnar.ColumnarSimulation`, which
+    produces bit-identical fingerprint chains by contract).  The engine
+    name is stamped into every attached artifact's metadata so saved
+    runs are attributable.
 
     Every run constructs a fresh :class:`Simulation` from the scenario's
     config, so repeated calls are bit-identical.  The optional
@@ -68,16 +93,19 @@ def run_experiment(
     :class:`~repro.staticcheck.sanitizer.DeterminismSanitizer` gets the
     same keys stamped into its fingerprint trail metadata.
     """
+    simulation_class = _engine_class(engine)
     if sanitizer is not None:
         sanitizer.trail().meta.setdefault("policy", policy)
         sanitizer.trail().meta.setdefault("scenario", scenario.name)
         sanitizer.trail().meta.setdefault("seed", scenario.config.seed)
         sanitizer.trail().meta.setdefault("epochs", scenario.epochs)
+        sanitizer.trail().meta.setdefault("engine", engine)
     if timeseries is not None:
         timeseries.meta.setdefault("policy", policy)
         timeseries.meta.setdefault("scenario", scenario.name)
         timeseries.meta.setdefault("seed", scenario.config.seed)
         timeseries.meta.setdefault("epochs", scenario.epochs)
+        timeseries.meta.setdefault("engine", engine)
         if scenario.chaos is not None:
             timeseries.meta.setdefault("chaos", scenario.chaos.name)
     if provenance is not None:
@@ -85,9 +113,10 @@ def run_experiment(
         provenance.meta.setdefault("scenario", scenario.name)
         provenance.meta.setdefault("seed", scenario.config.seed)
         provenance.meta.setdefault("epochs", scenario.epochs)
+        provenance.meta.setdefault("engine", engine)
         if scenario.chaos is not None:
             provenance.meta.setdefault("chaos", scenario.chaos.name)
-    sim = Simulation(
+    sim = simulation_class(
         scenario.config,
         policy=policy,
         workload=scenario.trace,
@@ -104,5 +133,9 @@ def run_experiment(
     )
     metrics = sim.run(scenario.epochs)
     return ExperimentResult(
-        policy=policy, scenario=scenario.name, metrics=metrics, simulation=sim
+        policy=policy,
+        scenario=scenario.name,
+        metrics=metrics,
+        simulation=sim,
+        engine=engine,
     )

@@ -17,7 +17,11 @@ Level        Meaning
 """
 
 from .availability_level import AVAILABILITY_LEVELS, AvailabilityLevel, availability_level
-from .hierarchy import GeoHierarchy, build_default_hierarchy
+from .hierarchy import (
+    GeoHierarchy,
+    build_default_hierarchy,
+    build_synthetic_hierarchy,
+)
 from .labels import GeoLabel
 
 __all__ = [
@@ -27,4 +31,5 @@ __all__ = [
     "availability_level",
     "GeoHierarchy",
     "build_default_hierarchy",
+    "build_synthetic_hierarchy",
 ]

@@ -22,7 +22,13 @@ from dataclasses import dataclass
 from ..errors import TopologyError
 from .labels import GeoLabel
 
-__all__ = ["DatacenterSite", "GeoHierarchy", "build_default_hierarchy", "DEFAULT_SITES"]
+__all__ = [
+    "DatacenterSite",
+    "GeoHierarchy",
+    "build_default_hierarchy",
+    "build_synthetic_hierarchy",
+    "DEFAULT_SITES",
+]
 
 
 @dataclass(frozen=True)
@@ -133,3 +139,32 @@ class GeoHierarchy:
 def build_default_hierarchy() -> GeoHierarchy:
     """The 10-site deployment of Section III-A (3 US, 2 CA, 2 CH, 3 CN/JP)."""
     return GeoHierarchy(DEFAULT_SITES)
+
+
+def build_synthetic_hierarchy(num_datacenters: int) -> GeoHierarchy:
+    """A deterministic ``n``-site deployment for scale tests/benchmarks.
+
+    Coordinates follow a golden-ratio spiral (irrational strides in both
+    axes), so pairwise distances are varied and collision-free but a
+    pure function of the site index — no RNG, identical on every
+    machine.  Pair with :func:`repro.net.builder.build_ring_wan`, since
+    the default link set names only the ten paper sites.
+    """
+    if num_datacenters < 1:
+        raise TopologyError(
+            f"a hierarchy needs at least one site, got {num_datacenters}"
+        )
+    golden = 0.6180339887498949  # 1/phi
+    sites = tuple(
+        DatacenterSite(
+            index=i,
+            name=f"N{i:03d}",
+            continent="SY",
+            country="SYN",
+            city=f"Synth{i}",
+            latitude=-60.0 + 120.0 * ((i * golden) % 1.0),
+            longitude=-180.0 + 360.0 * ((i * golden * golden) % 1.0),
+        )
+        for i in range(num_datacenters)
+    )
+    return GeoHierarchy(sites)

@@ -78,11 +78,12 @@ def average_utilization(
     if total_replicas == 0:
         return 0.0
     mask = replica_counts > 0
-    if np.any(capacities[np.any(mask, axis=0)] <= 0):
+    if np.any((capacities <= 0) & np.any(mask, axis=0)):
         raise SimulationError("replica-holding servers must have positive capacity")
-    fills = np.zeros_like(served_server)
     cols = np.broadcast_to(capacities, served_server.shape)
-    fills[mask] = served_server[mask] / cols[mask]
+    fills = np.divide(
+        served_server, cols, out=np.zeros_like(served_server), where=mask
+    )
     # The kernel guarantees served <= m * C; clip guards float fuzz only.
     fills = np.minimum(fills, replica_counts)
     return float(fills.sum() / total_replicas)

@@ -13,7 +13,7 @@ package builds the sparse WAN graph those paths live on:
   all-pairs cache and transit-frequency analysis.
 """
 
-from .builder import build_default_wan, build_wan
+from .builder import build_default_wan, build_ring_wan, build_wan
 from .coordinates import great_circle_km
 from .graph import WanGraph
 from .routing import Router
@@ -23,5 +23,6 @@ __all__ = [
     "WanGraph",
     "build_wan",
     "build_default_wan",
+    "build_ring_wan",
     "Router",
 ]

@@ -28,7 +28,7 @@ from ..geo.hierarchy import GeoHierarchy, build_default_hierarchy
 from .coordinates import site_distance_km
 from .graph import WanGraph
 
-__all__ = ["DEFAULT_LINKS", "build_wan", "build_default_wan"]
+__all__ = ["DEFAULT_LINKS", "build_wan", "build_default_wan", "build_ring_wan"]
 
 #: Default links as datacenter letter pairs.
 DEFAULT_LINKS: tuple[tuple[str, str], ...] = (
@@ -75,3 +75,38 @@ def build_default_wan() -> tuple[GeoHierarchy, WanGraph]:
     """The default 10-site hierarchy together with its default WAN graph."""
     hierarchy = build_default_hierarchy()
     return hierarchy, build_wan(hierarchy)
+
+
+def build_ring_wan(hierarchy: GeoHierarchy, chord_stride: int = 7) -> WanGraph:
+    """A connected WAN over *any* hierarchy: a ring plus skip chords.
+
+    The default link set (:data:`DEFAULT_LINKS`) names the ten paper
+    sites, so synthetic topologies
+    (:func:`repro.geo.hierarchy.build_synthetic_hierarchy`) need their
+    own graph.  A ring guarantees connectivity at every size; chords
+    every ``chord_stride`` sites keep shortest paths from degenerating
+    to O(n) hops, which preserves the multi-level overflow dynamics the
+    serve walk exercises.  Edge weights are great-circle distances, so
+    the graph is a pure function of the hierarchy.
+    """
+    if chord_stride < 1:
+        raise TopologyError(f"chord_stride must be >= 1, got {chord_stride}")
+    n = hierarchy.num_datacenters
+    edges: list[tuple[int, int, float]] = []
+    seen: set[tuple[int, int]] = set()
+
+    def add(u: int, v: int) -> None:
+        key = (min(u, v), max(u, v))
+        if u == v or key in seen:
+            return
+        seen.add(key)
+        edges.append(
+            (u, v, site_distance_km(hierarchy.site(u), hierarchy.site(v)))
+        )
+
+    for i in range(n):
+        add(i, (i + 1) % n)
+    if chord_stride > 1:
+        for i in range(0, n, chord_stride):
+            add(i, (i + chord_stride) % n)
+    return WanGraph(n, edges)

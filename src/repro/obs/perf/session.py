@@ -83,6 +83,7 @@ def profile_scenario(
     mode: str = "kernels",
     allocations: bool = True,
     top_alloc: int = 15,
+    engine: str = "scalar",
 ) -> PerfProfile:
     """Run ``policy`` over ``scenario`` under full perf instrumentation."""
     if mode not in PROFILE_MODES:
@@ -98,7 +99,9 @@ def profile_scenario(
         if tracer is not None:
             tracer.start()
         try:
-            run_experiment(policy, scenario, profiler=profiler, work=work)
+            run_experiment(
+                policy, scenario, profiler=profiler, work=work, engine=engine
+            )
         finally:
             if tracer is not None:
                 tracer.stop()
@@ -108,6 +111,7 @@ def profile_scenario(
             "seed": scenario.config.seed,
             "epochs": scenario.epochs,
             "mode": mode,
+            "engine": engine,
         }
         return build_profile(
             profiler=profiler,

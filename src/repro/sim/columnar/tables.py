@@ -1,0 +1,96 @@
+"""Static per-topology lookup tables for the columnar serve kernel.
+
+The WAN never changes during a run (chaos link cuts swap in a *different*
+router, on which the columnar engine falls back to the scalar path), so
+every routing quantity the overflow walk needs is a pure function of the
+``(origin, holder_dc)`` pair and the path level.  :class:`RouterTables`
+materialises them once per router:
+
+* ``path[o, h, l]`` — datacenter at level ``l`` of the route ``o → h``;
+* ``plen[o, h]`` — node count of the route (``hops + 1``);
+* ``km[o, h, l]`` — ``router.distance_km(o, path[o, h, l])``;
+* ``miss[o, h, l]`` — whether a query absorbed there violates the SLA.
+
+Every float in ``km`` and every flag in ``miss`` is produced by calling
+the *scalar* router / latency-model methods at build time, so the kernel
+reads back the exact same values the scalar walk computes per query —
+table lookups cannot introduce rounding differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...metrics.latency import LatencyModel
+from ...net.routing import Router
+
+__all__ = ["RouterTables"]
+
+
+class RouterTables:
+    """Dense route/distance/SLA tables for one (router, latency model)."""
+
+    __slots__ = (
+        "path",
+        "plen",
+        "km",
+        "miss",
+        "num_dcs",
+        "max_len",
+        "origin_start",
+        "level0_stats_free",
+        "path_rows",
+        "km_rows",
+        "miss_rows",
+        "rows3",
+    )
+
+    def __init__(self, router: Router, latency: LatencyModel) -> None:
+        num_dcs = router.num_nodes
+        max_len = 1
+        for origin in range(num_dcs):
+            for holder in range(num_dcs):
+                max_len = max(max_len, len(router.path(origin, holder)))
+        self.num_dcs = num_dcs
+        self.max_len = max_len
+        self.path = np.zeros((num_dcs, num_dcs, max_len), dtype=np.int64)
+        self.plen = np.zeros((num_dcs, num_dcs), dtype=np.int64)
+        self.km = np.zeros((num_dcs, num_dcs, max_len), dtype=np.float64)
+        self.miss = np.zeros((num_dcs, num_dcs, max_len), dtype=bool)
+        for origin in range(num_dcs):
+            for holder in range(num_dcs):
+                route = router.path(origin, holder)
+                self.plen[origin, holder] = len(route)
+                for level, dc in enumerate(route):
+                    distance = router.distance_km(origin, dc)
+                    self.path[origin, holder, level] = dc
+                    self.km[origin, holder, level] = distance
+                    self.miss[origin, holder, level] = (
+                        latency.response_ms(distance, level) > latency.sla_ms
+                    )
+        for table in (self.path, self.plen, self.km, self.miss):
+            table.setflags(write=False)
+        # Kernel fast-path facts, proven against the built tables: every
+        # route starts at its origin (level-0 group keys are therefore
+        # unique per flow), and level-0 absorption charges zero distance
+        # and no SLA miss (so those accumulator adds are exact no-ops).
+        self.origin_start = bool(
+            (self.path[:, :, 0] == np.arange(num_dcs)[:, None]).all()
+        )
+        self.level0_stats_free = bool(
+            (self.km[:, :, 0] == 0.0).all()  # repro: noqa[REP004]
+        ) and not bool(self.miss[:, :, 0].any())
+        # Python-list mirrors for the kernel's tail walk; the lists hold
+        # the same float64/bool/int objects the arrays do, so reads are
+        # value-identical.  ``rows3[o][h]`` bundles one route's three
+        # per-level rows so the walk fetches them with a single lookup.
+        self.path_rows: list[list[list[int]]] = self.path.tolist()
+        self.km_rows: list[list[list[float]]] = self.km.tolist()
+        self.miss_rows: list[list[list[bool]]] = self.miss.tolist()
+        self.rows3: list[list[tuple[list[int], list[float], list[bool]]]] = [
+            [
+                (self.path_rows[o][h], self.km_rows[o][h], self.miss_rows[o][h])
+                for h in range(num_dcs)
+            ]
+            for o in range(num_dcs)
+        ]

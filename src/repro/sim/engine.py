@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # imported lazily at runtime (chaos imports sim.events)
     from ..chaos.invariants import InvariantChecker
     from ..chaos.schedule import ChaosSchedule
     from ..consistency.tracker import ConsistencySummary
+    from ..metrics.availability_metric import AvailabilitySummary
     from ..obs.perf.counters import WorkCounters
     from ..obs.provenance.recorder import ProvenanceRecorder
     from ..obs.timeseries import TimeseriesRecorder
@@ -173,6 +174,10 @@ class Simulation:
         ``work/*`` columns.  Counters are deterministic: two same-seed
         runs produce identical values.
     """
+
+    #: Engine tag stamped into experiment metadata and benchmark records
+    #: (the columnar subclass overrides it).
+    engine_name: str = "scalar"
 
     def __init__(
         self,
@@ -427,18 +432,7 @@ class Simulation:
                 )
 
         with profiler.phase("serve"):
-            holder_dc, holder_sid, layouts = self._current_layouts()
-            result = serve_epoch(
-                batch,
-                holder_dc,
-                layouts,
-                self.router,
-                self.cluster.num_servers,
-                holder_sid=holder_sid,
-                latency=self.latency,
-                work=self.work,
-                profiler=profiler,
-            )
+            result = self._serve_epoch(batch)
             self.last_result = result
 
         with profiler.phase("observe"):
@@ -748,6 +742,26 @@ class Simulation:
                 self._replica_birth[(partition, owner)] = epoch
         return restored
 
+    def _serve_epoch(self, batch: "QueryBatch") -> ServiceResult:
+        """Route one epoch's queries through the current replica layout.
+
+        The scalar reference implementation; the columnar engine
+        (:mod:`repro.sim.columnar`) overrides this with the vectorized
+        kernel under the bit-identical reduction contract.
+        """
+        holder_dc, holder_sid, layouts = self._current_layouts()
+        return serve_epoch(
+            batch,
+            holder_dc,
+            layouts,
+            self.router,
+            self.cluster.num_servers,
+            holder_sid=holder_sid,
+            latency=self.latency,
+            work=self.work,
+            profiler=self.profiler,
+        )
+
     def _current_layouts(
         self,
     ) -> tuple[
@@ -789,7 +803,11 @@ class Simulation:
             # Same EWMA convention as core.smoothing: alpha weights the
             # new sample.
             self._smoothed_load = (1.0 - alpha) * self._smoothed_load + alpha * load
-        return server_blocking_probabilities(self.cluster, self._smoothed_load)
+        return self._blocking_probabilities(self._smoothed_load)
+
+    def _blocking_probabilities(self, load: np.ndarray) -> np.ndarray:
+        """Eq. 18 per-server blocking from smoothed load (columnar overrides)."""
+        return server_blocking_probabilities(self.cluster, load)
 
     # ------------------------------------------------------------------
     # Action application
@@ -1057,6 +1075,46 @@ class Simulation:
                 counts[partition, sid] = count
         return counts
 
+    def _server_capacity_array(self) -> np.ndarray:
+        """Per-server ``replica_capacity`` (read-only; columnar caches it)."""
+        return np.array(
+            [s.replica_capacity for s in self.cluster.servers], dtype=np.float64
+        )
+
+    def _alive_mask_array(self) -> np.ndarray:
+        """Per-server liveness mask (read-only; columnar caches it)."""
+        return np.array([s.alive for s in self.cluster.servers], dtype=bool)
+
+    def _alive_server_count(self) -> int:
+        """Number of live servers (columnar counts its cached mask)."""
+        return len(self.cluster.alive_servers())
+
+    def _total_replicas(self) -> int:
+        """Total live copies across all partitions (columnar overrides)."""
+        return self.replicas.total_replicas()
+
+    def _availability_summary(self) -> "AvailabilitySummary":
+        """Eq. 9 availability summary (columnar caches by layout version)."""
+        return availability_summary(
+            self.replicas, self.config.rfh.failure_rate, self.rmin
+        )
+
+    # Metric-kernel hooks: the columnar engine overrides these with
+    # cached-index evaluations of the same formulas (bit-identical by
+    # construction); the scalar reference calls the metric module.
+    def _utilization_value(
+        self, served_server: np.ndarray, counts: np.ndarray, capacities: np.ndarray
+    ) -> float:
+        return average_utilization(served_server, counts, capacities)
+
+    def _load_cv_value(self, served_server: np.ndarray, counts: np.ndarray) -> float:
+        return replica_load_cv(served_server, counts)
+
+    def _server_imbalance_value(
+        self, per_server_load: np.ndarray, alive_mask: np.ndarray
+    ) -> float:
+        return server_load_imbalance(per_server_load, alive_mask)
+
     def _record_metrics(
         self,
         batch: "QueryBatch",
@@ -1067,22 +1125,18 @@ class Simulation:
     ) -> dict[str, float]:
         with self.profiler.span("storage-accounting"):
             counts = self._replica_count_matrix()
-            capacities = np.array(
-                [s.replica_capacity for s in self.cluster.servers], dtype=np.float64
-            )
-            alive_mask = np.array([s.alive for s in self.cluster.servers], dtype=bool)
-            summary = availability_summary(
-                self.replicas, self.config.rfh.failure_rate, self.rmin
-            )
+            capacities = self._server_capacity_array()
+            alive_mask = self._alive_mask_array()
+            summary = self._availability_summary()
         latency = self.latency.summarize_epoch(
             result.distance_sum_km,
             result.hop_sum,
             result.sla_miss,
             float(batch.total),
         )
-        total_replicas = self.replicas.total_replicas()
+        total_replicas = self._total_replicas()
         values = {
-                "utilization": average_utilization(
+                "utilization": self._utilization_value(
                     result.served_server, counts, capacities
                 ),
                 "total_replicas": float(total_replicas),
@@ -1092,8 +1146,8 @@ class Simulation:
                 "migration_count": applied["migration_count"],
                 "migration_cost": applied["migration_cost"],
                 "suicide_count": applied["suicide_count"],
-                "load_imbalance": replica_load_cv(result.served_server, counts),
-                "server_load_imbalance": server_load_imbalance(
+                "load_imbalance": self._load_cv_value(result.served_server, counts),
+                "server_load_imbalance": self._server_imbalance_value(
                     result.per_server_load, alive_mask
                 ),
                 "path_length": result.mean_path_length,
@@ -1102,7 +1156,7 @@ class Simulation:
                 "unserved": float(result.unserved.sum()),
                 "served": result.total_served,
                 "queries": float(batch.total),
-                "alive_servers": float(len(self.cluster.alive_servers())),
+                "alive_servers": float(self._alive_server_count()),
                 "mean_availability": summary.mean_availability,
                 "lost_partitions": float(restored),
                 "skipped_actions": applied["skipped_actions"],

@@ -45,6 +45,12 @@ class QueryGenerator:
         self._pattern = pattern
         self._rng = rng
         self._next_epoch = 0
+        # Joint-probability cache: stationary patterns return the same
+        # weights every epoch, so the outer product and normalisation
+        # can be reused whenever both weight vectors are unchanged.
+        self._joint_cache: np.ndarray | None = None
+        self._joint_part_w: np.ndarray | None = None
+        self._joint_orig_w: np.ndarray | None = None
 
     @property
     def pattern(self) -> QueryPattern:
@@ -67,15 +73,27 @@ class QueryGenerator:
             raise WorkloadError(f"bad partition weight shape: {part_w.shape}")
         if orig_w.shape != (self._pattern.num_origins,):
             raise WorkloadError(f"bad origin weight shape: {orig_w.shape}")
-        joint = np.outer(part_w, orig_w).ravel()
-        joint_sum = joint.sum()
-        if not np.isfinite(joint_sum) or joint_sum <= 0:
-            raise WorkloadError("pattern weights must sum to a positive finite value")
-        joint /= joint_sum
+        if (
+            self._joint_cache is not None
+            and np.array_equal(part_w, self._joint_part_w)
+            and np.array_equal(orig_w, self._joint_orig_w)
+        ):
+            joint = self._joint_cache
+        else:
+            joint = np.outer(part_w, orig_w).ravel()
+            joint_sum = joint.sum()
+            if not np.isfinite(joint_sum) or joint_sum <= 0:
+                raise WorkloadError(
+                    "pattern weights must sum to a positive finite value"
+                )
+            joint /= joint_sum
+            self._joint_cache = joint
+            self._joint_part_w = part_w.copy()
+            self._joint_orig_w = orig_w.copy()
         rate = self._params.queries_per_epoch_mean * rate_multiplier_of(
             self._pattern, epoch
         )
         total = int(self._rng.poisson(rate))
         cells = self._rng.multinomial(total, joint)
         counts = cells.reshape(self._params.num_partitions, self._pattern.num_origins)
-        return QueryBatch(epoch, counts)
+        return QueryBatch.from_trusted(epoch, counts)

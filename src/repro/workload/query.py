@@ -39,6 +39,19 @@ class QueryBatch:
         self._counts.setflags(write=False)
         self._epoch = epoch
 
+    @classmethod
+    def from_trusted(cls, epoch: int, counts: np.ndarray) -> "QueryBatch":
+        """Wrap a validated int64 matrix the caller owns, skipping checks.
+
+        For generators only: ``counts`` must be a fresh 2-D non-negative
+        int64 array with no other writable references.
+        """
+        batch = cls.__new__(cls)
+        counts.setflags(write=False)
+        batch._counts = counts
+        batch._epoch = epoch
+        return batch
+
     # ------------------------------------------------------------------
     @property
     def epoch(self) -> int:

@@ -1,0 +1,238 @@
+"""Differential equivalence suite: scalar vs columnar engine.
+
+The columnar engine's correctness proof is *identity*, not tolerance:
+for the same seed the DeterminismSanitizer fingerprint chain — which
+hashes the replica map, storage ledger, RNG stream positions and every
+recorded metric each epoch — must be bit-identical between engines.
+This suite enforces that contract over the full policy matrix, three
+scenario shapes, multiple seeds, every kernel code path (the serve
+kernel picks between python and vectorized drain/tail branches by
+survivor count), the exported metric CSVs and the decision-provenance
+ledgers, plus a hypothesis sweep over random small clusters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import ClusterParameters, SimulationConfig, WorkloadParameters
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import (
+    Scenario,
+    chaos_schedule,
+    flash_crowd_scenario,
+    random_query_scenario,
+)
+from repro.geo.hierarchy import DEFAULT_SITES, GeoHierarchy
+from repro.metrics.export import to_csv
+from repro.net.builder import build_wan
+from repro.obs.provenance import ProvenanceRecorder, diff_provenance
+from repro.sim.columnar import ColumnarSimulation
+from repro.sim.columnar import kernels as columnar_kernels
+from repro.sim.engine import Simulation
+from repro.staticcheck.sanitizer import DeterminismSanitizer
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis ships with the image
+    given = None  # type: ignore[assignment]
+
+POLICIES = ("request", "owner", "random", "rfh")
+SCENARIOS = ("default", "chaos", "flash-crowd")
+SEEDS = (3, 7, 11, 23, 42)
+ENGINES = ("scalar", "columnar")
+
+
+def _small_config(seed: int) -> SimulationConfig:
+    """Fast but non-trivial: enough partitions and load that every
+    decision branch (replicate / migrate / suicide) fires."""
+    return SimulationConfig(
+        seed=seed,
+        workload=WorkloadParameters(queries_per_epoch_mean=120.0, num_partitions=24),
+    )
+
+
+def _scenario(name: str, seed: int, epochs: int) -> Scenario:
+    config = _small_config(seed)
+    if name == "flash-crowd":
+        return flash_crowd_scenario(config, epochs=epochs)
+    scenario = random_query_scenario(config, epochs=epochs)
+    if name == "chaos":
+        scenario = dataclasses.replace(
+            scenario, chaos=chaos_schedule("rack-outage", epochs)
+        )
+    return scenario
+
+
+def _chains(policy: str, scenario: Scenario, engine: str) -> list[str]:
+    sanitizer = DeterminismSanitizer()
+    run_experiment(policy, scenario, sanitizer=sanitizer, engine=engine)
+    return [record.chain for record in sanitizer.trail().records]
+
+
+@pytest.mark.parametrize("scenario_name", SCENARIOS)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_fingerprint_chains_and_metric_csvs_match(
+    policy: str, scenario_name: str, tmp_path
+) -> None:
+    """Every policy x scenario x seed: identical per-epoch chain and
+    byte-identical metric CSV export between engines."""
+    for seed in SEEDS:
+        scenario = _scenario(scenario_name, seed, epochs=25)
+        chains: dict[str, list[str]] = {}
+        csv_bytes: dict[str, bytes] = {}
+        for engine in ENGINES:
+            sanitizer = DeterminismSanitizer()
+            result = run_experiment(
+                policy, scenario, sanitizer=sanitizer, engine=engine
+            )
+            path = tmp_path / f"{policy}-{scenario_name}-{seed}-{engine}.csv"
+            to_csv(result.metrics, path)
+            chains[engine] = [r.chain for r in sanitizer.trail().records]
+            csv_bytes[engine] = path.read_bytes()
+        context = f"policy={policy} scenario={scenario_name} seed={seed}"
+        assert chains["scalar"] == chains["columnar"], f"chain diverged: {context}"
+        assert csv_bytes["scalar"] == csv_bytes["columnar"], (
+            f"metric CSV diverged: {context}"
+        )
+
+
+@pytest.mark.parametrize("scenario_name", SCENARIOS)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_provenance_decision_sequences_match(
+    policy: str, scenario_name: str
+) -> None:
+    """The decision ledgers align record for record (provenance disables
+    the columnar decision prefilter, so both engines log every
+    evaluation)."""
+    for seed in SEEDS[:2]:
+        scenario = _scenario(scenario_name, seed, epochs=20)
+        artifacts = {}
+        for engine in ENGINES:
+            recorder = ProvenanceRecorder()
+            run_experiment(policy, scenario, provenance=recorder, engine=engine)
+            artifacts[engine] = recorder.artifact()
+        report = diff_provenance(artifacts["scalar"], artifacts["columnar"])
+        assert report.identical, (
+            f"policy={policy} scenario={scenario_name} seed={seed}: "
+            f"{report.describe()}"
+        )
+
+
+def test_every_kernel_branch_is_equivalent(monkeypatch) -> None:
+    """Force each serve-kernel code path and re-prove identity.
+
+    The kernel switches between a python small-drain loop and the
+    vectorized batch drain at ``_SMALL_DRAIN`` flows, and between a
+    python tail walk and the vectorized per-level loop at ``_PY_TAIL``
+    survivors.  Default-scale runs only exercise the python branches, so
+    this test pins the thresholds to force every combination.
+    """
+    scenario = _scenario("default", 7, epochs=20)
+    reference = _chains("rfh", scenario, "scalar")
+    combos = (
+        (0, 0),  # vectorized drain + vectorized level loop
+        (0, 10**9),  # vectorized drain + python tail
+        (10**9, 0),  # python small-drain + vectorized level loop
+    )
+    for small_drain, py_tail in combos:
+        monkeypatch.setattr(columnar_kernels, "_SMALL_DRAIN", small_drain)
+        monkeypatch.setattr(columnar_kernels, "_PY_TAIL", py_tail)
+        assert _chains("rfh", scenario, "columnar") == reference, (
+            f"_SMALL_DRAIN={small_drain} _PY_TAIL={py_tail}"
+        )
+
+
+def test_wan_partition_fallback_is_equivalent() -> None:
+    """Link cuts swap in a different router; the columnar engine falls
+    back to the scalar serve path for those epochs and must still chain
+    identically through the cut-and-restore cycle."""
+    epochs = 25
+    scenario = dataclasses.replace(
+        random_query_scenario(_small_config(11), epochs=epochs),
+        chaos=chaos_schedule("wan-partition", epochs),
+    )
+    for policy in ("rfh", "request"):
+        assert _chains(policy, scenario, "scalar") == _chains(
+            policy, scenario, "columnar"
+        ), f"policy={policy}"
+
+
+def test_engine_metadata_is_stamped() -> None:
+    """Artifacts record which engine produced them (`run_benchmarks.py
+    --check` and `repro diff` compare like with like via this key)."""
+    scenario = _scenario("default", 3, epochs=5)
+    for engine in ENGINES:
+        sanitizer = DeterminismSanitizer()
+        result = run_experiment(
+            "rfh", scenario, sanitizer=sanitizer, engine=engine
+        )
+        assert result.engine == engine
+        assert sanitizer.trail().meta["engine"] == engine
+
+
+if given is not None:
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        num_partitions=st.integers(min_value=4, max_value=16),
+        rate=st.integers(min_value=20, max_value=200),
+        num_dcs=st.integers(min_value=3, max_value=10),
+        racks=st.integers(min_value=1, max_value=2),
+        servers=st.integers(min_value=1, max_value=3),
+        policy=st.sampled_from(POLICIES),
+    )
+    def test_random_small_clusters_are_equivalent(
+        seed: int,
+        num_partitions: int,
+        rate: int,
+        num_dcs: int,
+        racks: int,
+        servers: int,
+        policy: str,
+    ) -> None:
+        """Property: identity holds on arbitrary small topologies, not
+        just the paper's 10-site deployment."""
+        config = SimulationConfig(
+            seed=seed,
+            cluster=ClusterParameters(
+                racks_per_room=racks, servers_per_rack=servers
+            ),
+            workload=WorkloadParameters(
+                queries_per_epoch_mean=float(rate), num_partitions=num_partitions
+            ),
+        )
+        hierarchy = GeoHierarchy(DEFAULT_SITES[:num_dcs])
+        # A ring over the sliced sites (the default link set names all
+        # ten letters, so sub-topologies need their own connected WAN).
+        names = [site.name for site in hierarchy.sites]
+        links = tuple(
+            (names[i], names[(i + 1) % len(names)])
+            for i in range(len(names) if len(names) > 2 else len(names) - 1)
+        )
+        wan = build_wan(hierarchy, links)
+        chains: dict[str, list[str]] = {}
+        for engine_cls in (Simulation, ColumnarSimulation):
+            sanitizer = DeterminismSanitizer()
+            sim = engine_cls(
+                config,
+                policy=policy,
+                hierarchy=hierarchy,
+                wan=wan,
+                sanitizer=sanitizer,
+            )
+            sim.run(8)
+            chains[engine_cls.__name__] = [
+                r.chain for r in sanitizer.trail().records
+            ]
+        assert chains["Simulation"] == chains["ColumnarSimulation"]
+
+else:  # pragma: no cover - hypothesis ships with the image
+
+    @pytest.mark.skip(reason="hypothesis is not installed")
+    def test_random_small_clusters_are_equivalent() -> None:
+        pass

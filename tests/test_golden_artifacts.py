@@ -1,0 +1,76 @@
+"""Golden-artifact regression: both engines reproduce committed bytes.
+
+``tests/golden/`` holds a small scalar run's fingerprint trail
+(``rfh-random-s1234.fp.json``) and metric CSV
+(``rfh-random-s1234.csv``).  Every engine must reproduce both files
+byte-for-byte from the same config — catching any drift in the engines
+*or* in the artifact serialization formats.
+
+Regenerate after an intentional format change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_artifacts.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.config import SimulationConfig, WorkloadParameters
+from repro.metrics.export import to_csv
+from repro.sim.columnar import ColumnarSimulation
+from repro.sim.engine import Simulation
+from repro.staticcheck.sanitizer import DeterminismSanitizer
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+STEM = "rfh-random-s1234"
+EPOCHS = 20
+
+_ENGINES = {"scalar": Simulation, "columnar": ColumnarSimulation}
+
+
+def _golden_config() -> SimulationConfig:
+    return SimulationConfig(
+        seed=1234,
+        workload=WorkloadParameters(queries_per_epoch_mean=120.0, num_partitions=24),
+    )
+
+
+def _produce(engine: str, tmp_path: pathlib.Path) -> tuple[bytes, bytes]:
+    """One run of the golden config; returns (fp.json bytes, csv bytes).
+
+    The simulation is constructed directly (not via ``run_experiment``)
+    so no engine-identity metadata lands in the trail — the bytes depend
+    only on the simulated trajectory, which the equivalence contract
+    pins across engines.
+    """
+    sanitizer = DeterminismSanitizer()
+    sim = _ENGINES[engine](_golden_config(), policy="rfh", sanitizer=sanitizer)
+    metrics = sim.run(EPOCHS)
+    fp_path = tmp_path / f"{engine}.fp.json"
+    csv_path = tmp_path / f"{engine}.csv"
+    sanitizer.trail().save(fp_path)
+    to_csv(metrics, csv_path)
+    return fp_path.read_bytes(), csv_path.read_bytes()
+
+
+@pytest.mark.parametrize("engine", sorted(_ENGINES))
+def test_engine_reproduces_golden_artifacts(engine: str, tmp_path) -> None:
+    fp_bytes, csv_bytes = _produce(engine, tmp_path)
+    fp_golden = GOLDEN_DIR / f"{STEM}.fp.json"
+    csv_golden = GOLDEN_DIR / f"{STEM}.csv"
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1" and engine == "scalar":
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        fp_golden.write_bytes(fp_bytes)
+        csv_golden.write_bytes(csv_bytes)
+    assert fp_bytes == fp_golden.read_bytes(), (
+        f"{engine} engine diverged from golden fingerprint trail "
+        f"{fp_golden}; if the change is intentional, regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+    assert csv_bytes == csv_golden.read_bytes(), (
+        f"{engine} engine diverged from golden metric CSV {csv_golden}; "
+        "if the change is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
