@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Fourteen subcommands cover the workflows a user reaches for first:
+Sixteen subcommands cover the workflows a user reaches for first:
 
 * ``run``     — one policy, one scenario, headline metrics (optionally
   exported to CSV/JSON); ``--chaos NAME`` overlays a chaos schedule;
@@ -37,7 +37,17 @@ Fourteen subcommands cover the workflows a user reaches for first:
   rejected alternatives lost (``--why-not DC``);
 * ``provdiff`` — align two ``.prov.json`` ledgers decision by decision
   and name the first divergent decision and the exact Eq. term that
-  differed (non-zero exit on divergence, for CI gating).
+  differed (non-zero exit on divergence, for CI gating);
+* ``sweep``   — expand a ``{policy × scenario × seed × scale × engine}``
+  grid (from a JSON manifest and/or axis flags) across parallel worker
+  processes with live fleet progress, and merge the per-cell artifacts
+  into one versioned ``.sweep.json`` with cross-seed ``mean ± CI``
+  statistics (``--report`` markdown, ``--dashboard`` band plots,
+  ``--resume``, ``--verify-cells`` determinism guard);
+* ``sweepdiff`` — compare two ``.sweep.json`` artifacts cell-by-cell
+  (fingerprint identity) and group-by-group (bootstrap CI overlap,
+  judged through each metric's polarity; non-zero exit on regression or
+  fingerprint mismatch, for CI gating).
 
 Examples::
 
@@ -62,6 +72,11 @@ Examples::
     python -m repro run --provenance-out run.prov.json
     python -m repro explain run.prov.json --partition 7 --why-not 3
     python -m repro provdiff base.prov.json run.prov.json
+    python -m repro sweep --policies rfh owner --seeds 1 2 3 4 5 \
+        --epochs 120 --max-workers 4 --out sweeps/main --report
+    python -m repro sweep --manifest grid.json --resume --dashboard
+    python -m repro sweepdiff sweeps/base/sweep.sweep.json \
+        sweeps/main/sweep.sweep.json
 """
 
 from __future__ import annotations
@@ -576,6 +591,102 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pvd_p.add_argument(
         "candidate", metavar="CAND.prov.json", help="candidate provenance artifact"
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="fan a {policy x scenario x seed x scale x engine} grid "
+        "across worker processes and merge the cells into one "
+        ".sweep.json with cross-seed statistics",
+    )
+    sweep_p.add_argument(
+        "--manifest",
+        metavar="PATH.json",
+        help="load the sweep grid from a JSON manifest (axis flags below "
+        "override individual manifest fields)",
+    )
+    sweep_p.add_argument(
+        "--name", default=None, help="sweep name (default 'sweep')"
+    )
+    sweep_p.add_argument(
+        "--policies", nargs="+", choices=sorted(POLICIES), default=None,
+        metavar="POLICY", help=f"policy axis (default: all of {sorted(POLICIES)})",
+    )
+    sweep_p.add_argument(
+        "--scenarios", nargs="+", choices=sorted(_SCENARIOS), default=None,
+        metavar="NAME", help="scenario axis (default: random)",
+    )
+    sweep_p.add_argument(
+        "--seeds", nargs="+", type=int, default=None, metavar="SEED",
+        help="seed axis (default: 42)",
+    )
+    sweep_p.add_argument(
+        "--engines", nargs="+", choices=ENGINES, default=None, metavar="ENGINE",
+        help="engine axis (default: scalar)",
+    )
+    sweep_p.add_argument(
+        "--epochs", type=int, default=None, help="epochs per cell (default 120)"
+    )
+    sweep_p.add_argument(
+        "--partitions", type=int, default=None,
+        help="partitions for the (single) scale axis point (default 64)",
+    )
+    sweep_p.add_argument(
+        "--rate", type=float, default=None,
+        help="Poisson queries/epoch for the scale axis point (default 300)",
+    )
+    sweep_p.add_argument(
+        "--timeseries-stride", type=int, default=None, metavar="N",
+        help="sample each cell's time series every N epochs (default 1)",
+    )
+    sweep_p.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="sweep directory (default sweep-<manifest hash>); holds "
+        "manifest.json, cells/<cell>-<digest>/ and sweep.sweep.json",
+    )
+    sweep_p.add_argument(
+        "--max-workers", type=int, default=1, metavar="N",
+        help="parallel worker processes (1 = run inline in this process)",
+    )
+    sweep_p.add_argument(
+        "--resume", action="store_true",
+        help="adopt cells whose directories already hold a valid "
+        "cell.json matching this manifest's hash instead of re-running",
+    )
+    sweep_p.add_argument(
+        "--verify-cells", action="store_true",
+        help="determinism guard: re-run every cell in-process and require "
+        "an identical fingerprint chain (divergence becomes a structured "
+        "sweep-cell failure)",
+    )
+    sweep_p.add_argument(
+        "--report", nargs="?", const="-", default=None, metavar="PATH.md",
+        help="render the mean ± CI markdown report (to PATH.md, or stdout "
+        "when the flag is given without a value)",
+    )
+    sweep_p.add_argument(
+        "--dashboard", nargs="?", const="", default=None, metavar="PATH.html",
+        help="render the aggregate band-plot dashboard (default "
+        "<out>/dashboard.html when the flag is given without a value)",
+    )
+    # Fault-injection testing aids (CI smoke sweep + tests).
+    sweep_p.add_argument("--inject-crash", default=None, help=argparse.SUPPRESS)
+    sweep_p.add_argument(
+        "--inject-mode", choices=("raise", "exit"), default="raise",
+        help=argparse.SUPPRESS,
+    )
+
+    swd_p = sub.add_parser(
+        "sweepdiff",
+        help="compare two .sweep.json artifacts cell-by-cell (fingerprint "
+        "identity) and group-by-group (bootstrap CI overlap); non-zero "
+        "exit on fingerprint mismatch or CI-disjoint regression",
+    )
+    swd_p.add_argument(
+        "baseline", metavar="BASE.sweep.json", help="baseline sweep artifact"
+    )
+    swd_p.add_argument(
+        "candidate", metavar="CAND.sweep.json", help="candidate sweep artifact"
     )
 
     return parser
@@ -1227,6 +1338,139 @@ def _cmd_provdiff(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _sweep_manifest(args: argparse.Namespace):
+    """Build the sweep manifest from ``--manifest`` and/or axis flags.
+
+    Axis flags override individual fields of a loaded manifest, so a
+    committed grid can be re-run with, say, extra seeds without editing
+    the file."""
+    from .errors import SweepError
+    from .sweep import SweepManifest, SweepScale
+
+    overrides: dict[str, object] = {}
+    if args.name is not None:
+        overrides["name"] = args.name
+    if args.policies is not None:
+        overrides["policies"] = tuple(dict.fromkeys(args.policies))
+    if args.scenarios is not None:
+        overrides["scenarios"] = tuple(dict.fromkeys(args.scenarios))
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(dict.fromkeys(args.seeds))
+    if args.engines is not None:
+        overrides["engines"] = tuple(dict.fromkeys(args.engines))
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    if args.timeseries_stride is not None:
+        overrides["timeseries_stride"] = args.timeseries_stride
+    try:
+        if args.manifest:
+            manifest = SweepManifest.load(args.manifest)
+            if args.partitions is not None or args.rate is not None:
+                base = manifest.scales[0]
+                overrides["scales"] = (
+                    SweepScale(
+                        base.name,
+                        partitions=args.partitions
+                        if args.partitions is not None
+                        else base.partitions,
+                        rate=args.rate if args.rate is not None else base.rate,
+                    ),
+                )
+            if overrides:
+                manifest = dataclasses.replace(manifest, **overrides)
+        else:
+            overrides.setdefault(
+                "scales",
+                (
+                    SweepScale(
+                        "paper",
+                        partitions=args.partitions
+                        if args.partitions is not None
+                        else 64,
+                        rate=args.rate if args.rate is not None else 300.0,
+                    ),
+                ),
+            )
+            manifest = SweepManifest(**overrides)
+    except SweepError as exc:
+        raise SystemExit(str(exc))
+    return manifest
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .errors import SweepError
+    from .obs.fleet import FleetProgress
+    from .sweep import SWEEP_ARTIFACT_NAME, render_sweep, run_sweep
+
+    manifest = _sweep_manifest(args)
+    if args.max_workers < 1:
+        raise SystemExit(f"--max-workers must be >= 1, got {args.max_workers}")
+    out = pathlib.Path(args.out or f"sweep-{manifest.manifest_hash}")
+    print(
+        f"sweep {manifest.name}: {manifest.num_cells} cell(s) "
+        f"[{len(manifest.policies)} policies x {len(manifest.scenarios)} "
+        f"scenarios x {len(manifest.seeds)} seeds x {len(manifest.scales)} "
+        f"scales x {len(manifest.engines)} engines], "
+        f"manifest hash {manifest.manifest_hash} -> {out}"
+    )
+    try:
+        artifact = run_sweep(
+            manifest,
+            out,
+            max_workers=args.max_workers,
+            resume=args.resume,
+            verify=args.verify_cells,
+            progress=FleetProgress(manifest.num_cells),
+            inject_crash=args.inject_crash,
+            inject_mode=args.inject_mode,
+        )
+    except SweepError as exc:
+        raise SystemExit(str(exc))
+    print(f"wrote {out / SWEEP_ARTIFACT_NAME}")
+
+    if args.report is not None:
+        text = render_sweep(artifact)
+        if args.report == "-":
+            print(text)
+        else:
+            pathlib.Path(args.report).write_text(text)
+            print(f"wrote {args.report}")
+    if args.dashboard is not None:
+        from .obs.fleet.dashboard import render_fleet_dashboard
+
+        dash_path = pathlib.Path(args.dashboard or out / "dashboard.html")
+        try:
+            dash_path.write_text(render_fleet_dashboard(artifact, out))
+        except SweepError as exc:
+            raise SystemExit(str(exc))
+        print(f"wrote {dash_path}")
+
+    for failure in artifact.failures:
+        print(
+            f"FAILED cell {failure.get('cell_id')} "
+            f"[{failure.get('kind')}]: {failure.get('error')}"
+        )
+    return 1 if artifact.failures else 0
+
+
+def _cmd_sweepdiff(args: argparse.Namespace) -> int:
+    from .errors import SweepError
+    from .sweep import SweepArtifact, diff_sweeps
+
+    artifacts = []
+    for path in (args.baseline, args.candidate):
+        try:
+            artifacts.append(SweepArtifact.load(path))
+        except SweepError as exc:
+            raise SystemExit(f"cannot load {path}: {exc}")
+    report = diff_sweeps(artifacts[0], artifacts[1])
+    print(f"sweepdiff {args.baseline} vs {args.candidate}")
+    print(report.render())
+    return report.exit_code()
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -1332,6 +1576,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "perfdiff": _cmd_perfdiff,
         "explain": _cmd_explain,
         "provdiff": _cmd_provdiff,
+        "sweep": _cmd_sweep,
+        "sweepdiff": _cmd_sweepdiff,
     }
     try:
         return commands[args.command](args)

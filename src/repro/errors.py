@@ -59,3 +59,8 @@ class TsdbError(ReproError):
 class ProvenanceError(ReproError):
     """A decision-provenance artifact (``.prov.json``) is malformed, has
     an unsupported format/version, or a recorder was misused."""
+
+
+class SweepError(ReproError):
+    """A sweep manifest or ``.sweep.json`` artifact is malformed, has an
+    unsupported format/version, or two sweeps cannot be compared."""

@@ -1,0 +1,51 @@
+"""Fleet-level observability: watching many runs run.
+
+``repro.obs`` so far observes *one* simulation at a time (traces,
+profiles, time series, provenance).  This subpackage observes a
+*fleet* — the worker processes of a ``repro sweep`` — through a small
+event vocabulary streamed over a queue:
+
+* :mod:`events` — the typed event records workers emit (cell started /
+  finished / failed, heartbeats, worker lifecycle) and the single
+  wall-clock helper the fleet layer is allowed to use;
+* :mod:`progress` — a terminal renderer folding those events into live
+  status lines (TTY: one self-rewriting line; pipe: one line per
+  completion) plus a final summary;
+* :mod:`dashboard` — the aggregate multi-run dashboard: per-group band
+  plots (min–max envelope + mean line over seeds) reusing the
+  single-run panel machinery of :mod:`repro.obs.timeseries.dashboard`.
+"""
+
+from .events import (
+    CELL_FAILED,
+    CELL_FINISHED,
+    CELL_STARTED,
+    HEARTBEAT,
+    WORKER_EXITED,
+    WORKER_STARTED,
+    cell_failed,
+    cell_finished,
+    cell_started,
+    heartbeat,
+    wall_clock_now,
+    worker_exited,
+    worker_started,
+)
+from .progress import FleetProgress
+
+__all__ = [
+    "CELL_FAILED",
+    "CELL_FINISHED",
+    "CELL_STARTED",
+    "HEARTBEAT",
+    "WORKER_EXITED",
+    "WORKER_STARTED",
+    "FleetProgress",
+    "cell_failed",
+    "cell_finished",
+    "cell_started",
+    "heartbeat",
+    "wall_clock_now",
+    "worker_exited",
+    "worker_started",
+]

@@ -1,0 +1,161 @@
+"""The aggregate multi-run dashboard: band plots over seeds.
+
+``repro sweep --dashboard`` renders one self-contained HTML page over a
+merged sweep: for each ``(policy, scenario, scale, engine)`` group and
+each headline metric, the per-seed trajectories are folded into a
+min–max envelope (a translucent band) with the cross-seed mean drawn on
+top — the multi-seed counterpart of the single-run dashboard, built
+from the same panel machinery, CSS and hover script of
+:mod:`repro.obs.timeseries.dashboard` so the two surfaces stay visually
+identical.
+"""
+
+from __future__ import annotations
+
+import html
+import pathlib
+
+import numpy as np
+
+from ...errors import SweepError
+from ...obs.timeseries.artifact import TsdbArtifact, TsdbError
+from ...obs.timeseries.dashboard import _CSS, _JS, _PanelSeries, _render_panel
+
+__all__ = ["FLEET_PANELS", "render_fleet_dashboard"]
+
+#: ``(column, panel title, unit)`` drawn per group when present.
+FLEET_PANELS = (
+    ("utilization", "DC utilization", "fraction"),
+    ("total_replicas", "Replica count", "copies"),
+    ("sla_attainment", "SLA attainment", "fraction in bound"),
+    ("unserved", "Unserved queries", "queries/epoch"),
+    ("path_length", "Mean path length", "WAN hops"),
+    ("replication_cost", "Replication cost", "cost/epoch (Eq. 1)"),
+)
+
+
+def _group_runs(artifact, sweep_dir: pathlib.Path) -> dict[str, list[TsdbArtifact]]:
+    """``group_key -> per-seed tsdb artifacts`` for completed cells.
+
+    Cells whose time-series file is missing or unreadable are skipped
+    (the sweep artifact still carries their summaries); a group with no
+    loadable runs simply draws no panels.
+    """
+    runs: dict[str, list[TsdbArtifact]] = {}
+    for record in artifact.cells:
+        if record.get("status") != "ok":
+            continue
+        rel = record.get("artifacts", {}).get("timeseries")
+        if not rel:
+            continue
+        cell_dir = f"{record['cell_id']}-{record['digest']}"
+        path = sweep_dir / "cells" / cell_dir / rel
+        try:
+            run = TsdbArtifact.load(path)
+        except (TsdbError, OSError):
+            continue
+        runs.setdefault(str(record["group"]), []).append(run)
+    return runs
+
+
+def _band_panel(
+    group: str, column: str, title: str, unit: str, runs: list[TsdbArtifact],
+    slot: int,
+) -> str:
+    """One band panel: min–max envelope over seeds + mean line."""
+    with_column = [run for run in runs if column in run.columns]
+    if not with_column:
+        return ""
+    n = min(run.num_points for run in with_column)
+    if n == 0:
+        return ""
+    stacked = np.vstack([run.column(column)[:n] for run in with_column])
+    epochs = with_column[0].epochs[:n]
+    mean = _PanelSeries(f"mean over {len(with_column)} seed(s)", stacked.mean(axis=0), slot)
+    band = (stacked.min(axis=0), stacked.max(axis=0))
+    key = f"{group}-{column}".replace("/", "-")
+    return _render_panel(
+        key,
+        f"{title} — {group}",
+        unit,
+        epochs,
+        [mean],
+        with_column[0].markers,
+        band=band,
+    )
+
+
+def render_fleet_dashboard(
+    artifact,
+    sweep_dir: str | pathlib.Path,
+    *,
+    title: str | None = None,
+) -> str:
+    """Render the sweep's aggregate dashboard as one offline HTML page.
+
+    ``artifact`` is a merged :class:`~repro.sweep.artifact.SweepArtifact`;
+    ``sweep_dir`` is its sweep directory (the per-cell ``.tsdb.json``
+    files are read from ``cells/``).
+    """
+    sweep_dir = pathlib.Path(sweep_dir)
+    manifest = artifact.manifest
+    if title is None:
+        title = f"RFH sweep dashboard — {manifest.name}"
+
+    runs = _group_runs(artifact, sweep_dir)
+    if not runs:
+        raise SweepError(
+            f"no loadable cell time series under {sweep_dir / 'cells'}; "
+            "was the sweep run with its artifacts intact?"
+        )
+
+    panels: list[str] = []
+    group_order = [g for g in artifact.group_keys() if g in runs]
+    for index, group in enumerate(group_order):
+        slot = index % 8 + 1
+        for column, panel_title, unit in FLEET_PANELS:
+            rendered = _band_panel(
+                group, column, panel_title, unit, runs[group], slot
+            )
+            if rendered:
+                panels.append(rendered)
+
+    subtitle = (
+        f"manifest {manifest.manifest_hash} · "
+        f"{manifest.num_cells} cell(s): {artifact.num_ok} ok, "
+        f"{artifact.num_failed} failed · seeds {list(manifest.seeds)} · "
+        f"epochs {manifest.epochs}"
+    )
+    tiles = "".join(
+        f'<div class="tile"><div class="label">{html.escape(label)}</div>'
+        f'<div class="value">{html.escape(str(value))}</div></div>'
+        for label, value in (
+            ("groups", len(group_order)),
+            ("cells ok", artifact.num_ok),
+            ("cells failed", artifact.num_failed),
+            ("seeds", len(manifest.seeds)),
+            ("epochs", manifest.epochs),
+        )
+    )
+    footer = (
+        "rendered by repro sweep --dashboard · band = min–max over seeds, "
+        "line = cross-seed mean · offline: no external resources"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n"
+        '<body class="viz-root">\n<main>\n'
+        '<header class="page">\n'
+        f"<h1>{html.escape(title)}</h1>\n"
+        f"<p>{html.escape(subtitle)}</p>\n"
+        "</header>\n"
+        f'<div class="tiles">{tiles}</div>\n'
+        f'<div class="grid">\n{"".join(panels)}\n</div>\n'
+        f"<footer>{footer}</footer>\n"
+        "</main>\n"
+        f"<script>{_JS}</script>\n"
+        "</body>\n</html>\n"
+    )

@@ -1,0 +1,111 @@
+"""The fleet event vocabulary: what sweep workers tell the orchestrator.
+
+Events cross a :mod:`multiprocessing` queue, so they are plain dicts —
+picklable, ``jq``-able when journaled — built by the constructor
+functions here so every producer agrees on the schema.  Each event
+carries its ``kind`` (one of the module constants), the emitting
+worker id, and kind-specific payload fields.
+
+This module also owns :func:`wall_clock_now`, the *single* wall-clock
+read the fleet layer uses for elapsed-time accounting.  Fleet timing is
+observability of the orchestration itself — worker liveness, cell
+durations, ETA — and never feeds simulation state, which is why the
+read is confined here and marked for the determinism linter.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = [
+    "CELL_FAILED",
+    "CELL_FINISHED",
+    "CELL_STARTED",
+    "HEARTBEAT",
+    "KINDS",
+    "WORKER_EXITED",
+    "WORKER_STARTED",
+    "cell_failed",
+    "cell_finished",
+    "cell_started",
+    "heartbeat",
+    "wall_clock_now",
+    "worker_exited",
+    "worker_started",
+]
+
+CELL_STARTED = "cell_started"
+CELL_FINISHED = "cell_finished"
+CELL_FAILED = "cell_failed"
+HEARTBEAT = "heartbeat"
+WORKER_STARTED = "worker_started"
+WORKER_EXITED = "worker_exited"
+
+#: Every event kind a well-formed fleet stream may carry.
+KINDS: tuple[str, ...] = (
+    CELL_STARTED,
+    CELL_FINISHED,
+    CELL_FAILED,
+    HEARTBEAT,
+    WORKER_STARTED,
+    WORKER_EXITED,
+)
+
+
+def wall_clock_now() -> float:
+    """Monotonic seconds for fleet elapsed-time accounting only.
+
+    Confined here so the rest of the sweep/fleet code never reads a
+    clock directly; orchestration timing is observability, not
+    simulation state, and must never influence any simulated value.
+    """
+    return time.monotonic()  # repro: noqa[REP002] - fleet wall-clock, never simulation state
+
+
+def _base(kind: str, worker: int) -> dict[str, object]:
+    return {"kind": kind, "worker": int(worker)}
+
+
+def worker_started(worker: int) -> dict[str, object]:
+    return _base(WORKER_STARTED, worker)
+
+
+def worker_exited(worker: int, cells_run: int) -> dict[str, object]:
+    event = _base(WORKER_EXITED, worker)
+    event["cells_run"] = int(cells_run)
+    return event
+
+
+def cell_started(worker: int, index: int, cell_id: str) -> dict[str, object]:
+    event = _base(CELL_STARTED, worker)
+    event.update(index=int(index), cell_id=cell_id)
+    return event
+
+
+def cell_finished(
+    worker: int, index: int, cell_id: str, record: dict
+) -> dict[str, object]:
+    event = _base(CELL_FINISHED, worker)
+    event.update(index=int(index), cell_id=cell_id, record=record)
+    return event
+
+
+def cell_failed(
+    worker: int, index: int, cell_id: str, failure: dict
+) -> dict[str, object]:
+    """A structured cell failure: the worker survived, the traceback is
+    data.  ``failure`` must carry ``kind`` (e.g. ``worker-error``,
+    ``determinism-divergence``, ``worker-crash``) and ``error``."""
+    event = _base(CELL_FAILED, worker)
+    event.update(index=int(index), cell_id=cell_id, failure=failure)
+    return event
+
+
+def heartbeat(
+    worker: int, cell_id: str | None, elapsed_s: float, cells_run: int
+) -> dict[str, object]:
+    event = _base(HEARTBEAT, worker)
+    event.update(
+        cell_id=cell_id, elapsed_s=float(elapsed_s), cells_run=int(cells_run)
+    )
+    return event

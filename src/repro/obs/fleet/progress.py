@@ -1,0 +1,180 @@
+"""Live terminal progress over a fleet event stream.
+
+:class:`FleetProgress` folds the events of :mod:`repro.obs.fleet.events`
+into a running tally and renders it two ways, chosen by whether the
+output stream is a TTY:
+
+* **TTY** — one self-rewriting status line
+  (``[12/40] ok=11 failed=1 run=3 | rfh-flash-s3 ... eta ~41s``)
+  updated on every event, so a human watches the sweep breathe;
+* **pipe/CI** — one plain line per completion or failure, so logs stay
+  grep-able and nothing depends on carriage returns.
+
+The renderer never raises: progress is a convenience surface and a
+broken terminal must not kill a half-finished sweep.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from .events import (
+    CELL_FAILED,
+    CELL_FINISHED,
+    CELL_STARTED,
+    HEARTBEAT,
+    WORKER_EXITED,
+    wall_clock_now,
+)
+
+__all__ = ["FleetProgress"]
+
+
+class FleetProgress:
+    """Fold fleet events into counters and render live status lines."""
+
+    def __init__(
+        self,
+        total_cells: int,
+        *,
+        stream: IO[str] | None = None,
+        live: bool | None = None,
+    ) -> None:
+        self.total = int(total_cells)
+        self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            live = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.live = live
+        self.ok = 0
+        self.failed = 0
+        self.resumed = 0
+        #: worker id -> (cell_id, started_at seconds)
+        self.running: dict[int, tuple[str, float]] = {}
+        self.durations: list[float] = []
+        self._started_at = wall_clock_now()
+        self._line_len = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def accounted(self) -> int:
+        return self.ok + self.failed + self.resumed
+
+    def note_resumed(self, cell_id: str) -> None:
+        self.resumed += 1
+        self._emit(f"[{self.accounted}/{self.total}] resumed {cell_id}")
+
+    def handle(self, event: dict) -> None:
+        """Consume one fleet event and update the display."""
+        kind = event.get("kind")
+        worker = int(event.get("worker", -1))
+        if kind == CELL_STARTED:
+            self.running[worker] = (str(event.get("cell_id")), wall_clock_now())
+            self._refresh()
+        elif kind == CELL_FINISHED:
+            started = self.running.pop(worker, (None, None))[1]
+            duration = event.get("record", {}).get("duration_s")
+            if duration is None and started is not None:
+                duration = wall_clock_now() - started
+            if duration is not None:
+                self.durations.append(float(duration))
+            self.ok += 1
+            self._emit(
+                f"[{self.accounted}/{self.total}] ok {event.get('cell_id')}"
+                + (f" {float(duration):.1f}s" if duration is not None else "")
+                + f" (worker {worker})"
+            )
+        elif kind == CELL_FAILED:
+            self.running.pop(worker, None)
+            self.failed += 1
+            failure = event.get("failure", {})
+            self._emit(
+                f"[{self.accounted}/{self.total}] FAILED {event.get('cell_id')}"
+                f" [{failure.get('kind', 'error')}] {failure.get('error', '')}"
+                f" (worker {worker})"
+            )
+        elif kind == HEARTBEAT:
+            self._refresh()
+        elif kind == WORKER_EXITED:
+            self.running.pop(worker, None)
+            self._refresh()
+
+    # ------------------------------------------------------------------
+    def status_line(self) -> str:
+        """The current one-line fleet summary."""
+        bits = [
+            f"[{self.accounted}/{self.total}]",
+            f"ok={self.ok}",
+            f"failed={self.failed}",
+        ]
+        if self.resumed:
+            bits.append(f"resumed={self.resumed}")
+        if self.running:
+            cells = ", ".join(cell for cell, _ in self.running.values())
+            if len(cells) > 48:
+                cells = cells[:45] + "..."
+            bits.append(f"run={len(self.running)} | {cells}")
+        eta = self.eta_seconds()
+        if eta is not None:
+            bits.append(f"eta ~{eta:.0f}s")
+        return " ".join(bits)
+
+    def eta_seconds(self) -> float | None:
+        """Remaining-work estimate from observed cell durations."""
+        remaining = self.total - self.accounted
+        if remaining <= 0 or not self.durations:
+            return None
+        mean = sum(self.durations) / len(self.durations)
+        lanes = max(1, len(self.running))
+        return remaining * mean / lanes
+
+    def summary(self, wall_s: float | None = None) -> str:
+        if wall_s is None:
+            wall_s = wall_clock_now() - self._started_at
+        bits = [
+            f"sweep: {self.ok} ok",
+            f"{self.failed} failed",
+        ]
+        if self.resumed:
+            bits.append(f"{self.resumed} resumed")
+        return ", ".join(bits) + f" of {self.total} cell(s) in {wall_s:.1f}s"
+
+    def finish(self, wall_s: float | None = None) -> None:
+        self._clear_line()
+        self._println(self.summary(wall_s))
+
+    # ------------------------------------------------------------------
+    # Stream plumbing (never raises)
+    # ------------------------------------------------------------------
+    def _emit(self, line: str) -> None:
+        """A durable line: printed in pipe mode, folded into the live
+        line on a TTY."""
+        if self.live:
+            self._clear_line()
+            self._println(line)
+            self._refresh()
+        else:
+            self._println(line)
+
+    def _refresh(self) -> None:
+        if not self.live:
+            return
+        line = self.status_line()
+        pad = max(0, self._line_len - len(line))
+        self._write("\r" + line + " " * pad)
+        self._line_len = len(line)
+
+    def _clear_line(self) -> None:
+        if self.live and self._line_len:
+            self._write("\r" + " " * self._line_len + "\r")
+            self._line_len = 0
+
+    def _println(self, line: str) -> None:
+        self._write(line + "\n")
+
+    def _write(self, text: str) -> None:
+        try:
+            self.stream.write(text)
+            self.stream.flush()
+        except (OSError, ValueError):  # closed/broken stream: drop output
+            pass

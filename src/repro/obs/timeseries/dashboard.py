@@ -125,6 +125,7 @@ svg.chart .gridline { stroke: var(--grid); stroke-width: 1; }
 svg.chart .axisline { stroke: var(--baseline); stroke-width: 1; }
 svg.chart .series { fill: none; stroke-width: 2; stroke-linejoin: round;
   stroke-linecap: round; }
+svg.chart .band { stroke: none; opacity: 0.16; }
 svg.chart .series.baseline-run { stroke-dasharray: 5 4; opacity: 0.65; }
 svg.chart .end-dot { stroke: var(--surface-1); stroke-width: 2; }
 svg.chart .marker-rule { stroke-width: 1; opacity: 0.55; }
@@ -306,10 +307,18 @@ def _render_panel(
     series: list[_PanelSeries],
     markers: tuple[Marker, ...],
     baseline: list[_PanelSeries] | None = None,
+    band: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> str:
-    """One <figure> panel: caption+legend, SVG chart, data table."""
+    """One <figure> panel: caption+legend, SVG chart, data table.
+
+    ``band`` is an optional ``(lo, hi)`` envelope aligned to ``epochs``
+    — the fleet dashboard's min–max range over seeds — drawn as a
+    translucent fill under the series lines in the first series' hue.
+    """
     all_values = np.concatenate(
-        [s.values for s in series] + [s.values for s in (baseline or [])]
+        [s.values for s in series]
+        + [s.values for s in (baseline or [])]
+        + [np.asarray(b, dtype=np.float64) for b in (band or ())]
     )
     finite = all_values[np.isfinite(all_values)]
     if len(finite) == 0:
@@ -365,6 +374,22 @@ def _render_panel(
             f'y1="{MARGIN_T}" y2="{PLOT_H - MARGIN_B}">'
             f"<title>{html.escape(tip)}</title></line>"
         )
+    # Seed envelope under everything data-colored: range first, then
+    # overlays, then the mean/series lines on top.
+    if band is not None:
+        blo = np.asarray(band[0], dtype=np.float64)
+        bhi = np.asarray(band[1], dtype=np.float64)
+        mask = np.isfinite(blo) & np.isfinite(bhi)
+        if mask.any():
+            xs = epochs_px(epochs, x)
+            idx = np.nonzero(mask)[0]
+            fwd = [f"{xs[i]:.1f},{y(float(bhi[i])):.1f}" for i in idx]
+            rev = [f"{xs[i]:.1f},{y(float(blo[i])):.1f}" for i in idx[::-1]]
+            fill = series[0].css_color if series else "var(--s1)"
+            svg.append(
+                f'<polygon class="band" points="{" ".join(fwd + rev)}" '
+                f'fill="{fill}"/>'
+            )
     # Baseline-run overlay first so the candidate draws on top.
     for s in baseline or []:
         ys = [y(v) if math.isfinite(v) else None for v in s.values]

@@ -1,0 +1,44 @@
+"""Parallel sweep orchestration: many seeds, one artifact.
+
+A single run of the simulator answers "what did policy P do on scenario
+S with seed 42?".  The questions the paper actually argues — does RFH
+beat the baselines, and by how much — need distributions over seeds.
+This package turns a declarative :class:`SweepManifest` (a ``{policy ×
+scenario × seed × scale × engine}`` grid) into a fleet of worker
+processes, each reusing the exact single-run execution path so every
+cell is bit-identical to its sequential counterpart, and merges the
+per-cell artifacts into one versioned ``.sweep.json`` with seeded
+cross-seed statistics — renderable as a markdown report, an aggregate
+band-plot dashboard (:mod:`repro.obs.fleet.dashboard`), and gateable
+via :func:`diff_sweeps` / ``repro sweepdiff``.
+"""
+
+from .artifact import SWEEP_FORMAT, SWEEP_VERSION, SweepArtifact
+from .diffing import SweepDiffReport, diff_sweeps
+from .manifest import SweepCell, SweepManifest, SweepScale, build_cell_scenario
+from .merger import merge
+from .orchestrator import SWEEP_ARTIFACT_NAME, run_sweep
+from .report import render_sweep
+from .stats import bootstrap_rng, format_mean_ci, summarize
+from .worker import CellDivergenceError, run_cell
+
+__all__ = [
+    "SWEEP_ARTIFACT_NAME",
+    "SWEEP_FORMAT",
+    "SWEEP_VERSION",
+    "CellDivergenceError",
+    "SweepArtifact",
+    "SweepCell",
+    "SweepDiffReport",
+    "SweepManifest",
+    "SweepScale",
+    "bootstrap_rng",
+    "build_cell_scenario",
+    "diff_sweeps",
+    "format_mean_ci",
+    "merge",
+    "render_sweep",
+    "run_cell",
+    "run_sweep",
+    "summarize",
+]

@@ -1,0 +1,169 @@
+"""The versioned ``.sweep.json`` artifact: one merged sweep.
+
+A :class:`SweepArtifact` is the on-disk product of one ``repro sweep``:
+the manifest that defined the grid (plus its content hash), one record
+per executed cell (status, fingerprint chain, metric summaries,
+relative artifact paths, timing), the structured failure records for
+every cell that did not finish cleanly, and per-group cross-seed
+statistics keyed ``policy/scenario/scale/engine``.  Like every other
+repro artifact it is deliberately plain JSON — ``jq``-able and
+diffable in CI without this library.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass, field
+
+from ..errors import SweepError
+from .manifest import SweepManifest
+
+__all__ = ["SWEEP_FORMAT", "SWEEP_VERSION", "SweepArtifact"]
+
+#: Magic format tag; a file without it is not a sweep artifact.
+SWEEP_FORMAT = "repro-sweep"
+#: Schema version; bumped on any incompatible layout change.
+SWEEP_VERSION = 1
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SweepError(message)
+
+
+def _clean(value: object) -> object:
+    """JSON has no NaN/Inf; encode them as null (restored on load as
+    NaN, which every consumer treats as "missing")."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _clean(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_clean(v) for v in value]
+    return value
+
+
+def _restore(value: object) -> object:
+    if value is None:
+        return float("nan")
+    if isinstance(value, dict):
+        return {k: _restore(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_restore(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class SweepArtifact:
+    """One merged sweep: manifest + cells + failures + group stats."""
+
+    manifest: SweepManifest
+    #: One record per cell, in manifest expansion order:
+    #: ``{cell, cell_id, digest, status, fingerprint, summaries,
+    #: artifacts, duration_s, worker, resumed}``.
+    cells: list[dict] = field(default_factory=list)
+    #: Structured records for every cell that did not finish cleanly:
+    #: ``{cell_id, kind, error, traceback, worker, ...}``.
+    failures: list[dict] = field(default_factory=list)
+    #: ``group_key -> {metric -> summarize() stats}``.
+    groups: dict[str, dict[str, dict]] = field(default_factory=dict)
+    meta: dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for cell in self.cells if cell.get("status") == "ok")
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.failures)
+
+    def cell_record(self, cell_id: str) -> dict:
+        for record in self.cells:
+            if record.get("cell_id") == cell_id:
+                return record
+        raise SweepError(f"no cell {cell_id!r} in this sweep artifact")
+
+    def fingerprints(self) -> dict[str, str]:
+        """``cell_id -> final fingerprint chain`` for completed cells."""
+        return {
+            record["cell_id"]: record.get("fingerprint", "")
+            for record in self.cells
+            if record.get("status") == "ok"
+        }
+
+    def group_keys(self) -> tuple[str, ...]:
+        return tuple(self.groups)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "format": SWEEP_FORMAT,
+            "version": SWEEP_VERSION,
+            "manifest": self.manifest.to_dict(),
+            "manifest_hash": self.manifest.manifest_hash,
+            "meta": dict(self.meta),
+            "cells": _clean(list(self.cells)),
+            "failures": _clean(list(self.failures)),
+            "groups": _clean(dict(self.groups)),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: object) -> "SweepArtifact":
+        _require(isinstance(raw, dict), f"not a {SWEEP_FORMAT} artifact: {raw!r}")
+        assert isinstance(raw, dict)
+        _require(
+            raw.get("format") == SWEEP_FORMAT,
+            f"not a {SWEEP_FORMAT} artifact (format={raw.get('format')!r})",
+        )
+        _require(
+            raw.get("version") == SWEEP_VERSION,
+            f"unsupported {SWEEP_FORMAT} version {raw.get('version')!r} "
+            f"(this build reads version {SWEEP_VERSION})",
+        )
+        manifest = SweepManifest.from_dict(raw.get("manifest"))
+        recorded_hash = raw.get("manifest_hash")
+        if recorded_hash is not None and recorded_hash != manifest.manifest_hash:
+            raise SweepError(
+                f"manifest hash mismatch: artifact says {recorded_hash!r}, "
+                f"manifest content hashes to {manifest.manifest_hash!r}"
+            )
+        cells = raw.get("cells", [])
+        failures = raw.get("failures", [])
+        groups = raw.get("groups", {})
+        _require(isinstance(cells, list), "'cells' must be a list")
+        _require(isinstance(failures, list), "'failures' must be a list")
+        _require(isinstance(groups, dict), "'groups' must be an object")
+        for record in cells:
+            _require(isinstance(record, dict), f"malformed cell record: {record!r}")
+            _require(
+                "cell_id" in record and "status" in record,
+                f"cell record missing cell_id/status: {record!r}",
+            )
+        meta = raw.get("meta", {})
+        return cls(
+            manifest=manifest,
+            cells=[_restore(dict(r)) for r in cells],
+            failures=[_restore(dict(r)) for r in failures],
+            groups={
+                str(k): _restore(dict(v)) for k, v in groups.items()
+            },
+            meta=dict(meta) if isinstance(meta, dict) else {},
+        )
+
+    def save(self, path: str | pathlib.Path) -> None:
+        payload = json.dumps(self.to_dict(), indent=1, allow_nan=False)
+        pathlib.Path(path).write_text(payload + "\n")
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "SweepArtifact":
+        path = pathlib.Path(path)
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SweepError(f"cannot read sweep artifact {path}: {exc}") from exc
+        return cls.from_dict(raw)

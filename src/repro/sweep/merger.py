@@ -1,0 +1,77 @@
+"""Fold per-cell records into one merged :class:`SweepArtifact`.
+
+The merger is deliberately a pure function of (manifest, cell records,
+failure records): it computes per-``(policy, scenario, scale, engine)``
+cross-seed statistics with the seeded bootstrap of
+:mod:`repro.sweep.stats`, iterating groups and metrics in sorted order
+so the generator is consumed identically no matter how the records
+arrived — merging the same artifacts twice yields byte-identical
+statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .artifact import SweepArtifact
+from .manifest import SweepManifest
+from .stats import bootstrap_rng, summarize
+
+__all__ = ["GROUP_FIELD_DEFAULT", "GROUP_FIELDS", "group_values", "merge"]
+
+#: Which per-cell summary field feeds a metric's cross-seed statistic.
+#: Rate-like headline metrics aggregate their steady-state tail mean;
+#: cost counters aggregate the run total (the paper's Table I compares
+#: totals for cost, steady levels for everything else).
+GROUP_FIELDS = {
+    "replication_cost": "total",
+    "migration_count": "total",
+    "unserved": "total",
+}
+GROUP_FIELD_DEFAULT = "steady"
+
+
+def group_values(records: list[dict]) -> dict[str, dict[str, list[float]]]:
+    """``group_key -> metric -> per-seed values`` from completed cells."""
+    grouped: dict[str, dict[str, list[float]]] = OrderedDict()
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        group = grouped.setdefault(str(record["group"]), OrderedDict())
+        for metric, fields in record.get("summaries", {}).items():
+            field = GROUP_FIELDS.get(metric, GROUP_FIELD_DEFAULT)
+            value = fields.get(field)
+            if value is not None:
+                group.setdefault(metric, []).append(float(value))
+    return grouped
+
+
+def merge(
+    manifest: SweepManifest,
+    records: list[dict],
+    failures: list[dict],
+    *,
+    meta: dict[str, object] | None = None,
+) -> SweepArtifact:
+    """Build the merged sweep artifact with cross-seed group statistics.
+
+    ``records`` must be in manifest expansion order (the orchestrator
+    guarantees this); group statistics are computed over sorted group
+    and metric names so the seeded bootstrap stream is consumed
+    deterministically.
+    """
+    grouped = group_values(records)
+    rng = bootstrap_rng(manifest.manifest_hash)
+    groups: dict[str, dict[str, dict]] = {}
+    for group_key in sorted(grouped):
+        stats: dict[str, dict] = {}
+        for metric in sorted(grouped[group_key]):
+            stats[metric] = summarize(grouped[group_key][metric], rng)
+        groups[group_key] = stats
+    return SweepArtifact(
+        manifest=manifest,
+        cells=list(records),
+        failures=list(failures),
+        groups=groups,
+        meta=dict(meta or {}),
+    )

@@ -1,0 +1,110 @@
+"""Markdown reporting over a merged sweep artifact.
+
+``repro sweep --report`` renders one table per ``(scenario, scale,
+engine)`` slice: policies as rows, metrics as columns, each cell the
+group's ``mean ± CI`` from :func:`repro.sweep.stats.format_mean_ci` —
+the multi-seed counterpart of the single-run Table I in EXPERIMENTS.md.
+Structured failures, when present, get their own section so a report is
+never silently missing cells.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .artifact import SweepArtifact
+
+__all__ = ["REPORT_METRICS", "render_sweep"]
+
+#: Metric columns in report order: ``(name, header, format)``.
+REPORT_METRICS = (
+    ("utilization", "utilization", "{:.3f}"),
+    ("total_replicas", "replicas", "{:.1f}"),
+    ("path_length", "path len", "{:.2f}"),
+    ("load_imbalance", "imbalance", "{:.2f}"),
+    ("sla_attainment", "SLA", "{:.3f}"),
+    ("replication_cost", "repl cost", "{:.0f}"),
+    ("migration_count", "migrations", "{:.0f}"),
+)
+
+
+def _split_group(group_key: str) -> tuple[str, str, str, str]:
+    policy, scenario, scale, engine = group_key.split("/", 3)
+    return policy, scenario, scale, engine
+
+
+def render_sweep(artifact: SweepArtifact, *, title: str | None = None) -> str:
+    """The sweep as a markdown report (``mean ± CI`` tables)."""
+    from .stats import format_mean_ci
+
+    manifest = artifact.manifest
+    lines: list[str] = []
+    lines.append(f"# {title or f'Sweep report: {manifest.name}'}")
+    lines.append("")
+    lines.append(
+        f"- manifest hash `{manifest.manifest_hash}` | "
+        f"{manifest.num_cells} cell(s): {artifact.num_ok} ok, "
+        f"{artifact.num_failed} failed"
+    )
+    lines.append(
+        f"- seeds {list(manifest.seeds)} | epochs {manifest.epochs} | "
+        f"engines {list(manifest.engines)}"
+    )
+    extra = ""
+    if artifact.meta.get("wall_s") is not None:
+        extra = f" in {float(artifact.meta['wall_s']):.1f}s"
+    workers = artifact.meta.get("max_workers")
+    if workers is not None:
+        extra += f" with {int(workers)} worker lane(s)"
+    if extra:
+        lines.append(f"- executed{extra}")
+    lines.append(
+        "- each value is the cross-seed mean ± half-width of the "
+        "95% bootstrap CI (bare mean when a group holds one seed)"
+    )
+    lines.append("")
+
+    # slice key (scenario, scale, engine) -> policy -> metric stats
+    slices: dict[tuple[str, str, str], dict[str, dict]] = OrderedDict()
+    for group_key, stats in artifact.groups.items():
+        policy, scenario, scale, engine = _split_group(group_key)
+        slices.setdefault((scenario, scale, engine), OrderedDict())[policy] = stats
+
+    for (scenario, scale, engine), by_policy in slices.items():
+        lines.append(f"## scenario `{scenario}` · scale `{scale}` · engine `{engine}`")
+        lines.append("")
+        present = [
+            (name, header, fmt)
+            for name, header, fmt in REPORT_METRICS
+            if any(name in stats for stats in by_policy.values())
+        ]
+        header = "| policy | " + " | ".join(h for _, h, _ in present) + " |"
+        lines.append(header)
+        lines.append("|" + "---|" * (len(present) + 1))
+        for policy in manifest.policies:
+            stats = by_policy.get(policy)
+            if stats is None:
+                continue
+            row = [f"| {policy} "]
+            for name, _, fmt in present:
+                cell = (
+                    format_mean_ci(stats[name], fmt) if name in stats else "–"
+                )
+                row.append(f"| {cell} ")
+            lines.append("".join(row) + "|")
+        lines.append("")
+
+    if artifact.failures:
+        lines.append("## failures")
+        lines.append("")
+        lines.append("| cell | kind | worker | error |")
+        lines.append("|---|---|---|---|")
+        for failure in artifact.failures:
+            error = str(failure.get("error", "")).replace("|", "\\|")
+            lines.append(
+                f"| {failure.get('cell_id')} | {failure.get('kind')} "
+                f"| {failure.get('worker')} | {error} |"
+            )
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"

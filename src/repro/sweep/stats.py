@@ -1,0 +1,116 @@
+"""Cross-seed statistics for sweep groups.
+
+Headline numbers from a single ``(policy, scenario, seed)`` run are
+point estimates; judging replication dynamics from one trajectory is
+exactly the failure mode the mean-field literature warns about.  A
+sweep group folds the per-seed values of one metric into distribution
+statistics — mean, stddev, p05/p95 and a bootstrap confidence interval
+— so tables can print ``mean ± CI`` and ``repro sweepdiff`` can judge
+CI overlap instead of single-run tail means.
+
+The bootstrap is seeded through the repo's :class:`~repro.sim.rng.RngTree`
+(stream ``"sweep-bootstrap"``, root derived from the manifest hash), so
+merging the same cell artifacts twice yields byte-identical statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..sim.rng import RngTree
+
+__all__ = [
+    "BOOTSTRAP_RESAMPLES",
+    "CONFIDENCE",
+    "bootstrap_rng",
+    "format_mean_ci",
+    "summarize",
+]
+
+#: Bootstrap resamples per statistic; enough for a stable 95% interval
+#: over the handful-of-seeds group sizes sweeps run at.
+BOOTSTRAP_RESAMPLES = 800
+
+#: Two-sided confidence level for the bootstrap interval.
+CONFIDENCE = 0.95
+
+
+def bootstrap_rng(manifest_hash: str) -> np.random.Generator:
+    """The seeded bootstrap stream for one sweep merge.
+
+    The root seed is derived from the manifest's content hash, so the
+    statistics are a pure function of the sweep configuration and the
+    cell values — never of merge order or wall clock.
+    """
+    root = int(manifest_hash[:12] or "0", 16) % (2**31)
+    return RngTree(root).stream("sweep-bootstrap")
+
+
+def summarize(
+    values: Sequence[float], rng: np.random.Generator
+) -> dict[str, float | int]:
+    """Distribution statistics over one group's per-seed values.
+
+    Returns ``n``, ``mean``, ``stddev`` (sample, ddof=1 when n > 1),
+    ``min``/``max``, ``p05``/``p95`` and the bootstrap CI bounds
+    ``ci_lo``/``ci_hi`` (percentile method at :data:`CONFIDENCE`).
+    Non-finite inputs are dropped first; an empty group yields NaNs
+    with ``n == 0``.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    n = int(arr.size)
+    if n == 0:
+        nan = float("nan")
+        return {
+            "n": 0, "mean": nan, "stddev": nan, "min": nan, "max": nan,
+            "p05": nan, "p95": nan, "ci_lo": nan, "ci_hi": nan,
+        }
+    mean = float(arr.mean())
+    stddev = float(arr.std(ddof=1)) if n > 1 else 0.0
+    p05, p95 = (float(v) for v in np.percentile(arr, (5.0, 95.0)))
+    if n == 1:
+        ci_lo = ci_hi = mean
+    else:
+        # Percentile bootstrap of the mean: resample indices so every
+        # metric of a group draws the same index pattern only if the
+        # caller reuses the generator sequentially (deterministic merge
+        # order guarantees reproducibility either way).
+        idx = rng.integers(0, n, size=(BOOTSTRAP_RESAMPLES, n))
+        means = arr[idx].mean(axis=1)
+        alpha = (1.0 - CONFIDENCE) / 2.0
+        ci_lo, ci_hi = (
+            float(v)
+            for v in np.percentile(means, (100.0 * alpha, 100.0 * (1.0 - alpha)))
+        )
+    return {
+        "n": n,
+        "mean": mean,
+        "stddev": stddev,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "p05": p05,
+        "p95": p95,
+        "ci_lo": ci_lo,
+        "ci_hi": ci_hi,
+    }
+
+
+def format_mean_ci(stats: dict[str, float | int], fmt: str = "{:.3f}") -> str:
+    """``mean ± half-width`` cell text for report tables.
+
+    The printed ``±`` is the half-width of the bootstrap CI around the
+    mean; a single-seed group (zero-width interval) prints the bare
+    mean so tables stay honest about what was measured.
+    """
+    mean = float(stats["mean"])
+    if not math.isfinite(mean):
+        return "–"
+    lo, hi = float(stats["ci_lo"]), float(stats["ci_hi"])
+    half = (hi - lo) / 2.0
+    if int(stats["n"]) <= 1 or not math.isfinite(half):
+        return fmt.format(mean)
+    return f"{fmt.format(mean)} ± {fmt.format(half)}"
