@@ -267,3 +267,25 @@ def test_full_epoch_step_phase_attribution(benchmark):
     timings = profiler.phase_timings()
     assert tuple(timings) == ENGINE_PHASES
     print("\n" + profiler.render_table())
+
+
+def test_lint_src_tree(benchmark):
+    """The full analysis platform over ``src/repro`` — every per-file
+    family (REP0/REP1/REP2) on every file.  This is the pre-commit and
+    CI gate's cost; it must stay interactive (the platform parses each
+    file once and shares the tree across analyzers).  Serial on purpose:
+    ``jobs=1`` timing is stable on small CI boxes, and the parallel
+    driver is proven byte-identical separately."""
+    import pathlib
+
+    from repro.staticcheck import lint_paths
+
+    src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+    def lint():
+        return lint_paths([src], jobs=1)
+
+    result = benchmark.pedantic(lint, rounds=3, iterations=1)
+    assert result.errors == []
+    assert result.active == []  # the committed tree gates at zero
+    assert result.files_checked > 100

@@ -34,7 +34,7 @@ from ..config import RFHParameters
 from ..geo.availability_level import AvailabilityLevel, availability_level
 from ..sim.actions import Action, Migrate, Replicate
 from ..sim.observation import EpochObservation
-from ..sim.reasons import MEMBERSHIP_REBALANCE
+from ..sim.reasons import AVAILABILITY, MEMBERSHIP_REBALANCE, OVERLOAD
 from .base import SmoothedSignals
 
 __all__ = ["OwnerOrientedPolicy"]
@@ -70,7 +70,7 @@ class OwnerOrientedPolicy:
             if needs_copy or overloaded:
                 target = self._best_target(partition, obs)
                 if target is not None:
-                    reason = "availability" if needs_copy else "overload"
+                    reason = AVAILABILITY if needs_copy else OVERLOAD
                     actions.append(Replicate(partition, holder_sid, target, reason))
                 continue
 

@@ -382,8 +382,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_p = sub.add_parser(
         "lint",
-        help="AST determinism lint (REP001-REP006) with noqa "
-        "suppressions and a committed baseline",
+        help="static analysis: determinism (REP0xx), kernel purity "
+        "(REP1xx), concurrency (REP2xx) and project auditors (AUD)",
     )
     lint_p.add_argument(
         "paths",
@@ -401,10 +401,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument(
         "--select",
-        nargs="*",
+        action="append",
         default=None,
-        metavar="REPxxx",
-        help="restrict checking to these rule ids (default: all)",
+        metavar="RULE|FAMILY",
+        help="rule ids or family prefixes (REP0, REP1, REP2, AUD; "
+        "comma-separable, e.g. REP1,REP2,AUD; repeatable); default: "
+        "every REP rule — AUD project auditors are opt-in",
+    )
+    lint_p.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files that differ from git HEAD (modified, "
+        "staged or untracked) under the given paths",
+    )
+    lint_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files in N parallel processes (0 = all cores); "
+        "findings merge in sorted path order, so output is identical "
+        "to a serial run",
     )
     lint_p.add_argument(
         "--baseline",
@@ -1210,6 +1227,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         DEFAULT_BASELINE_NAME,
         Baseline,
         BaselineError,
+        changed_python_files,
         lint_paths,
         render_github,
         render_json,
@@ -1224,9 +1242,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 baseline = Baseline.load(baseline_path)
             except BaselineError as exc:
                 raise SystemExit(str(exc))
+    paths: list[str | pathlib.Path] = list(args.paths)
+    if args.changed:
+        try:
+            paths = list(changed_python_files(paths))
+        except RuntimeError as exc:
+            raise SystemExit(str(exc))
+        if not paths:
+            print("no changed python files under the given paths")
+            return 0
     try:
-        result = lint_paths(list(args.paths), select=args.select, baseline=baseline)
-    except ValueError as exc:  # unknown --select rule id
+        result = lint_paths(
+            paths, select=args.select, baseline=baseline, jobs=args.jobs
+        )
+    except ValueError as exc:  # unknown --select rule id or family
         raise SystemExit(str(exc))
     if args.write_baseline:
         new_baseline = Baseline.from_findings(result.findings)

@@ -238,7 +238,10 @@ class ColumnarSimulation(Simulation):
         total = self._total_replicas()
         if total == 0:
             return 0.0
-        per_copy = served_server[self._mask_rows, self._mask_cols] / self._mask_cnt_int
+        # Divide by the float64 mirror of the counts: same IEEE-754
+        # quotient bits (int64→float64 is exact below 2**53), but the
+        # dtype transition is explicit instead of numpy's promotion.
+        per_copy = served_server[self._mask_rows, self._mask_cols] / self._mask_cnt_f
         weights = self._mask_cnt_f
         mean = float((per_copy * weights).sum() / total)
         if mean <= 0.0:

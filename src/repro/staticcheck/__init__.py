@@ -1,22 +1,47 @@
 """Static analysis and runtime determinism checking (``repro.staticcheck``).
 
-Two halves of one guarantee — that a seeded run is bit-reproducible:
+A multi-family analysis platform plus a runtime sanitizer, all
+defending one guarantee — that a seeded run is bit-reproducible:
 
-* the **lint engine** (:mod:`.rules`, :mod:`.engine`) finds
-  nondeterminism *sources* in the source tree before they ship
-  (unseeded RNGs, wall-clock reads, set-order iteration, float
-  equality, mutable defaults, non-literal RNG stream names);
+* **REP0xx determinism** (:mod:`.rules`) — nondeterminism sources:
+  unseeded RNGs, wall-clock reads, set-order iteration, float
+  equality, mutable defaults, non-literal RNG stream names;
+* **REP1xx numeric-kernel purity** (:mod:`.rules_numeric`) — implicit
+  dtype promotion, unordered reductions, hidden copies and
+  interpreter loops inside kernel directories;
+* **REP2xx concurrency & lifecycle** (:mod:`.rules_concurrency`) —
+  unjoined processes/queues, blocking gets, ``os._exit`` placement,
+  fork-unsafe module state, daemon threads without shutdown;
+* **AUD cross-module auditors** (:mod:`.project`) — engine parity,
+  reason vocabulary, artifact version-rejection coverage;
 * the **determinism sanitizer** (:mod:`.sanitizer`) fingerprints live
   engine state per epoch so a same-seed re-run can be diffed and the
   first divergent epoch — and the component that diverged — named.
 
-CLI entry points: ``repro lint`` and ``repro sanitize`` (plus
-``--sanitize`` on ``run``/``compare``).  See DESIGN.md §9.
+CLI entry points: ``repro lint`` (``--select REP1,REP2,AUD``) and
+``repro sanitize`` (plus ``--sanitize`` on ``run``/``compare``).  See
+DESIGN.md §9.
 """
 
+from .analyzers import AUDIT_RULE_IDS, FILE_ANALYZERS, FileAnalyzer, expand_select
 from .baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineError
-from .engine import LintError, LintResult, lint_paths, lint_source
-from .findings import ALL_RULE_IDS, RULES, Finding, Rule
+from .engine import (
+    LintError,
+    LintResult,
+    changed_python_files,
+    lint_paths,
+    lint_source,
+)
+from .findings import (
+    ALL_RULE_IDS,
+    DEFAULT_RULE_IDS,
+    FAMILIES,
+    RULES,
+    Finding,
+    Rule,
+    rule_family,
+)
+from .project import ProjectLayout, find_project_root, run_project_audit
 from .reporting import RENDERERS, render_github, render_json, render_text
 from .sanitizer import (
     COMPONENTS,
@@ -30,25 +55,35 @@ from .sanitizer import (
 
 __all__ = [
     "ALL_RULE_IDS",
+    "AUDIT_RULE_IDS",
     "Baseline",
     "BaselineError",
     "COMPONENTS",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_RULE_IDS",
     "DeterminismSanitizer",
     "DivergenceReport",
     "EpochFingerprint",
+    "FAMILIES",
+    "FILE_ANALYZERS",
+    "FileAnalyzer",
     "Finding",
     "FingerprintError",
     "FingerprintTrail",
     "LintError",
     "LintResult",
+    "ProjectLayout",
     "RENDERERS",
     "RULES",
     "Rule",
     "bisect_divergence",
+    "changed_python_files",
+    "expand_select",
+    "find_project_root",
     "lint_paths",
     "lint_source",
     "render_github",
     "render_json",
     "render_text",
+    "rule_family",
 ]

@@ -47,6 +47,11 @@ class Baseline:
     def covers(self, finding: Finding) -> bool:
         return finding.fingerprint in self._fingerprints
 
+    @property
+    def entries(self) -> list[dict[str, object]]:
+        """The grandfathered entries (path/rule/line/snippet/fingerprint)."""
+        return list(self._entries)
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

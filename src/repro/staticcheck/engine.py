@@ -1,23 +1,34 @@
-"""The lint driver: file discovery, noqa suppression, baseline matching.
+"""The lint driver: discovery, dispatch, noqa, baseline, project pass.
 
-Separated from :mod:`.rules` so the AST logic stays testable on source
-snippets while this module owns everything filesystem-shaped.  The
-driver is itself deterministic: files are visited in sorted path order
-and findings are reported in (path, line, col, rule) order, so two runs
-over the same tree produce byte-identical reports.
+Separated from the rule modules so the AST logic stays testable on
+source snippets while this module owns everything filesystem-shaped.
+The driver is itself deterministic: files are visited in sorted path
+order and findings are reported in (path, line, col, rule) order, so
+two runs over the same tree produce byte-identical reports — including
+under ``jobs > 1``, where per-file results are merged back in sorted
+path order regardless of completion order.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+import subprocess
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from .analyzers import AUDIT_RULE_IDS, expand_select, run_file_analyzers
 from .baseline import Baseline
-from .findings import ALL_RULE_IDS, RULES, Finding
-from .rules import check_module
+from .findings import RULES, Finding
+from .project import find_project_root, run_project_audit
 
-__all__ = ["LintError", "LintResult", "lint_paths", "lint_source"]
+__all__ = [
+    "LintError",
+    "LintResult",
+    "changed_python_files",
+    "expand_select",
+    "lint_paths",
+    "lint_source",
+]
 
 #: ``# repro: noqa`` (all rules) or ``# repro: noqa[REP001,REP003]``.
 _NOQA_RE = re.compile(
@@ -40,6 +51,8 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     errors: list[LintError] = field(default_factory=list)
     files_checked: int = 0
+    #: Non-gating diagnostics (e.g. stale baseline entries).
+    warnings: list[str] = field(default_factory=list)
 
     @property
     def active(self) -> list[Finding]:
@@ -86,7 +99,35 @@ def _rule_exempt(rule_id: str, posix_path: str) -> bool:
     rule = RULES.get(rule_id)
     if rule is None:
         return False
-    return any(posix_path.endswith(suffix) for suffix in rule.exempt_paths)
+    if any(posix_path.endswith(suffix) for suffix in rule.exempt_paths):
+        return True
+    # scoped rules only fire under their scope fragments
+    if rule.scope_paths and not any(
+        fragment in posix_path for fragment in rule.scope_paths
+    ):
+        return True
+    return False
+
+
+def _apply_flags(
+    findings: list[Finding],
+    noqa: dict[int, frozenset[str] | None],
+    baseline: Baseline | None,
+) -> list[Finding]:
+    """Apply noqa suppression and baseline matching to raw findings."""
+    out: list[Finding] = []
+    for finding in findings:
+        suppressed_rules = noqa.get(finding.line, ())
+        suppressed = suppressed_rules is None or finding.rule_id in suppressed_rules
+        baselined = (
+            not suppressed
+            and baseline is not None
+            and baseline.covers(finding)
+        )
+        if suppressed or baselined:
+            finding = replace(finding, suppressed=suppressed, baselined=baselined)
+        out.append(finding)
+    return out
 
 
 def lint_source(
@@ -96,38 +137,20 @@ def lint_source(
     select: frozenset[str] | None = None,
     baseline: Baseline | None = None,
 ) -> list[Finding]:
-    """Lint one in-memory source blob; returns findings with
-    suppression/baseline flags applied.  Raises SyntaxError on a parse
-    failure (callers decide how to report it)."""
-    raw = check_module(path, source)
-    noqa = _noqa_rules_by_line(source)
-    out: list[Finding] = []
-    for finding in raw:
-        if select is not None and finding.rule_id not in select:
-            continue
-        if _rule_exempt(finding.rule_id, path):
-            continue
-        suppressed_rules = noqa.get(finding.line, ())
-        suppressed = suppressed_rules is None or finding.rule_id in suppressed_rules
-        baselined = (
-            not suppressed
-            and baseline is not None
-            and baseline.covers(finding)
-        )
-        if suppressed or baselined:
-            finding = Finding(
-                path=finding.path,
-                line=finding.line,
-                col=finding.col,
-                rule_id=finding.rule_id,
-                message=finding.message,
-                snippet=finding.snippet,
-                occurrence=finding.occurrence,
-                suppressed=suppressed,
-                baselined=baselined,
-            )
-        out.append(finding)
-    return out
+    """Lint one in-memory source blob with every selected file analyzer;
+    returns findings with suppression/baseline flags applied.  Raises
+    SyntaxError on a parse failure (callers decide how to report it).
+
+    ``select`` takes concrete rule ids (already expanded); ``None``
+    means the default set.
+    """
+    selected = select if select is not None else expand_select(None)
+    raw = run_file_analyzers(path, source, selected)
+    raw = [
+        f for f in raw
+        if f.rule_id in selected and not _rule_exempt(f.rule_id, f.path)
+    ]
+    return _apply_flags(raw, _noqa_rules_by_line(source), baseline)
 
 
 def _discover(paths: list[str | Path]) -> list[Path]:
@@ -152,38 +175,157 @@ def _display_path(path: Path) -> str:
         return path.as_posix()
 
 
+def _lint_file_job(
+    job: tuple[str, str, frozenset[str], Baseline | None],
+) -> tuple[str, list[Finding] | None, LintError | None]:
+    """Lint one file; the unit of work for both serial and parallel
+    drivers (top-level so it pickles into worker processes)."""
+    display, file_path, selected, baseline = job
+    try:
+        source = Path(file_path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return display, None, LintError(display, f"cannot read: {exc}")
+    try:
+        findings = lint_source(
+            display, source, select=selected, baseline=baseline
+        )
+    except SyntaxError as exc:
+        return display, None, LintError(
+            display, f"syntax error at line {exc.lineno}: {exc.msg}"
+        )
+    return display, findings, None
+
+
+def _project_findings(
+    paths: list[str | Path],
+    selected: frozenset[str],
+    baseline: Baseline | None,
+    project_root: Path | None,
+    result: LintResult,
+) -> None:
+    """Run the AUD project pass and fold its findings into ``result``."""
+    root = project_root or find_project_root(list(paths))
+    if root is None:
+        result.errors.append(
+            LintError(
+                "<project>",
+                "cannot locate a project root (pyproject.toml + tests/) "
+                "for the AUD auditors; lint from inside the repository "
+                "or drop AUD from --select",
+            )
+        )
+        return
+    raw = run_project_audit(root, selected & AUDIT_RULE_IDS)
+    noqa_cache: dict[str, dict[int, frozenset[str] | None]] = {}
+    for finding in raw:
+        if _rule_exempt(finding.rule_id, Path(finding.path).as_posix()):
+            continue
+        original = finding.path
+        if original not in noqa_cache:
+            try:
+                noqa_cache[original] = _noqa_rules_by_line(
+                    Path(original).read_text(encoding="utf-8")
+                )
+            except (OSError, UnicodeDecodeError):
+                noqa_cache[original] = {}
+        display = _display_path(Path(original))
+        finding = replace(finding, path=display)
+        result.findings.extend(
+            _apply_flags([finding], noqa_cache[original], baseline)
+        )
+
+
 def lint_paths(
     paths: list[str | Path],
     *,
     select: list[str] | None = None,
     baseline: Baseline | None = None,
+    jobs: int | None = None,
+    project_root: Path | None = None,
 ) -> LintResult:
     """Lint files and directories; the package's main entry point.
 
-    ``select`` restricts checking to the given rule ids (default: all).
-    ``baseline`` marks grandfathered findings so they do not gate.
+    ``select`` takes rule ids and family prefixes (``REP1``, ``AUD``,
+    comma-separable); the default is every REP rule.  Selecting any AUD
+    rule additionally runs the project pass against the enclosing
+    repository root (or ``project_root``).  ``baseline`` marks
+    grandfathered findings so they do not gate.  ``jobs`` > 1 lints
+    files in a process pool; results are merged in sorted path order so
+    output is identical to a serial run.
     """
-    selected = frozenset(select) if select else frozenset(ALL_RULE_IDS)
-    unknown = selected - set(ALL_RULE_IDS)
-    if unknown:
-        raise ValueError(f"unknown rule ids: {sorted(unknown)}; have {ALL_RULE_IDS}")
+    selected = expand_select(select)
     result = LintResult()
-    for file_path in _discover(paths):
-        display = _display_path(file_path)
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            result.errors.append(LintError(display, f"cannot read: {exc}"))
+    jobs_list = [
+        (_display_path(p), str(p), selected, baseline) for p in _discover(paths)
+    ]
+    if jobs is not None and jobs != 1 and len(jobs_list) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        max_workers = jobs if jobs > 0 else None
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            outcomes = list(pool.map(_lint_file_job, jobs_list))
+        outcomes.sort(key=lambda item: item[0])
+    else:
+        outcomes = [_lint_file_job(job) for job in jobs_list]
+    for _display, findings, error in outcomes:
+        if error is not None:
+            result.errors.append(error)
             continue
-        try:
-            findings = lint_source(
-                display, source, select=selected, baseline=baseline
-            )
-        except SyntaxError as exc:
-            result.errors.append(
-                LintError(display, f"syntax error at line {exc.lineno}: {exc.msg}")
-            )
-            continue
+        assert findings is not None
         result.findings.extend(findings)
         result.files_checked += 1
+    if selected & AUDIT_RULE_IDS:
+        _project_findings(paths, selected, baseline, project_root, result)
+    if baseline is not None:
+        for entry in baseline.entries:
+            entry_path = str(entry.get("path", ""))
+            if entry_path and not Path(entry_path).exists():
+                result.warnings.append(
+                    f"stale baseline entry: {entry_path} "
+                    f"({entry.get('rule', '?')}) no longer exists; "
+                    "regenerate with --write-baseline"
+                )
     return result
+
+
+def changed_python_files(
+    paths: list[str | Path], *, cwd: str | Path | None = None
+) -> list[Path]:
+    """Python files under ``paths`` that differ from git HEAD (modified,
+    staged or untracked).  Raises :class:`RuntimeError` when git is
+    unavailable or the CWD is not a repository."""
+    base = Path(cwd) if cwd is not None else Path.cwd()
+
+    def _git(*args: str) -> str:
+        proc = subprocess.run(
+            ["git", *args], cwd=base, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"git {' '.join(args)} failed: {proc.stderr.strip()}"
+            )
+        return proc.stdout
+
+    toplevel = Path(_git("rev-parse", "--show-toplevel").strip())
+    names: set[str] = set()
+    for args in (
+        ("diff", "--name-only", "HEAD"),
+        ("ls-files", "--others", "--exclude-standard"),
+    ):
+        names.update(
+            line.strip() for line in _git(*args).splitlines() if line.strip()
+        )
+    scopes = [Path(p).resolve() for p in paths]
+    out: list[Path] = []
+    for name in sorted(names):
+        if not name.endswith(".py"):
+            continue
+        candidate = (toplevel / name).resolve()
+        if not candidate.is_file():
+            continue  # deleted in the working tree
+        if any(
+            candidate == scope or candidate.is_relative_to(scope)
+            for scope in scopes
+        ):
+            out.append(candidate)
+    return out

@@ -1,0 +1,586 @@
+"""The project-level analysis pass: cross-module contract auditors.
+
+Per-file AST rules cannot see a contract that spans files.  This module
+walks the *project* — source tree plus test tree — builds a light
+import graph, and runs three auditors over it:
+
+* **AUD001 engine parity** — every ``Simulation`` hook that
+  ``ColumnarSimulation`` (or any future engine subclass) overrides must
+  be named in the ``DIFFERENTIAL_HOOKS`` tuple of the differential
+  equivalence test module, which in turn asserts (at runtime) that the
+  tuple matches the real override set.  The static side catches the
+  gap at lint time; the runtime side stops the tuple from rotting;
+* **AUD002 reason vocabulary** — decision-reason/cause string literals
+  that duplicate a constant from ``repro.sim.reasons`` must import the
+  constant instead.  Flagged contexts: ``reason=``/``cause=`` keyword
+  arguments, assignments to (and comparisons against) names containing
+  ``reason``/``cause``, and ``"reason"``/``"cause"`` dict keys;
+* **AUD003 artifact versioning** — every module defining a
+  ``"repro-*"`` format string alongside a ``*VERSION*`` integer must
+  have a test that loads a bumped version and asserts the loader
+  raises.
+
+Auditors return raw findings anchored to real files; the engine applies
+noqa/baseline exactly as for per-file rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import RULES, Finding
+
+__all__ = [
+    "ProjectLayout",
+    "find_project_root",
+    "run_project_audit",
+]
+
+#: Module-level assignment name that the differential test uses to
+#: enumerate covered hooks.
+DIFFERENTIAL_HOOKS_NAME = "DIFFERENTIAL_HOOKS"
+
+
+@dataclass(frozen=True)
+class ProjectLayout:
+    """Where the audited contracts live, relative to the project root.
+
+    Defaults match this repository; fixture tests build mirror trees
+    with the same relative paths.
+    """
+
+    root: Path
+    scalar_engine: Path
+    columnar_dir: Path
+    differential_test: Path
+    reasons_module: Path
+    src_dir: Path
+    tests_dir: Path
+
+    @classmethod
+    def discover(cls, root: Path) -> "ProjectLayout":
+        return cls(
+            root=root,
+            scalar_engine=root / "src" / "repro" / "sim" / "engine.py",
+            columnar_dir=root / "src" / "repro" / "sim" / "columnar",
+            differential_test=root / "tests" / "test_columnar_equivalence.py",
+            reasons_module=root / "src" / "repro" / "sim" / "reasons.py",
+            src_dir=root / "src" / "repro",
+            tests_dir=root / "tests",
+        )
+
+
+def find_project_root(paths: list[str | Path]) -> Path | None:
+    """Walk up from the first existing path to a directory that looks
+    like a project root (``pyproject.toml`` plus a ``tests/`` dir)."""
+    for raw in paths:
+        start = Path(raw).resolve()
+        if not start.exists():
+            continue
+        candidates = [start, *start.parents] if start.is_dir() else list(
+            start.parents
+        )
+        for candidate in candidates:
+            if (candidate / "pyproject.toml").is_file() and (
+                candidate / "tests"
+            ).is_dir():
+                return candidate
+    return None
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _parse(path: Path) -> ast.Module | None:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except (OSError, UnicodeDecodeError, SyntaxError):
+        return None
+
+
+def _python_files(directory: Path) -> list[Path]:
+    return sorted(
+        p for p in directory.rglob("*.py") if "__pycache__" not in p.parts
+    )
+
+
+def _snippet(lines: list[str], lineno: int) -> str:
+    return lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""
+
+
+class _Emitter:
+    """Shared finding construction with per-file occurrence counters."""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+        self._occurrences: dict[tuple[str, str, str], int] = {}
+        self._line_cache: dict[Path, list[str]] = {}
+
+    def emit(
+        self, path: Path, node_line: int, node_col: int, rule_id: str, message: str
+    ) -> None:
+        hint = RULES[rule_id].hint
+        if hint:
+            message = f"{message} — fix: {hint}"
+        if path not in self._line_cache:
+            try:
+                self._line_cache[path] = path.read_text(
+                    encoding="utf-8"
+                ).splitlines()
+            except (OSError, UnicodeDecodeError):
+                self._line_cache[path] = []
+        snippet = _snippet(self._line_cache[path], node_line)
+        key = (str(path), rule_id, snippet)
+        occurrence = self._occurrences.get(key, 0)
+        self._occurrences[key] = occurrence + 1
+        self.findings.append(
+            Finding(
+                path=str(path),
+                line=node_line,
+                col=node_col + 1,
+                rule_id=rule_id,
+                message=message,
+                snippet=snippet,
+                occurrence=occurrence,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Import graph (light: per-module imported-name table)
+# ----------------------------------------------------------------------
+def _imported_names(tree: ast.Module) -> dict[str, tuple[str, str]]:
+    """Map local name → (module, original name) for ``from`` imports."""
+    table: dict[str, tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                table[alias.asname or alias.name] = (node.module, alias.name)
+    return table
+
+
+# ----------------------------------------------------------------------
+# AUD001 — engine parity
+# ----------------------------------------------------------------------
+def _class_methods(tree: ast.Module, class_name: str) -> dict[str, int]:
+    """Method name → def line for one class in a module."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return {
+                stmt.name: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+    return {}
+
+
+def _simulation_subclasses(
+    tree: ast.Module,
+) -> list[tuple[str, dict[str, int]]]:
+    """(class name, method→line) for classes subclassing ``Simulation``."""
+    out: list[tuple[str, dict[str, int]]] = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and any(
+            (isinstance(base, ast.Name) and base.id == "Simulation")
+            or (isinstance(base, ast.Attribute) and base.attr == "Simulation")
+            for base in node.bases
+        ):
+            methods = {
+                stmt.name: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            out.append((node.name, methods))
+    return out
+
+
+def _differential_hooks(
+    tree: ast.Module,
+) -> tuple[frozenset[str], int] | None:
+    """The DIFFERENTIAL_HOOKS names and the assignment's line, if any."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == DIFFERENTIAL_HOOKS_NAME
+            for t in targets
+        ):
+            continue
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            names = frozenset(
+                elt.value
+                for elt in value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            )
+            return names, node.lineno
+    return None
+
+
+def _audit_engine_parity(layout: ProjectLayout, emitter: _Emitter) -> None:
+    if not layout.columnar_dir.is_dir():
+        return  # project has no columnar engine to audit
+    scalar_tree = _parse(layout.scalar_engine)
+    if scalar_tree is None:
+        return
+    base_methods = set(_class_methods(scalar_tree, "Simulation"))
+    if not base_methods:
+        return
+    test_tree = (
+        _parse(layout.differential_test)
+        if layout.differential_test.is_file()
+        else None
+    )
+    hooks = _differential_hooks(test_tree) if test_tree is not None else None
+    overrides: dict[str, tuple[Path, str, int]] = {}
+    for path in _python_files(layout.columnar_dir):
+        tree = _parse(path)
+        if tree is None:
+            continue
+        for class_name, methods in _simulation_subclasses(tree):
+            for method, lineno in methods.items():
+                if method in base_methods and not method.startswith("__"):
+                    overrides[method] = (path, class_name, lineno)
+    if not overrides:
+        return
+    if hooks is None:
+        anchor = layout.differential_test
+        emitter.emit(
+            anchor, 1, 0, "AUD001",
+            f"{len(overrides)} Simulation override(s) found but "
+            f"{anchor.name} defines no {DIFFERENTIAL_HOOKS_NAME} tuple "
+            "enumerating differential coverage",
+        )
+        return
+    covered, hooks_line = hooks
+    for method in sorted(overrides):
+        if method in covered:
+            continue
+        path, class_name, lineno = overrides[method]
+        emitter.emit(
+            path, lineno, 0, "AUD001",
+            f"{class_name} overrides Simulation.{method} but "
+            f"{DIFFERENTIAL_HOOKS_NAME} does not list it; the override "
+            "is outside differential equivalence coverage",
+        )
+    for name in sorted(covered - set(overrides)):
+        emitter.emit(
+            layout.differential_test, hooks_line, 0, "AUD001",
+            f"{DIFFERENTIAL_HOOKS_NAME} lists {name!r} but no Simulation "
+            "subclass overrides it; stale entry",
+        )
+
+
+# ----------------------------------------------------------------------
+# AUD002 — reason vocabulary
+# ----------------------------------------------------------------------
+_REASON_CONTEXT_MARKERS = ("reason", "cause")
+
+
+def _reason_vocabulary(tree: ast.Module) -> dict[str, str]:
+    """Value → constant name for module-level string constants."""
+    vocab: dict[str, str] = {}
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            and value.value
+        ):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    vocab.setdefault(value.value, target.id)
+    return vocab
+
+
+def _is_reason_name(node: ast.expr) -> bool:
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(marker in lowered for marker in _REASON_CONTEXT_MARKERS)
+
+
+def _vocab_literals(
+    node: ast.expr, vocab: dict[str, str]
+) -> list[tuple[ast.Constant, str]]:
+    out = []
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Constant)
+            and isinstance(sub.value, str)
+            and sub.value in vocab
+        ):
+            out.append((sub, vocab[sub.value]))
+    return out
+
+
+def _audit_reason_vocabulary(layout: ProjectLayout, emitter: _Emitter) -> None:
+    if not layout.reasons_module.is_file():
+        return
+    reasons_tree = _parse(layout.reasons_module)
+    if reasons_tree is None:
+        return
+    vocab = _reason_vocabulary(reasons_tree)
+    if not vocab:
+        return
+    reasons_resolved = layout.reasons_module.resolve()
+    for path in _python_files(layout.src_dir):
+        if path.resolve() == reasons_resolved:
+            continue
+        tree = _parse(path)
+        if tree is None:
+            continue
+        imports = _imported_names(tree)
+        hits: list[tuple[ast.Constant, str]] = []
+        seen: set[int] = set()
+
+        def collect(value: ast.expr) -> None:
+            for constant, const_name in _vocab_literals(value, vocab):
+                if id(constant) not in seen:
+                    seen.add(id(constant))
+                    hits.append((constant, const_name))
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg and kw.arg.lower() in _REASON_CONTEXT_MARKERS:
+                        collect(kw.value)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                if any(_is_reason_name(t) for t in targets):
+                    collect(node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_reason_name(node.target):
+                    collect(node.value)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                if any(_is_reason_name(op) for op in operands):
+                    for op in operands:
+                        collect(op)
+            elif isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and key.value.lower() in _REASON_CONTEXT_MARKERS
+                        and value is not None
+                    ):
+                        collect(value)
+        for constant, const_name in hits:
+            already = const_name in imports
+            suffix = (
+                f"(already imported as {const_name})"
+                if already
+                else f"(import {const_name} from repro.sim.reasons)"
+            )
+            emitter.emit(
+                path, constant.lineno, constant.col_offset, "AUD002",
+                f"reason literal {constant.value!r} duplicates "
+                f"repro.sim.reasons.{const_name} {suffix}",
+            )
+
+
+# ----------------------------------------------------------------------
+# AUD003 — artifact version-rejection coverage
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ArtifactModule:
+    path: Path
+    format_value: str
+    version_name: str
+    version_line: int
+    link_names: frozenset[str]
+
+
+def _artifact_modules(src_dir: Path) -> list[_ArtifactModule]:
+    out: list[_ArtifactModule] = []
+    for path in _python_files(src_dir):
+        tree = _parse(path)
+        if tree is None:
+            continue
+        format_value: str | None = None
+        version_name: str | None = None
+        version_line = 0
+        link_names: set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                link_names.add(node.name)
+                continue
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                    and value.value.startswith("repro-")
+                ):
+                    format_value = value.value
+                    link_names.add(target.id)
+                elif (
+                    "VERSION" in target.id.upper()
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, int)
+                    and not isinstance(value.value, bool)
+                ):
+                    version_name = target.id
+                    version_line = node.lineno
+                    link_names.add(target.id)
+        if format_value is not None and version_name is not None:
+            out.append(
+                _ArtifactModule(
+                    path=path,
+                    format_value=format_value,
+                    version_name=version_name,
+                    version_line=version_line,
+                    link_names=frozenset(link_names),
+                )
+            )
+    return out
+
+
+def _has_raises(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "raises":
+                return True
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "raises":
+                return True
+    return False
+
+
+def _has_version_bump(func: ast.AST, version_name: str) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Subscript):
+            # payload["version"] = ... — the idiomatic bump-in-place.
+            if (
+                isinstance(node.slice, ast.Constant)
+                and node.slice.value == "version"
+            ):
+                return True
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "version"
+                ):
+                    return True
+        elif isinstance(node, ast.Call):
+            if any(kw.arg == "version" for kw in node.keywords):
+                return True
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            for side in (node.left, node.right):
+                name = None
+                if isinstance(side, ast.Name):
+                    name = side.id
+                elif isinstance(side, ast.Attribute):
+                    name = side.attr
+                if name is not None and (
+                    name == version_name or "VERSION" in name.upper()
+                ):
+                    return True
+    return False
+
+
+def _links_module(func: ast.AST, module: _ArtifactModule) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and node.id in module.link_names:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in module.link_names:
+            return True
+        if (
+            isinstance(node, ast.Constant)
+            and node.value == module.format_value
+        ):
+            return True
+    return False
+
+
+def _audit_artifact_versions(layout: ProjectLayout, emitter: _Emitter) -> None:
+    modules = _artifact_modules(layout.src_dir)
+    if not modules:
+        return
+    test_funcs: list[ast.AST] = []
+    if layout.tests_dir.is_dir():
+        for path in _python_files(layout.tests_dir):
+            tree = _parse(path)
+            if tree is None:
+                continue
+            for node in ast.walk(tree):
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and node.name.startswith("test"):
+                    test_funcs.append(node)
+    for module in modules:
+        covered = any(
+            _has_raises(func)
+            and _has_version_bump(func, module.version_name)
+            and _links_module(func, module)
+            for func in test_funcs
+        )
+        if not covered:
+            try:
+                rel = module.path.relative_to(layout.root)
+            except ValueError:
+                rel = module.path
+            emitter.emit(
+                module.path, module.version_line, 0, "AUD003",
+                f"artifact format {module.format_value!r} ({rel.as_posix()}) "
+                "has no test rejecting a bumped version; its "
+                "forward-compat guard is unverified",
+            )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+_AUDITORS = {
+    "AUD001": _audit_engine_parity,
+    "AUD002": _audit_reason_vocabulary,
+    "AUD003": _audit_artifact_versions,
+}
+
+
+def run_project_audit(
+    root: Path,
+    select: frozenset[str],
+    *,
+    layout: ProjectLayout | None = None,
+) -> list[Finding]:
+    """Run the selected AUD auditors over one project tree.
+
+    Returns raw findings anchored to absolute paths; the engine
+    display-paths them and applies noqa/baseline.
+    """
+    layout = layout or ProjectLayout.discover(root)
+    emitter = _Emitter()
+    for rule_id, auditor in sorted(_AUDITORS.items()):
+        if rule_id in select:
+            auditor(layout, emitter)
+    emitter.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return emitter.findings

@@ -33,6 +33,8 @@ def render_text(result: LintResult, *, verbose: bool = False) -> str:
             )
     for error in result.errors:
         lines.append(f"{error.path}: ERROR {error.message}")
+    for warning in result.warnings:
+        lines.append(f"warning: {warning}")
     counts = result.counts_by_rule()
     if counts:
         lines.append("")
@@ -61,6 +63,7 @@ def render_json(result: LintResult) -> str:
         "errors": [
             {"path": e.path, "message": e.message} for e in result.errors
         ],
+        "warnings": list(result.warnings),
     }
     return json.dumps(payload, indent=1)
 
@@ -89,6 +92,9 @@ def render_github(result: LintResult) -> str:
         f"::error file={_escape_property(e.path)},title=lint"
         f"::{_escape_data(e.message)}"
         for e in result.errors
+    )
+    lines.extend(
+        f"::warning title=lint::{_escape_data(w)}" for w in result.warnings
     )
     lines.append(
         f"{len(result.active)} finding(s) in {result.files_checked} file(s)"

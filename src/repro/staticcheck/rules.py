@@ -695,13 +695,16 @@ class DeterminismVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def check_module(path: str, source: str) -> list[Finding]:
-    """Run every rule over one file's source; returns raw findings
-    (suppression and baseline are applied by the engine).
+def check_module(
+    path: str, source: str, tree: ast.Module | None = None
+) -> list[Finding]:
+    """Run every determinism rule over one file's source; returns raw
+    findings (suppression and baseline are applied by the engine).
 
     Raises :class:`SyntaxError` when the source does not parse.
     """
-    tree = ast.parse(source, filename=path)
+    if tree is None:
+        tree = ast.parse(source, filename=path)
     visitor = DeterminismVisitor(path, source.splitlines())
     visitor.collect_attribute_annotations(tree)
     visitor.visit(tree)

@@ -1,0 +1,488 @@
+"""AST implementations of the concurrency/lifecycle rules REP201–REP205.
+
+The sweep orchestrator (PR 9) made multiprocessing load-bearing; the
+roadmap's live asyncio ring will add more.  This family enforces the
+lifecycle invariants a crashed worker or an exception mid-orchestration
+would otherwise violate:
+
+* REP201 — every locally-owned ``Process``/``Thread``/``Pool``/``Queue``
+  must have its ``join``/``close``/``terminate`` reachable in a
+  ``finally`` (or be used as a context manager).  Ownership transfer —
+  returning the object, storing it into a container/attribute, passing
+  it to a call — exempts the creation site;
+* REP202 — ``Queue.get()`` without a timeout blocks forever on producer
+  death;
+* REP203 — ``os._exit`` outside a worker entry point skips finallys and
+  atexit hooks;
+* REP204 — module-level mutable state mutated from a process-target
+  function mutates a fork-copy the parent never sees;
+* REP205 — a daemon thread with no ``join`` anywhere has no shutdown
+  path at all.
+
+Analysis is per-function: a creation is attributed to its innermost
+enclosing function and its cleanup/escape is searched in that whole
+function subtree (nested helpers included), so closures that tend a
+parent's resources are credited to the parent.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .findings import RULES, Finding
+
+__all__ = ["check_concurrency"]
+
+#: Constructor names whose instances need lifecycle cleanup, mapped to
+#: the method names that count as cleanup.
+_PROC_CLEANUP = frozenset({"join", "terminate", "kill", "close"})
+_QUEUE_CLEANUP = frozenset({"close", "join_thread", "join", "shutdown"})
+_POOL_CLEANUP = frozenset({"close", "terminate", "join", "shutdown"})
+_CREATORS: dict[str, frozenset[str]] = {
+    "Process": _PROC_CLEANUP,
+    "Thread": _PROC_CLEANUP,
+    "Pool": _POOL_CLEANUP,
+    "ThreadPool": _POOL_CLEANUP,
+    "ProcessPoolExecutor": _POOL_CLEANUP,
+    "ThreadPoolExecutor": _POOL_CLEANUP,
+    "Queue": _QUEUE_CLEANUP,
+    "SimpleQueue": _QUEUE_CLEANUP,
+    "JoinableQueue": _QUEUE_CLEANUP,
+}
+_QUEUE_CTORS = frozenset({"Queue", "SimpleQueue", "JoinableQueue"})
+
+#: Parameter-name shapes treated as queues for REP202.
+_QUEUE_PARAM_SUFFIXES = ("_q", "_queue")
+_QUEUE_PARAM_NAMES = frozenset({"q", "queue"})
+
+#: Pool/executor methods whose first argument is a worker function.
+_SUBMIT_METHODS = frozenset(
+    {"submit", "apply", "apply_async", "map", "imap", "imap_unordered",
+     "map_async", "starmap", "starmap_async"}
+)
+
+#: Container/collection methods that mutate their receiver (REP204).
+_MUTATOR_METHODS = frozenset(
+    {"append", "extend", "insert", "add", "update", "setdefault", "pop",
+     "popitem", "remove", "discard", "clear", "appendleft", "extendleft"}
+)
+
+_MUTABLE_FACTORY_CALLS = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+def _last_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _contains_name(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(node)
+    )
+
+
+@dataclass
+class _Creation:
+    name: str
+    ctor: str
+    node: ast.Call
+    scope: ast.AST  # enclosing function (or module)
+    daemon: bool = False
+    cleanup_methods: frozenset[str] = field(default_factory=frozenset)
+
+
+class ConcurrencyVisitor:
+    """Whole-module checker for REP201–REP205 (raw findings)."""
+
+    def __init__(self, path: str, source_lines: list[str]) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.findings: list[Finding] = []
+        self._occurrences: dict[tuple[str, str], int] = {}
+        self._os_aliases: set[str] = set()
+        self._os_exit_names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def _emit(self, node: ast.AST, rule_id: str, message: str) -> None:
+        hint = RULES[rule_id].hint
+        if hint:
+            message = f"{message} — fix: {hint}"
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = self.lines[line - 1].strip() if line - 1 < len(self.lines) else ""
+        key = (rule_id, snippet)
+        occurrence = self._occurrences.get(key, 0)
+        self._occurrences[key] = occurrence + 1
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=line,
+                col=col + 1,
+                rule_id=rule_id,
+                message=message,
+                snippet=snippet,
+                occurrence=occurrence,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def check(self, tree: ast.Module) -> None:
+        self._collect_imports(tree)
+        creations = self._collect_creations(tree)
+        self._check_lifecycles(creations)
+        self._check_queue_gets(tree)
+        self._check_os_exit(tree)
+        self._check_fork_unsafe_state(tree)
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "os":
+                        self._os_aliases.add(alias.asname or "os")
+            elif isinstance(node, ast.ImportFrom) and node.module == "os":
+                for alias in node.names:
+                    if alias.name == "_exit":
+                        self._os_exit_names.add(alias.asname or "_exit")
+
+    # ------------------------------------------------------------------
+    # REP201 / REP205 — creation + lifecycle
+    # ------------------------------------------------------------------
+    def _collect_creations(self, tree: ast.Module) -> list[_Creation]:
+        creations: list[_Creation] = []
+
+        def walk(node: ast.AST, scope: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_scope = scope
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    child_scope = child
+                # `with Pool() as p:` creations are managed by __exit__
+                # and are not Assign nodes, so they are never collected.
+                if (
+                    isinstance(child, ast.Assign)
+                    and len(child.targets) == 1
+                    and isinstance(child.targets[0], ast.Name)
+                ):
+                    creation = self._creation_from_call(child.value)
+                    if creation is not None:
+                        ctor, call = creation
+                        creations.append(
+                            _Creation(
+                                name=child.targets[0].id,
+                                ctor=ctor,
+                                node=call,
+                                scope=scope,
+                                daemon=self._daemon_flag(call),
+                                cleanup_methods=_CREATORS[ctor],
+                            )
+                        )
+                walk(child, child_scope)
+
+        walk(tree, tree)
+        return creations
+
+    @staticmethod
+    def _creation_from_call(node: ast.expr) -> tuple[str, ast.Call] | None:
+        if not isinstance(node, ast.Call):
+            return None
+        name = _last_name(node.func)
+        if name in _CREATORS:
+            return name, node
+        return None
+
+    @staticmethod
+    def _daemon_flag(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if (
+                kw.arg == "daemon"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+        return False
+
+    def _check_lifecycles(self, creations: list[_Creation]) -> None:
+        for creation in creations:
+            cleanups = self._cleanup_calls(creation)
+            in_finally = self._any_in_finally(creation, cleanups)
+            managed = self._used_as_context_manager(creation)
+            if creation.ctor == "Thread" and creation.daemon:
+                # REP205 owns daemon threads: any join (or context
+                # management) is a shutdown path; finally not required
+                # because the daemon flag already bounds the hang.
+                if not cleanups and not managed:
+                    self._emit(
+                        creation.node, "REP205",
+                        f"daemon thread {creation.name!r} is never joined",
+                    )
+                continue
+            if managed:
+                continue
+            if cleanups:
+                if not in_finally:
+                    self._emit(
+                        creation.node, "REP201",
+                        f"{creation.ctor} {creation.name!r} is cleaned up "
+                        "only on the happy path; an exception before "
+                        "cleanup leaks it",
+                    )
+            elif not self._escapes(creation):
+                self._emit(
+                    creation.node, "REP201",
+                    f"{creation.ctor} {creation.name!r} is created but "
+                    "never joined/closed",
+                )
+
+    def _cleanup_calls(self, creation: _Creation) -> list[ast.Call]:
+        calls: list[ast.Call] = []
+        for node in ast.walk(creation.scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in creation.cleanup_methods
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == creation.name
+            ):
+                calls.append(node)
+        return calls
+
+    def _any_in_finally(
+        self, creation: _Creation, cleanups: list[ast.Call]
+    ) -> bool:
+        if not cleanups:
+            return False
+        cleanup_ids = {id(c) for c in cleanups}
+        for node in ast.walk(creation.scope):
+            if isinstance(node, (ast.Try, ast.TryStar)):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        if id(sub) in cleanup_ids:
+                            return True
+        return False
+
+    def _used_as_context_manager(self, creation: _Creation) -> bool:
+        for node in ast.walk(creation.scope):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and expr.id == creation.name:
+                        return True
+        return False
+
+    def _escapes(self, creation: _Creation) -> bool:
+        name = creation.name
+        for node in ast.walk(creation.scope):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None and _contains_name(node.value, name):
+                    return True
+            elif isinstance(node, ast.Assign):
+                if node.value is not creation.node and _contains_name(
+                    node.value, name
+                ) and any(
+                    isinstance(t, (ast.Attribute, ast.Subscript, ast.Tuple))
+                    for t in node.targets
+                ):
+                    return True
+            elif isinstance(node, ast.Call):
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    if _contains_name(arg, name):
+                        return True
+        return False
+
+    # ------------------------------------------------------------------
+    # REP202 — blocking queue get
+    # ------------------------------------------------------------------
+    def _check_queue_gets(self, tree: ast.Module) -> None:
+        queue_names = self._queue_names(tree)
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in queue_names
+            ):
+                continue
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            if any(
+                kw.arg == "block"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+                for kw in node.keywords
+            ):
+                continue
+            if len(node.args) >= 2:  # get(block, timeout)
+                continue
+            if (
+                len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is False
+            ):
+                continue
+            self._emit(
+                node, "REP202",
+                f"{node.func.value.id}.get() blocks forever if the "
+                "producer died",
+            )
+
+    @staticmethod
+    def _queue_names(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                if (
+                    isinstance(node.value, ast.Call)
+                    and _last_name(node.value.func) in _QUEUE_CTORS
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg in (
+                    *node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs
+                ):
+                    lowered = arg.arg.lower()
+                    if lowered in _QUEUE_PARAM_NAMES or lowered.endswith(
+                        _QUEUE_PARAM_SUFFIXES
+                    ):
+                        names.add(arg.arg)
+        return names
+
+    # ------------------------------------------------------------------
+    # REP203 — os._exit placement
+    # ------------------------------------------------------------------
+    def _check_os_exit(self, tree: ast.Module) -> None:
+        def walk(node: ast.AST, func_stack: tuple[str, ...]) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_stack = func_stack
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    child_stack = (*func_stack, child.name)
+                if isinstance(child, ast.Call) and self._is_os_exit(child.func):
+                    in_worker = any(
+                        "worker" in name or name.endswith("_main") or name == "main"
+                        for name in child_stack
+                    )
+                    if not in_worker:
+                        self._emit(
+                            child, "REP203",
+                            "os._exit skips finally blocks and atexit "
+                            "hooks outside a worker entry point",
+                        )
+                walk(child, child_stack)
+
+        walk(tree, ())
+
+    def _is_os_exit(self, func: ast.expr) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id in self._os_exit_names
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "_exit"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._os_aliases
+        )
+
+    # ------------------------------------------------------------------
+    # REP204 — fork-unsafe module state
+    # ------------------------------------------------------------------
+    def _check_fork_unsafe_state(self, tree: ast.Module) -> None:
+        mutables = self._module_mutables(tree)
+        if not mutables:
+            return
+        targets = self._worker_target_names(tree)
+        if not targets:
+            return
+        for node in tree.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in targets
+            ):
+                self._flag_mutations(node, mutables)
+
+    @staticmethod
+    def _module_mutables(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            mutable = isinstance(value, (ast.List, ast.Dict, ast.Set))
+            if not mutable and isinstance(value, ast.Call):
+                mutable = _last_name(value.func) in _MUTABLE_FACTORY_CALLS
+            if mutable:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    @staticmethod
+    def _worker_target_names(tree: ast.Module) -> set[str]:
+        targets: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                    targets.add(kw.value.id)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SUBMIT_METHODS
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+            ):
+                targets.add(node.args[0].id)
+        return targets
+
+    def _flag_mutations(self, func: ast.AST, mutables: set[str]) -> None:
+        for node in ast.walk(func):
+            if isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name) and node.target.id in mutables:
+                    self._mutation(node, node.target.id)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in mutables
+                    ):
+                        self._mutation(node, target.value.id)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in mutables
+            ):
+                self._mutation(node, node.func.value.id)
+
+    def _mutation(self, node: ast.AST, name: str) -> None:
+        self._emit(
+            node, "REP204",
+            f"module-level mutable {name!r} mutated inside a process "
+            "target; under fork this writes to a copy the parent never "
+            "sees",
+        )
+
+
+def check_concurrency(
+    path: str, source: str, tree: ast.Module | None = None
+) -> list[Finding]:
+    """Run the REP2xx family over one file (raw findings).  Raises
+    SyntaxError on parse failure."""
+    if tree is None:
+        tree = ast.parse(source, filename=path)
+    visitor = ConcurrencyVisitor(path, source.splitlines())
+    visitor.check(tree)
+    visitor.findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return visitor.findings

@@ -117,9 +117,6 @@ def _run_parallel(
     ctx = _mp_context()
     task_q = ctx.Queue()
     event_q = ctx.Queue()
-    for index in pending:
-        task_q.put(index)
-
     lanes = min(max_workers, len(pending))
     procs: dict[int, object] = {}
     clean_exit: set[int] = set()
@@ -139,97 +136,106 @@ def _run_parallel(
         proc.start()
         procs[worker_id] = proc
 
-    for _ in range(lanes):
-        _spawn()
+    # Teardown lives in the finally so an exception mid-orchestration
+    # (progress callback, corrupt event) still reaps every worker and
+    # both queue feeder threads instead of hanging interpreter exit.
+    try:
+        for index in pending:
+            task_q.put(index)
+        for _ in range(lanes):
+            _spawn()
 
-    done = 0
-    target = len(pending)
-    while done < target:
-        try:
-            event = event_q.get(timeout=0.5)
-        except queue.Empty:
-            event = None
-        if event is not None:
-            kind = event.get("kind")
-            worker = int(event.get("worker", -1))
-            if kind == CELL_STARTED:
-                in_flight[worker] = int(event["index"])
-            elif kind == CELL_FINISHED:
-                records[int(event["index"])] = event["record"]
-                in_flight.pop(worker, None)
-                done += 1
-            elif kind == CELL_FAILED:
-                failures.append(event["failure"])
-                in_flight.pop(worker, None)
-                done += 1
-            elif kind == WORKER_EXITED:
-                clean_exit.add(worker)
-            progress.handle(event)
-            continue
+        done = 0
+        target = len(pending)
+        while done < target:
+            try:
+                event = event_q.get(timeout=0.5)
+            except queue.Empty:
+                event = None
+            if event is not None:
+                kind = event.get("kind")
+                worker = int(event.get("worker", -1))
+                if kind == CELL_STARTED:
+                    in_flight[worker] = int(event["index"])
+                elif kind == CELL_FINISHED:
+                    records[int(event["index"])] = event["record"]
+                    in_flight.pop(worker, None)
+                    done += 1
+                elif kind == CELL_FAILED:
+                    failures.append(event["failure"])
+                    in_flight.pop(worker, None)
+                    done += 1
+                elif kind == WORKER_EXITED:
+                    clean_exit.add(worker)
+                progress.handle(event)
+                continue
 
-        # Queue idle: watchdog pass over the pool.
-        crashed = [
-            worker_id
-            for worker_id, proc in procs.items()
-            if worker_id not in clean_exit and not proc.is_alive()  # type: ignore[attr-defined]
-        ]
-        for worker_id in crashed:
-            clean_exit.add(worker_id)  # book once
-            exitcode = getattr(procs[worker_id], "exitcode", None)
-            index = in_flight.pop(worker_id, None)
-            if index is not None:
-                cell = cells[index]
-                failure = failure_record(
-                    cell,
-                    "worker-crash",
-                    f"worker {worker_id} died (exit code {exitcode}) "
-                    f"while running {cell.cell_id}",
-                    worker=worker_id,
-                )
-                failures.append(failure)
-                progress.handle(cell_failed(worker_id, index, cell.cell_id, failure))
-                done += 1
-            if done < target and respawns_left > 0:
-                respawns_left -= 1
-                _spawn()
-        if crashed:
-            continue
-        # No events, no crashes: if every worker is gone the remaining
-        # cells can never complete — book them as lost and stop waiting.
-        if all(
-            worker_id in clean_exit or not proc.is_alive()  # type: ignore[attr-defined]
-            for worker_id, proc in procs.items()
-        ) and event_q.empty():
-            failed_ids = {f.get("cell_id") for f in failures}
-            for index in pending:
-                if index in records:
-                    continue
-                cell = cells[index]
-                if cell.cell_id in failed_ids:
-                    continue
-                failure = failure_record(
-                    cell,
-                    "worker-crash",
-                    f"cell {cell.cell_id} lost: no live workers remain",
-                    worker=-1,
-                )
-                failures.append(failure)
-                progress.handle(cell_failed(-1, index, cell.cell_id, failure))
-                done += 1
-
-    for proc in procs.values():
-        proc.join(timeout=5.0)  # type: ignore[attr-defined]
-        if proc.is_alive():  # type: ignore[attr-defined]
-            proc.terminate()  # type: ignore[attr-defined]
-            proc.join(timeout=1.0)  # type: ignore[attr-defined]
-    # Drain so queue feeder threads never block interpreter exit.
-    while True:
-        try:
-            event_q.get_nowait()
-        except queue.Empty:
-            break
-    task_q.close()
-    event_q.close()
+            # Queue idle: watchdog pass over the pool.
+            crashed = [
+                worker_id
+                for worker_id, proc in procs.items()
+                if worker_id not in clean_exit and not proc.is_alive()  # type: ignore[attr-defined]
+            ]
+            for worker_id in crashed:
+                clean_exit.add(worker_id)  # book once
+                exitcode = getattr(procs[worker_id], "exitcode", None)
+                index = in_flight.pop(worker_id, None)
+                if index is not None:
+                    cell = cells[index]
+                    failure = failure_record(
+                        cell,
+                        "worker-crash",
+                        f"worker {worker_id} died (exit code {exitcode}) "
+                        f"while running {cell.cell_id}",
+                        worker=worker_id,
+                    )
+                    failures.append(failure)
+                    progress.handle(
+                        cell_failed(worker_id, index, cell.cell_id, failure)
+                    )
+                    done += 1
+                if done < target and respawns_left > 0:
+                    respawns_left -= 1
+                    _spawn()
+            if crashed:
+                continue
+            # No events, no crashes: if every worker is gone the
+            # remaining cells can never complete — book them as lost
+            # and stop waiting.
+            if all(
+                worker_id in clean_exit or not proc.is_alive()  # type: ignore[attr-defined]
+                for worker_id, proc in procs.items()
+            ) and event_q.empty():
+                failed_ids = {f.get("cell_id") for f in failures}
+                for index in pending:
+                    if index in records:
+                        continue
+                    cell = cells[index]
+                    if cell.cell_id in failed_ids:
+                        continue
+                    failure = failure_record(
+                        cell,
+                        "worker-crash",
+                        f"cell {cell.cell_id} lost: no live workers remain",
+                        worker=-1,
+                    )
+                    failures.append(failure)
+                    progress.handle(cell_failed(-1, index, cell.cell_id, failure))
+                    done += 1
+    finally:
+        for proc in procs.values():
+            proc.join(timeout=5.0)  # type: ignore[attr-defined]
+            if proc.is_alive():  # type: ignore[attr-defined]
+                proc.terminate()  # type: ignore[attr-defined]
+                proc.join(timeout=1.0)  # type: ignore[attr-defined]
+        # Drain so queue feeder threads never block interpreter exit.
+        while True:
+            try:
+                event_q.get_nowait()
+            except queue.Empty:
+                break
+        task_q.close()
+        event_q.close()
 
 
 def run_sweep(

@@ -227,7 +227,9 @@ def _maybe_inject_crash(cell: SweepCell, options: dict) -> None:
     if not needle or needle not in cell.cell_id:
         return
     if options.get("inject_mode", "raise") == "exit":
-        os._exit(3)
+        # A hard exit that skips the worker's own finallys is the whole
+        # point: it simulates a SIGKILL'd worker for the watchdog.
+        os._exit(3)  # repro: noqa[REP203]
     raise RuntimeError(f"injected crash in cell {cell.cell_id}")
 
 
@@ -326,4 +328,8 @@ def worker_main(
             state["cells_run"] += 1
     finally:
         stop.set()
+        # Bounded join: the beat loop wakes from stop.wait() within one
+        # interval; the timeout guards against a beat blocked on a full
+        # event queue so worker exit can never hang on its own heartbeat.
+        beat.join(timeout=2.0)
         event_q.put(worker_exited(worker_id, state["cells_run"]))

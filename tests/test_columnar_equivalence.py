@@ -45,6 +45,43 @@ SCENARIOS = ("default", "chaos", "flash-crowd")
 SEEDS = (3, 7, 11, 23, 42)
 ENGINES = ("scalar", "columnar")
 
+#: Every Simulation hook ColumnarSimulation overrides.  This tuple is
+#: the differential suite's coverage contract: the AUD001 lint auditor
+#: statically requires each override to appear here, and
+#: test_differential_hooks_match_overrides below asserts (by
+#: reflection) that the tuple matches the real override set — so a new
+#: override cannot ship without landing in this list, and a stale entry
+#: cannot linger after a hook is removed.  The fingerprint chain each
+#: equivalence test compares hashes the outputs of every one of these
+#: hooks each epoch.
+DIFFERENTIAL_HOOKS = (
+    "_alive_mask_array",
+    "_alive_server_count",
+    "_availability_summary",
+    "_blocking_probabilities",
+    "_load_cv_value",
+    "_replica_count_matrix",
+    "_restore_lost_partitions",
+    "_serve_epoch",
+    "_server_capacity_array",
+    "_server_imbalance_value",
+    "_total_replicas",
+    "_utilization_value",
+)
+
+
+def test_differential_hooks_match_overrides() -> None:
+    """DIFFERENTIAL_HOOKS is exactly the set of Simulation methods
+    ColumnarSimulation overrides (no gaps, no stale entries)."""
+    overrides = sorted(
+        name
+        for name, member in vars(ColumnarSimulation).items()
+        if callable(member)
+        and not name.startswith("__")
+        and callable(getattr(Simulation, name, None))
+    )
+    assert overrides == sorted(DIFFERENTIAL_HOOKS)
+
 
 def _small_config(seed: int) -> SimulationConfig:
     """Fast but non-trivial: enough partitions and load that every

@@ -169,6 +169,13 @@ class TestArtifact:
         with pytest.raises(FingerprintError):
             FingerprintTrail.load(path)
 
+    def test_bumped_version_is_rejected(self, tmp_path):
+        trail = sanitized_run(epochs=2)
+        payload = trail.to_dict()
+        payload["version"] = int(payload["version"]) + 1
+        with pytest.raises(FingerprintError, match="version"):
+            FingerprintTrail.from_dict(payload)
+
     def test_runner_stamps_meta(self):
         scenario = random_query_scenario(small_config(), epochs=6)
         sanitizer = DeterminismSanitizer()

@@ -366,6 +366,17 @@ class TestBaseline:
         with pytest.raises(BaselineError):
             Baseline.load(path)
 
+    def test_bumped_version_is_rejected(self, tmp_path):
+        baseline = Baseline.from_findings(
+            lint_source("m.py", "import random\nx = random.random()\n")
+        )
+        payload = baseline.to_dict()
+        payload["version"] = int(payload["version"]) + 1  # type: ignore[call-overload]
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BaselineError, match="version"):
+            Baseline.load(path)
+
 
 class TestDriverAndRendering:
     def test_lint_paths_counts_and_exit_code(self, tmp_path):
@@ -418,7 +429,10 @@ class TestDriverAndRendering:
 
     def test_rule_registry_is_complete(self):
         assert set(ALL_RULE_IDS) == {
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP101", "REP102", "REP103", "REP104",
+            "REP201", "REP202", "REP203", "REP204", "REP205",
+            "AUD001", "AUD002", "AUD003",
         }
         for rule in RULES.values():
             assert rule.summary and rule.rationale
@@ -426,8 +440,16 @@ class TestDriverAndRendering:
 
 class TestDogfood:
     def test_repro_source_tree_is_clean(self):
-        """The committed tree must gate at zero active findings."""
+        """The committed tree must gate at zero active findings with the
+        default selection (every per-file REP rule)."""
         result = lint_paths([REPO_SRC])
+        assert result.errors == []
+        active = [f.location() + " " + f.rule_id for f in result.active]
+        assert active == []
+
+    def test_repro_source_tree_is_clean_with_auditors(self):
+        """All three families plus the AUD project pass gate at zero."""
+        result = lint_paths([REPO_SRC], select=["REP", "AUD"])
         assert result.errors == []
         active = [f.location() + " " + f.rule_id for f in result.active]
         assert active == []

@@ -1,0 +1,865 @@
+"""The new analyzer families: kernel purity (REP1xx), concurrency
+lifecycle (REP2xx) and the cross-module project auditors (AUD).
+
+Every rule gets a positive fixture (asserting the rule id fires on the
+expected line) and a negative fixture exercising its exemption logic,
+per ISSUE 10's acceptance criteria.  The project auditors run against
+miniature project trees built under ``tmp_path`` that mirror the real
+repository layout (``pyproject.toml`` + ``src/repro/...`` + ``tests/``),
+including the required demonstration that removing an override from the
+differential test's ``DIFFERENTIAL_HOOKS`` tuple makes AUD001 fail.
+"""
+
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    Baseline,
+    changed_python_files,
+    expand_select,
+    lint_paths,
+    lint_source,
+    render_text,
+    run_project_audit,
+)
+
+#: REP1xx rules are scoped to kernel directories; this path is inside.
+KERNEL = "src/repro/sim/columnar/kern.py"
+#: ...and this one is outside (same package, not a kernel).
+NON_KERNEL = "src/repro/sweep/mod.py"
+
+
+def check(source: str, path: str = KERNEL):
+    return lint_source(path, textwrap.dedent(source))
+
+
+def rule_lines(source: str, rule_id: str, path: str = KERNEL) -> list[int]:
+    return [
+        f.line for f in check(source, path) if f.rule_id == rule_id and f.active
+    ]
+
+
+# ======================================================================
+# Family 1 — numeric-kernel purity (REP101–REP104)
+# ======================================================================
+class TestREP101DtypePromotion:
+    def test_int_array_true_division(self):
+        src = """\
+        import numpy as np
+
+        counts = np.zeros(4, dtype=np.int64)
+        totals = np.zeros(4)
+        mean = totals / counts
+        """
+        assert rule_lines(src, "REP101") == [5]
+
+    def test_mixed_int_float_arithmetic(self):
+        src = """\
+        import numpy as np
+
+        counts = np.zeros(4, dtype=np.int64)
+        weights = np.ones(4)
+        scaled = weights * counts
+        """
+        assert rule_lines(src, "REP101") == [5]
+
+    def test_bool_sum_without_dtype(self):
+        src = """\
+        import numpy as np
+
+        load = np.zeros(8)
+        mask = load > 0.0
+        alive = mask.sum()
+        """
+        assert rule_lines(src, "REP101") == [5]
+
+    def test_np_sum_over_bool_without_dtype(self):
+        src = """\
+        import numpy as np
+
+        load = np.zeros(8)
+        alive = np.sum(load > 0.0)
+        """
+        assert rule_lines(src, "REP101") == [4]
+
+    def test_explicit_astype_is_exempt(self):
+        src = """\
+        import numpy as np
+
+        counts = np.zeros(4, dtype=np.int64)
+        totals = np.zeros(4)
+        mean = totals / counts.astype(np.float64)
+        alive = (totals > 0.0).sum(dtype=np.int64)
+        """
+        assert rule_lines(src, "REP101") == []
+
+    def test_finding_carries_fix_hint(self):
+        src = """\
+        import numpy as np
+
+        counts = np.zeros(4, dtype=np.int64)
+        x = counts / counts
+        """
+        (finding,) = [f for f in check(src) if f.rule_id == "REP101"]
+        assert " — fix: " in finding.message
+
+    def test_scope_limits_family_to_kernel_dirs(self):
+        src = """\
+        import numpy as np
+
+        counts = np.zeros(4, dtype=np.int64)
+        x = counts / counts
+        """
+        assert rule_lines(src, "REP101", path=NON_KERNEL) == []
+
+
+class TestREP102OrderSensitiveReduction:
+    def test_sum_over_set(self):
+        src = """\
+        values = {0.1, 0.2, 0.7}
+        total = sum(values)
+        """
+        assert rule_lines(src, "REP102") == [2]
+
+    def test_fromiter_over_generator_over_set(self):
+        src = """\
+        import numpy as np
+
+        sids = {3, 1, 2}
+        arr = np.fromiter((s * 0.5 for s in sids), dtype=np.float64)
+        """
+        assert rule_lines(src, "REP102") == [4]
+
+    def test_sorted_set_is_exempt(self):
+        src = """\
+        values = {0.1, 0.2, 0.7}
+        total = sum(sorted(values))
+        """
+        assert rule_lines(src, "REP102") == []
+
+
+class TestREP103HiddenCopies:
+    def test_flatten_always_copies(self):
+        src = """\
+        import numpy as np
+
+        m = np.zeros((4, 4))
+        flat = m.flatten()
+        """
+        assert rule_lines(src, "REP103") == [4]
+
+    def test_np_append(self):
+        src = """\
+        import numpy as np
+
+        out = np.zeros(0)
+        out = np.append(out, 1.0)
+        """
+        assert rule_lines(src, "REP103") == [4]
+
+    def test_concatenate_inside_loop(self):
+        src = """\
+        import numpy as np
+
+        acc = np.zeros(4)
+        for _ in range(3):
+            acc = np.concatenate([acc, acc])
+        """
+        assert rule_lines(src, "REP103") == [5]
+
+    def test_chained_subscript_assignment(self):
+        src = """\
+        import numpy as np
+
+        m = np.zeros((4, 4))
+        idx = [0, 2]
+        m[idx][0] = 1.0
+        """
+        assert rule_lines(src, "REP103") == [5]
+
+    def test_ravel_and_single_concatenate_are_exempt(self):
+        src = """\
+        import numpy as np
+
+        m = np.zeros((4, 4))
+        flat = m.ravel()
+        joined = np.concatenate([flat, flat])
+        """
+        assert rule_lines(src, "REP103") == []
+
+
+class TestREP104PythonLoopOverArray:
+    def test_for_over_ndarray(self):
+        src = """\
+        import numpy as np
+
+        xs = np.zeros(8)
+        for x in xs:
+            pass
+        """
+        assert rule_lines(src, "REP104") == [4]
+
+    def test_tolist_makes_boxing_explicit(self):
+        src = """\
+        import numpy as np
+
+        xs = np.zeros(8)
+        for x in xs.tolist():
+            pass
+        for i in range(8):
+            pass
+        """
+        assert rule_lines(src, "REP104") == []
+
+
+# ======================================================================
+# Family 2 — concurrency / lifecycle (REP201–REP205)
+# ======================================================================
+class TestREP201LifecycleCleanup:
+    def test_process_never_joined(self):
+        src = """\
+        from multiprocessing import Process
+
+        def launch(work):
+            p = Process(target=work)
+            p.start()
+        """
+        assert rule_lines(src, "REP201", path=NON_KERNEL) == [4]
+
+    def test_cleanup_only_on_happy_path(self):
+        src = """\
+        from multiprocessing import Process
+
+        def launch(work, body):
+            p = Process(target=work)
+            p.start()
+            body()
+            p.join()
+        """
+        assert rule_lines(src, "REP201", path=NON_KERNEL) == [4]
+
+    def test_cleanup_in_finally_is_clean(self):
+        src = """\
+        from multiprocessing import Process
+
+        def launch(work, body):
+            p = Process(target=work)
+            p.start()
+            try:
+                body()
+            finally:
+                p.join()
+        """
+        assert rule_lines(src, "REP201", path=NON_KERNEL) == []
+
+    def test_context_manager_is_clean(self):
+        src = """\
+        from multiprocessing import Pool
+
+        def launch(f, xs):
+            pool = Pool(4)
+            with pool:
+                return pool.map(f, xs)
+        """
+        assert rule_lines(src, "REP201", path=NON_KERNEL) == []
+
+    def test_ownership_transfer_is_exempt(self):
+        src = """\
+        from multiprocessing import Queue
+
+        def make_queue():
+            q = Queue()
+            return q
+        """
+        assert rule_lines(src, "REP201", path=NON_KERNEL) == []
+
+    def test_noqa_suppresses_new_family(self):
+        src = """\
+        from multiprocessing import Process
+
+        def launch(work):
+            p = Process(target=work)  # repro: noqa[REP201]
+            p.start()
+        """
+        findings = check(src, path=NON_KERNEL)
+        assert [f.rule_id for f in findings if f.suppressed] == ["REP201"]
+        assert not any(f.active for f in findings)
+
+
+class TestREP202BlockingQueueGet:
+    def test_bare_get_on_queue_param(self):
+        src = """\
+        def drain(event_q):
+            while True:
+                item = event_q.get()
+        """
+        assert rule_lines(src, "REP202", path=NON_KERNEL) == [3]
+
+    def test_timeout_and_nonblocking_forms_are_exempt(self):
+        src = """\
+        def drain(event_q, options):
+            a = event_q.get(timeout=1.0)
+            b = event_q.get(block=False)
+            c = event_q.get_nowait()
+            d = options.get("stride")
+        """
+        assert rule_lines(src, "REP202", path=NON_KERNEL) == []
+
+
+class TestREP203OsExitPlacement:
+    def test_exit_outside_worker(self):
+        src = """\
+        import os
+
+        def cleanup():
+            os._exit(1)
+        """
+        assert rule_lines(src, "REP203", path=NON_KERNEL) == [4]
+
+    def test_worker_entry_points_are_exempt(self):
+        src = """\
+        import os
+
+        def worker_main():
+            os._exit(3)
+
+        def run_worker():
+            os._exit(3)
+        """
+        assert rule_lines(src, "REP203", path=NON_KERNEL) == []
+
+
+class TestREP204ForkUnsafeState:
+    def test_module_dict_mutated_from_target(self):
+        src = """\
+        from multiprocessing import Process
+
+        CACHE = {}
+
+        def work():
+            CACHE["k"] = 1
+
+        def launch(body):
+            p = Process(target=work)
+            p.start()
+            try:
+                body()
+            finally:
+                p.join()
+        """
+        assert rule_lines(src, "REP204", path=NON_KERNEL) == [6]
+
+    def test_non_target_function_is_exempt(self):
+        src = """\
+        CACHE = {}
+
+        def warm():
+            CACHE["k"] = 1
+        """
+        assert rule_lines(src, "REP204", path=NON_KERNEL) == []
+
+
+class TestREP205DaemonThreadShutdown:
+    def test_daemon_thread_never_joined(self):
+        src = """\
+        import threading
+
+        def run(beat):
+            t = threading.Thread(target=beat, daemon=True)
+            t.start()
+        """
+        assert rule_lines(src, "REP205", path=NON_KERNEL) == [4]
+
+    def test_bounded_join_is_a_shutdown_path(self):
+        src = """\
+        import threading
+
+        def run(beat, body):
+            t = threading.Thread(target=beat, daemon=True)
+            t.start()
+            try:
+                body()
+            finally:
+                t.join(timeout=2.0)
+        """
+        assert rule_lines(src, "REP205", path=NON_KERNEL) == []
+
+
+# ======================================================================
+# Family 3 — project auditors (AUD001–AUD003)
+# ======================================================================
+ENGINE_SRC = """\
+class Simulation:
+    def _serve_epoch(self):
+        pass
+
+    def _utilization_value(self):
+        pass
+"""
+
+COLUMNAR_SRC = """\
+class ColumnarSimulation(Simulation):
+    def _serve_epoch(self):
+        pass
+
+    def _utilization_value(self):
+        pass
+"""
+
+
+def make_project(
+    tmp_path: Path,
+    *,
+    engine: str = ENGINE_SRC,
+    columnar: str = COLUMNAR_SRC,
+    differential: str | None = None,
+    reasons: str = "",
+    src_files: dict[str, str] | None = None,
+    test_files: dict[str, str] | None = None,
+) -> Path:
+    """A miniature project tree mirroring the real repository layout."""
+    root = tmp_path / "proj"
+    sim = root / "src" / "repro" / "sim"
+    (sim / "columnar").mkdir(parents=True)
+    (root / "tests").mkdir()
+    (root / "pyproject.toml").write_text('[project]\nname = "proj"\n')
+    (sim / "engine.py").write_text(engine)
+    (sim / "columnar" / "engine.py").write_text(columnar)
+    (sim / "reasons.py").write_text(reasons)
+    if differential is not None:
+        (root / "tests" / "test_columnar_equivalence.py").write_text(
+            differential
+        )
+    for rel, content in (src_files or {}).items():
+        target = root / "src" / "repro" / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(content))
+    for rel, content in (test_files or {}).items():
+        (root / "tests" / rel).write_text(textwrap.dedent(content))
+    return root
+
+
+def audit(root: Path, *rule_ids: str):
+    return run_project_audit(root, frozenset(rule_ids))
+
+
+class TestAUD001EngineParity:
+    FULL_HOOKS = 'DIFFERENTIAL_HOOKS = ("_serve_epoch", "_utilization_value")\n'
+
+    def test_complete_coverage_is_clean(self, tmp_path):
+        root = make_project(tmp_path, differential=self.FULL_HOOKS)
+        assert audit(root, "AUD001") == []
+
+    def test_removing_an_override_from_the_tuple_fails(self, tmp_path):
+        """The acceptance demo: drop a hook from the differential list
+        and the auditor must flag that override's def site."""
+        root = make_project(
+            tmp_path, differential='DIFFERENTIAL_HOOKS = ("_serve_epoch",)\n'
+        )
+        (finding,) = audit(root, "AUD001")
+        assert finding.rule_id == "AUD001"
+        assert "_utilization_value" in finding.message
+        assert finding.path.endswith("columnar/engine.py")
+        assert finding.line == 5  # the override's def line
+
+    def test_missing_tuple_is_one_finding_on_the_test_module(self, tmp_path):
+        root = make_project(tmp_path, differential="ENGINES = ()\n")
+        (finding,) = audit(root, "AUD001")
+        assert finding.rule_id == "AUD001"
+        assert "DIFFERENTIAL_HOOKS" in finding.message
+        assert finding.path.endswith("test_columnar_equivalence.py")
+        assert finding.line == 1
+
+    def test_stale_entry_is_flagged_at_the_tuple(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            differential=(
+                "DIFFERENTIAL_HOOKS = (\n"
+                '    "_serve_epoch",\n'
+                '    "_utilization_value",\n'
+                '    "_removed_hook",\n'
+                ")\n"
+            ),
+        )
+        (finding,) = audit(root, "AUD001")
+        assert "stale" in finding.message and "_removed_hook" in finding.message
+        assert finding.path.endswith("test_columnar_equivalence.py")
+        assert finding.line == 1  # the assignment's line
+
+
+class TestAUD002ReasonVocabulary:
+    REASONS = 'OVERLOAD = "overload"\nAVAILABILITY = "availability"\n'
+
+    def test_literal_duplicating_a_constant(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            differential=TestAUD001EngineParity.FULL_HOOKS,
+            reasons=self.REASONS,
+            src_files={
+                "policy.py": """\
+                def decide(hot):
+                    reason = "overload" if hot else "availability"
+                    return reason
+                """
+            },
+        )
+        findings = audit(root, "AUD002")
+        assert [f.rule_id for f in findings] == ["AUD002", "AUD002"]
+        assert all(f.path.endswith("policy.py") for f in findings)
+        assert "OVERLOAD" in findings[0].message
+        assert "import OVERLOAD from repro.sim.reasons" in findings[0].message
+
+    def test_message_notes_an_existing_import(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            differential=TestAUD001EngineParity.FULL_HOOKS,
+            reasons=self.REASONS,
+            src_files={
+                "policy.py": """\
+                from .sim.reasons import OVERLOAD
+
+                def decide():
+                    return {"reason": "overload"}
+                """
+            },
+        )
+        (finding,) = audit(root, "AUD002")
+        assert "already imported as OVERLOAD" in finding.message
+
+    def test_constant_use_and_foreign_literals_are_exempt(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            differential=TestAUD001EngineParity.FULL_HOOKS,
+            reasons=self.REASONS,
+            src_files={
+                "policy.py": """\
+                from .sim.reasons import OVERLOAD
+
+                def decide():
+                    reason = OVERLOAD
+                    other = "not-in-the-vocabulary"
+                    label = "overload"  # not a reason/cause context
+                    return reason, other, label
+                """
+            },
+        )
+        assert audit(root, "AUD002") == []
+
+
+class TestAUD003ArtifactVersioning:
+    ARTIFACT = """\
+    _FORMAT = "repro-thing"
+    _VERSION = 1
+
+    class Thing:
+        pass
+    """
+
+    COVERING_TEST = """\
+    import pytest
+
+    def test_bumped_version_is_rejected():
+        payload = {"format": "repro-thing", "version": 2}
+        with pytest.raises(ValueError):
+            Thing.from_dict(payload)
+    """
+
+    def test_uncovered_artifact_module(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            differential=TestAUD001EngineParity.FULL_HOOKS,
+            src_files={"artifact.py": self.ARTIFACT},
+        )
+        (finding,) = audit(root, "AUD003")
+        assert finding.rule_id == "AUD003"
+        assert "repro-thing" in finding.message
+        assert finding.path.endswith("artifact.py")
+        assert finding.line == 2  # the version constant's line
+
+    def test_version_rejection_test_satisfies_the_auditor(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            differential=TestAUD001EngineParity.FULL_HOOKS,
+            src_files={"artifact.py": self.ARTIFACT},
+            test_files={"test_artifact.py": self.COVERING_TEST},
+        )
+        assert audit(root, "AUD003") == []
+
+    def test_subscript_bump_form_counts_as_coverage(self, tmp_path):
+        covering = """\
+        import pytest
+
+        def test_future_version(make_thing):
+            payload = make_thing()
+            payload["version"] = payload["version"] + 1
+            with pytest.raises(ValueError):
+                Thing.from_dict(payload)
+        """
+        root = make_project(
+            tmp_path,
+            differential=TestAUD001EngineParity.FULL_HOOKS,
+            src_files={"artifact.py": self.ARTIFACT},
+            test_files={"test_artifact.py": covering},
+        )
+        assert audit(root, "AUD003") == []
+
+    def test_raises_without_version_bump_is_not_coverage(self, tmp_path):
+        weak = """\
+        import pytest
+
+        def test_malformed_raises():
+            with pytest.raises(ValueError):
+                Thing.from_dict({"format": "nope"})
+        """
+        root = make_project(
+            tmp_path,
+            differential=TestAUD001EngineParity.FULL_HOOKS,
+            src_files={"artifact.py": self.ARTIFACT},
+            test_files={"test_artifact.py": weak},
+        )
+        assert len(audit(root, "AUD003")) == 1
+
+
+# ======================================================================
+# Selection, parallel driver, --changed, fingerprints, baseline life
+# ======================================================================
+REP1_FIXTURE = textwrap.dedent(
+    """\
+    import numpy as np
+
+    counts = np.zeros(4, dtype=np.int64)
+    ratio = counts / counts
+    """
+)
+
+REP2_FIXTURE = textwrap.dedent(
+    """\
+    from multiprocessing import Process
+
+    def launch(work):
+        p = Process(target=work)
+        p.start()
+    """
+)
+
+
+def make_lint_tree(tmp_path: Path) -> Path:
+    """One planted REP1xx kernel hazard plus one REP2xx hazard."""
+    root = tmp_path / "tree"
+    kernel_dir = root / "src" / "repro" / "sim" / "columnar"
+    sweep_dir = root / "src" / "repro" / "sweep"
+    kernel_dir.mkdir(parents=True)
+    sweep_dir.mkdir(parents=True)
+    (kernel_dir / "kern.py").write_text(REP1_FIXTURE)
+    (sweep_dir / "spawn.py").write_text(REP2_FIXTURE)
+    return root
+
+
+class TestSelectIsolation:
+    def test_rep2_only_run_ignores_planted_rep1_fixture(self, tmp_path):
+        root = make_lint_tree(tmp_path)
+        result = lint_paths([root], select=["REP2"])
+        assert result.errors == []
+        assert {f.rule_id for f in result.active} == {"REP201"}
+
+    def test_rep1_only_run_sees_only_the_kernel_hazard(self, tmp_path):
+        root = make_lint_tree(tmp_path)
+        result = lint_paths([root], select=["REP1"])
+        assert {f.rule_id for f in result.active} == {"REP101"}
+
+    def test_family_expansion(self):
+        assert expand_select(["REP2"]) == frozenset(
+            {"REP201", "REP202", "REP203", "REP204", "REP205"}
+        )
+        assert expand_select(["REP1,AUD"]) == frozenset(
+            {"REP101", "REP102", "REP103", "REP104",
+             "AUD001", "AUD002", "AUD003"}
+        )
+        with pytest.raises(ValueError, match="REP9"):
+            expand_select(["REP9"])
+
+    def test_default_select_excludes_audits(self, tmp_path):
+        """AUD needs a project root, so it is opt-in; the default set is
+        every per-file REP rule."""
+        root = make_lint_tree(tmp_path)
+        result = lint_paths([root])
+        assert {f.rule_id for f in result.active} == {"REP101", "REP201"}
+
+
+class TestParallelDriver:
+    def test_parallel_output_is_byte_identical_to_serial(self, tmp_path):
+        root = make_lint_tree(tmp_path)
+        serial = lint_paths([root], jobs=1)
+        parallel = lint_paths([root], jobs=2)
+        assert render_text(parallel) == render_text(serial)
+        assert parallel.files_checked == serial.files_checked == 2
+
+
+class TestChangedFiles:
+    def make_repo(self, tmp_path: Path) -> Path:
+        root = tmp_path / "repo"
+        (root / "pkg").mkdir(parents=True)
+        (root / "pkg" / "stable.py").write_text("STABLE = 1\n")
+        (root / "pkg" / "edited.py").write_text("EDITED = 1\n")
+
+        def git(*args: str) -> None:
+            subprocess.run(
+                ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+                cwd=root, check=True, capture_output=True,
+            )
+
+        git("init", "-q")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed")
+        (root / "pkg" / "edited.py").write_text("EDITED = 2\n")
+        (root / "pkg" / "fresh.py").write_text("FRESH = 1\n")
+        (root / "pkg" / "notes.txt").write_text("not python\n")
+        return root
+
+    def test_modified_and_untracked_python_files(self, tmp_path):
+        root = self.make_repo(tmp_path)
+        changed = changed_python_files([root / "pkg"], cwd=root)
+        assert [p.name for p in changed] == ["edited.py", "fresh.py"]
+
+    def test_scope_filter(self, tmp_path):
+        root = self.make_repo(tmp_path)
+        (root / "other").mkdir()
+        (root / "other" / "extra.py").write_text("EXTRA = 1\n")
+        changed = changed_python_files([root / "other"], cwd=root)
+        assert [p.name for p in changed] == ["extra.py"]
+
+    def test_outside_a_repo_raises(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            changed_python_files([tmp_path], cwd=tmp_path)
+
+    def test_cli_changed_with_clean_tree(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        root = self.make_repo(tmp_path)
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "add", "-A"],
+            cwd=root, check=True, capture_output=True,
+        )
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-q", "-m", "all"],
+            cwd=root, check=True, capture_output=True,
+        )
+        monkeypatch.chdir(root)
+        assert main(["lint", "--changed", "--no-baseline", "pkg"]) == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+    def test_cli_changed_lints_only_the_dirty_file(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        root = self.make_repo(tmp_path)
+        (root / "pkg" / "fresh.py").write_text(REP2_FIXTURE)
+        monkeypatch.chdir(root)
+        assert main(["lint", "--changed", "--no-baseline", "pkg"]) == 1
+        out = capsys.readouterr().out
+        assert "REP201" in out
+        assert "stable.py" not in out
+
+
+class TestFingerprintStability:
+    def test_new_family_fingerprints_survive_line_shifts(self):
+        for fixture, rule in ((REP1_FIXTURE, "REP101"), (REP2_FIXTURE, "REP201")):
+            path = KERNEL if rule == "REP101" else NON_KERNEL
+            before = [
+                f for f in lint_source(path, fixture) if f.rule_id == rule
+            ]
+            shifted_src = "# leading comment\n\n" + fixture
+            shifted = [
+                f
+                for f in lint_source(path, shifted_src)
+                if f.rule_id == rule
+            ]
+            assert [f.fingerprint for f in before] == [
+                f.fingerprint for f in shifted
+            ]
+            assert shifted[0].line == before[0].line + 2
+
+
+class TestBaselineLifecycle:
+    def test_write_then_clean_rerun(self, tmp_path, monkeypatch):
+        root = make_lint_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        first = lint_paths([root])
+        assert len(first.active) == 2
+        baseline = Baseline.from_findings(first.findings)
+        baseline.save(tmp_path / "base.json")
+        reloaded = Baseline.load(tmp_path / "base.json")
+        second = lint_paths([root], baseline=reloaded)
+        assert second.active == []
+        assert len(second.baselined) == 2
+        assert second.exit_code == 0
+        assert second.warnings == []
+
+    def test_stale_entries_become_warnings_not_failures(self, tmp_path):
+        root = make_lint_tree(tmp_path)
+        stale = Baseline(
+            [
+                {
+                    "path": "gone/removed.py",
+                    "rule": "REP201",
+                    "line": 4,
+                    "snippet": "p = Process(target=work)",
+                    "fingerprint": "0" * 16,
+                }
+            ]
+        )
+        result = lint_paths([root], select=["REP2"], baseline=stale)
+        assert len(result.warnings) == 1
+        assert "stale baseline entry" in result.warnings[0]
+        assert "gone/removed.py" in result.warnings[0]
+        # warnings never gate: exit code reflects findings only
+        assert result.exit_code == 1  # the planted REP201 still fires
+        rendered = render_text(result)
+        assert "warning:" in rendered
+
+    def test_audit_findings_respect_the_baseline(self, tmp_path, monkeypatch):
+        root = make_project(
+            tmp_path, differential='DIFFERENTIAL_HOOKS = ("_serve_epoch",)\n'
+        )
+        monkeypatch.chdir(tmp_path)
+        first = lint_paths(
+            [root / "src"], select=["AUD001"], project_root=root
+        )
+        assert [f.rule_id for f in first.active] == ["AUD001"]
+        baseline = Baseline.from_findings(first.findings)
+        second = lint_paths(
+            [root / "src"], select=["AUD001"], project_root=root,
+            baseline=baseline,
+        )
+        assert second.active == [] and second.exit_code == 0
+
+
+class TestAuditEngineIntegration:
+    def test_missing_project_root_is_a_lint_error(self, tmp_path):
+        (tmp_path / "loose.py").write_text("X = 1\n")
+        result = lint_paths([tmp_path / "loose.py"], select=["AUD"])
+        assert result.exit_code == 1
+        assert any("project root" in e.message for e in result.errors)
+
+    def test_noqa_applies_to_audit_findings(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            differential=TestAUD001EngineParity.FULL_HOOKS,
+            reasons='OVERLOAD = "overload"\n',
+            src_files={
+                "policy.py": """\
+                def decide():
+                    reason = "overload"  # repro: noqa[AUD002]
+                    return reason
+                """
+            },
+        )
+        result = lint_paths([root / "src"], select=["AUD"], project_root=root)
+        assert result.active == []
+        assert [f.rule_id for f in result.suppressed] == ["AUD002"]
